@@ -1,0 +1,26 @@
+# A guided tour of the facility through the CLI.
+# Run with: dune exec bin/rhodos_cli.exe -- run --script examples/demo.rsh
+mkdir /projects
+mkdir /projects/rhodos
+create /projects/rhodos/notes.txt design-looks-solid
+read /projects/rhodos/notes.txt
+append /projects/rhodos/notes.txt ;benchmarks-pending
+read /projects/rhodos/notes.txt
+stat /projects/rhodos/notes.txt
+ls /projects/rhodos
+# transactions are atomic: commit applies, abort vanishes
+txn-update /projects/rhodos/notes.txt committed-atomically
+read /projects/rhodos/notes.txt
+txn-abort-demo /projects/rhodos/notes.txt this-never-lands
+read /projects/rhodos/notes.txt
+# the facility survives a server crash: stable storage + intentions list
+crash-server
+recover-server
+read /projects/rhodos/notes.txt
+# and duplicated messages are harmless (idempotent RPC)
+dup 1.0
+append /projects/rhodos/notes.txt ;still-exactly-once
+dup 0.0
+read /projects/rhodos/notes.txt
+stats
+time
