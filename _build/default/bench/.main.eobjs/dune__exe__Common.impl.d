@@ -1,0 +1,1 @@
+bench/common.ml: Array Bytes Char Printf Rhodos Rhodos_block Rhodos_disk Rhodos_file Rhodos_net Rhodos_sim Rhodos_txn Rhodos_util Rhodos_workload

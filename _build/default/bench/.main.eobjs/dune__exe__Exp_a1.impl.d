@@ -1,0 +1,1 @@
+bench/exp_a1.ml: Common Disk List Printf Rng Sim Stats Text_table

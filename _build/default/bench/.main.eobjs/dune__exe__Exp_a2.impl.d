@@ -1,0 +1,1 @@
+bench/exp_a2.ml: Cluster Common Counter List Printf Rhodos_agent Sim Text_table

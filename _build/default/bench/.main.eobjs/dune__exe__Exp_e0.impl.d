@@ -1,0 +1,1 @@
+bench/exp_e0.ml: Array Block Bytes Cluster Common Counter Disk Fs Printf Rhodos_agent Text_table

@@ -1,0 +1,1 @@
+bench/exp_e1.ml: Common List Lm Option Text_table

@@ -1,0 +1,1 @@
+bench/exp_e10.ml: Array Cluster Common Disk Fs List Printf Sim Text_table

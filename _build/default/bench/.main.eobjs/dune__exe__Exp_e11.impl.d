@@ -1,0 +1,1 @@
+bench/exp_e11.ml: Bytes Cluster Common Disk Fs List Net Printf Rhodos_agent Rhodos_stable Rhodos_txn Text_table Txn

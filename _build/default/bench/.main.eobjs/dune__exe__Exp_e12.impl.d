@@ -1,0 +1,1 @@
+bench/exp_e12.ml: Bytes Cluster Common Counter Printf Rhodos_agent Rng Sim Text_table

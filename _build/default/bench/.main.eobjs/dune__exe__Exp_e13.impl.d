@@ -1,0 +1,1 @@
+bench/exp_e13.ml: Array Block Common Disk Float Fs List Printf Rhodos_replication Sim Text_table

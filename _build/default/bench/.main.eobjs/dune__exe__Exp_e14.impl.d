@@ -1,0 +1,1 @@
+bench/exp_e14.ml: Bytes Cluster Common List Printf Rhodos_agent Rng Sim Text_table

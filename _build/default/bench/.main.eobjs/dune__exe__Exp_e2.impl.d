@@ -1,0 +1,1 @@
+bench/exp_e2.ml: Bytes Common Fit Fs List Printf Text_table

@@ -1,0 +1,1 @@
+bench/exp_e3.ml: Common Fs List Printf Sim Text_table

@@ -1,0 +1,1 @@
+bench/exp_e4.ml: Block Common Fs List Printf Rng Sim Text_table Workload

@@ -1,0 +1,1 @@
+bench/exp_e5.ml: Block Common Counter Disk Float List Printf Rhodos_baseline Rng Text_table

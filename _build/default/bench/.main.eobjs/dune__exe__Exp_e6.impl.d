@@ -1,0 +1,1 @@
+bench/exp_e6.ml: Block Cluster Common Counter Disk List Net Printf Rhodos_agent Rhodos_baseline Sim Text_table

@@ -1,0 +1,1 @@
+bench/exp_e7.ml: Block Bytes Common Counter Disk Fs List Printf Rhodos_file Rhodos_txn Rng Sim Text_table Txn

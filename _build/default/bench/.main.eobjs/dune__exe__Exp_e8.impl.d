@@ -1,0 +1,1 @@
+bench/exp_e8.ml: Bytes Common Counter List Lm Printf Rhodos_file Rng Sim Text_table Txn

@@ -1,0 +1,1 @@
+bench/exp_e9.ml: Bytes Common List Lm Printf Rhodos_file Sim Text_table Txn

@@ -1,0 +1,79 @@
+(* A2 (ablation) — client cache size. The paper sizes its buffer pools
+   "on the basis of the amount of main memory available"; this sweep
+   shows the knee: once the agent cache covers the working set, warm
+   re-reads stop touching the network entirely. *)
+
+open Common
+module Fa = Rhodos_agent.File_agent
+
+let n_files = 8
+let file_blocks = 4 (* 32 KiB each -> 32-block working set *)
+let rounds = 4
+
+let measure cache_blocks =
+  Cluster.run
+    ~config:
+      {
+        Cluster.default_config with
+        Cluster.with_stable = false;
+        client_cache_blocks = cache_blocks;
+      }
+    (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let descs =
+        List.init n_files (fun i ->
+            let d = Cluster.create_file ws (Printf.sprintf "/f%d" i) in
+            Cluster.pwrite ws d ~off:0 ~data:(pattern (file_blocks * block_bytes));
+            d)
+      in
+      Fa.flush (Cluster.file_agent ws);
+      let read_all () =
+        List.iter
+          (fun d -> ignore (Cluster.pread ws d ~off:0 ~len:(file_blocks * block_bytes)))
+          descs
+      in
+      read_all () (* warm what fits *);
+      let remote0 = Counter.get (Fa.stats (Cluster.file_agent ws)) "remote_reads" in
+      let t0 = Sim.now sim in
+      for _ = 1 to rounds do
+        read_all ()
+      done;
+      let elapsed = (Sim.now sim -. t0) /. float_of_int rounds in
+      let remote =
+        (Counter.get (Fa.stats (Cluster.file_agent ws)) "remote_reads" - remote0)
+        / rounds
+      in
+      let cstats = Fa.cache_stats (Cluster.file_agent ws) in
+      let hits = Counter.get cstats "hits" and misses = Counter.get cstats "misses" in
+      let ratio =
+        if hits + misses = 0 then 0.
+        else float_of_int hits /. float_of_int (hits + misses)
+      in
+      (elapsed, remote, ratio))
+
+let run () =
+  header "A2 (ablation) — client cache size vs a 32-block working set";
+  let table =
+    Text_table.create
+      ~title:
+        (Printf.sprintf "%d files x %d blocks re-read %d times" n_files file_blocks rounds)
+      ~columns:
+        [ "cache (blocks)"; "ms per round"; "remote reads/round"; "lifetime hit ratio" ]
+  in
+  List.iter
+    (fun blocks ->
+      let elapsed, remote, ratio = measure blocks in
+      Text_table.add_row table
+        [
+          string_of_int blocks;
+          Printf.sprintf "%.1f" elapsed;
+          string_of_int remote;
+          Printf.sprintf "%.2f" ratio;
+        ])
+    [ 0; 8; 16; 32; 64 ];
+  Text_table.print table;
+  note "The knee sits exactly at the working-set size (32 blocks): the";
+  note "right-sized cache eliminates the network; bigger buys nothing more.";
+  note "Undersized caches are WORSE than none: LRU thrashes on the cyclic";
+  note "scan and per-block refills cost more round trips than the uncached";
+  note "client's single whole-range read per file."

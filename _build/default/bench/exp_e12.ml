@@ -1,0 +1,81 @@
+(* E12 — modification policy (section 5): delayed-write for the file
+   agent's basic-file data, write-through where safety demands it.
+   The trade: delayed-write absorbs re-writes of hot blocks (fewer
+   remote/disk writes, faster) but a client crash loses the dirty
+   window. *)
+
+open Common
+module Fa = Rhodos_agent.File_agent
+
+let rewrites = 50
+let hot_blocks = 4
+
+let measure ~delayed =
+  Cluster.run
+    ~config:
+      {
+        Cluster.default_config with
+        Cluster.with_stable = false;
+        client_cache_blocks = (if delayed then 64 else 0);
+        client_flush_interval_ms = 1.0e9 (* flush only explicitly *);
+      }
+    (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let d = Cluster.create_file ws "/hot" in
+      Cluster.pwrite ws d ~off:0 ~data:(pattern (hot_blocks * block_bytes));
+      Fa.flush (Cluster.file_agent ws);
+      let remote0 = Counter.get (Fa.stats (Cluster.file_agent ws)) "remote_writes" in
+      let rng = Rng.create 3 in
+      let t0 = Sim.now sim in
+      for _ = 1 to rewrites do
+        let block = Rng.int rng hot_blocks in
+        Cluster.pwrite ws d ~off:(block * block_bytes)
+          ~data:(Bytes.make block_bytes 'h')
+      done;
+      let elapsed = Sim.now sim -. t0 in
+      let before_crash_remote =
+        Counter.get (Fa.stats (Cluster.file_agent ws)) "remote_writes" - remote0
+      in
+      (* A crash right now: how many updates were still only in the
+         volatile client cache? *)
+      let lost = Cluster.crash_client t ws in
+      (* And the total writes a clean flush would have needed. *)
+      (elapsed, before_crash_remote, lost))
+
+let run () =
+  header "E12 — modification policy: delayed-write vs write-through";
+  let table =
+    Text_table.create
+      ~title:
+        (Printf.sprintf "%d random re-writes over %d hot 8 KiB blocks, then a client crash"
+           rewrites hot_blocks)
+      ~columns:
+        [
+          "policy";
+          "elapsed ms";
+          "remote writes before crash";
+          "dirty blocks lost at crash";
+        ]
+  in
+  let d_elapsed, d_remote, d_lost = measure ~delayed:true in
+  let w_elapsed, w_remote, w_lost = measure ~delayed:false in
+  Text_table.add_row table
+    [
+      "delayed-write (agent cache)";
+      Printf.sprintf "%.1f" d_elapsed;
+      string_of_int d_remote;
+      string_of_int d_lost;
+    ];
+  Text_table.add_row table
+    [
+      "write-through (no cache)";
+      Printf.sprintf "%.1f" w_elapsed;
+      string_of_int w_remote;
+      string_of_int w_lost;
+    ];
+  Text_table.print table;
+  note "Delayed-write coalesces the re-writes (near-zero remote traffic and";
+  note "latency) at the price of a data-loss window on a crash; write-through";
+  note "pays the network and the disk for every write but loses nothing.";
+  note "RHODOS gives the agents delayed-write for basic files and keeps";
+  note "write-through available where the transaction service needs it."

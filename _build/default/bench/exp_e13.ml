@@ -1,0 +1,90 @@
+(* E13 — the replication service (Fig. 1; design goal "must have the
+   provision to support the concept of file replication"). Measures
+   what replication buys and costs: write amplification across
+   replica counts, read failover after the primary dies, and the
+   resynchronisation of a returning replica. *)
+
+open Common
+module Rep = Rhodos_replication.Replication
+
+let file_bytes = kib 256
+
+let make_replicas sim n =
+  Array.init n (fun i ->
+      let disk =
+        Disk.create ~name:(Printf.sprintf "rep%d" i) sim
+          (Disk.geometry_with_capacity (mib 16))
+      in
+      let bs = Block.create ~disk () in
+      Block.format bs;
+      Fs.create ~disks:[| bs |] ())
+
+let measure n =
+  run_sim (fun sim ->
+      let replicas = make_replicas sim n in
+      let rep = Rep.create ~replicas in
+      let h = Rep.create_file rep in
+      let drop_all () = Array.iter Fs.drop_caches replicas in
+      ignore drop_all;
+      (* Write cost: write-all amplifies with the replica count. *)
+      let t0 = Sim.now sim in
+      Rep.pwrite rep h ~off:0 (pattern file_bytes);
+      let write_ms = Sim.now sim -. t0 in
+      (* Read cost: read-one, so flat across replica counts (cold:
+         caches dropped so the disks are measured). *)
+      drop_all ();
+      let t0 = Sim.now sim in
+      ignore (Rep.pread rep h ~off:0 ~len:file_bytes);
+      let read_ms = Sim.now sim -. t0 in
+      (* Failover: kill the primary, read again. *)
+      let failover_ms =
+        if n > 1 then begin
+          Rep.set_replica_down rep 0;
+          drop_all ();
+          let t0 = Sim.now sim in
+          ignore (Rep.pread rep h ~off:0 ~len:file_bytes);
+          let ms = Sim.now sim -. t0 in
+          Rep.set_replica_up rep 0;
+          ms
+        end
+        else nan
+      in
+      (* Resync after missing a write. *)
+      let resync_ms =
+        if n > 1 then begin
+          Rep.set_replica_down rep 1;
+          Rep.pwrite rep h ~off:0 (pattern file_bytes);
+          Rep.set_replica_up rep 1;
+          let t0 = Sim.now sim in
+          Rep.resync rep h;
+          Sim.now sim -. t0
+        end
+        else nan
+      in
+      (write_ms, read_ms, failover_ms, resync_ms))
+
+let run () =
+  header "E13 — the replication service: write-all cost, read-one failover";
+  let table =
+    Text_table.create
+      ~title:(Printf.sprintf "one %d KiB file, primary-copy replication" (file_bytes / 1024))
+      ~columns:
+        [
+          "replicas";
+          "write ms (write-all)";
+          "read ms (read-one)";
+          "read after primary loss";
+          "resync a stale replica";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let w, r, f, s = measure n in
+      let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+      Text_table.add_row table
+        [ string_of_int n; cell w; cell r; cell f; cell s ])
+    [ 1; 2; 3; 5 ];
+  Text_table.print table;
+  note "Writes pay for every replica (availability is not free); reads cost";
+  note "one replica regardless, and keep costing that after the primary";
+  note "fails. Resynchronising a stale replica costs roughly one file copy."

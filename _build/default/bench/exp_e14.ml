@@ -1,0 +1,77 @@
+(* E14 — the paper's first design goal: "Performance of a distributed
+   file system should be such that users should not see differences
+   between a distributed system and a time sharing system using
+   similar resources."
+
+   The same workload runs twice on identical hardware: services
+   co-located with the client (the time-sharing machine) and services
+   behind the LAN (the distributed system), with and without the
+   client-side caching that is supposed to hide the distribution. *)
+
+open Common
+module Fa = Rhodos_agent.File_agent
+
+let n_files = 6
+let file_bytes = kib 24
+let rounds = 3
+
+let measure ~remote ~client_cache =
+  Cluster.run
+    ~config:
+      {
+        Cluster.default_config with
+        Cluster.remote;
+        with_stable = false;
+        client_cache_blocks = (if client_cache then 64 else 0);
+      }
+    (fun sim t ->
+      let ws = Cluster.add_client t ~name:"user" in
+      let descs =
+        List.init n_files (fun i ->
+            let d = Cluster.create_file ws (Printf.sprintf "/doc%d" i) in
+            Cluster.pwrite ws d ~off:0 ~data:(pattern file_bytes);
+            d)
+      in
+      Fa.flush (Cluster.file_agent ws);
+      (* An editing session: re-read files, patch small ranges. *)
+      let rng = Rng.create 9 in
+      let t0 = Sim.now sim in
+      for _ = 1 to rounds do
+        List.iter
+          (fun d ->
+            ignore (Cluster.pread ws d ~off:0 ~len:file_bytes);
+            let off = Rng.int rng (file_bytes - 200) in
+            Cluster.pwrite ws d ~off ~data:(Bytes.make 120 'e'))
+          descs
+      done;
+      Fa.flush (Cluster.file_agent ws);
+      Sim.now sim -. t0)
+
+let run () =
+  header "E14 — distribution transparency (design goal 1)";
+  let table =
+    Text_table.create
+      ~title:
+        (Printf.sprintf "editing session: %d files x %d KiB, %d rounds of re-read+patch"
+           n_files (file_bytes / 1024) rounds)
+      ~columns:[ "configuration"; "session ms"; "overhead vs time-sharing" ]
+  in
+  let local = measure ~remote:false ~client_cache:true in
+  let remote_cached = measure ~remote:true ~client_cache:true in
+  let remote_uncached = measure ~remote:true ~client_cache:false in
+  let row name v =
+    Text_table.add_row table
+      [
+        name;
+        Printf.sprintf "%.1f" v;
+        Printf.sprintf "%+.0f%%" ((v -. local) /. local *. 100.);
+      ]
+  in
+  row "time-sharing (co-located services)" local;
+  row "distributed, client cache on" remote_cached;
+  row "distributed, no client cache" remote_uncached;
+  Text_table.print table;
+  note "With the agent cache, moving the services across the LAN adds only a";
+  note "modest overhead to an editing session — the paper's transparency goal.";
+  note "Strip the client cache and the same distribution costs several times";
+  note "more: the caching IS what hides the network."

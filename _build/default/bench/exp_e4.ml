@@ -1,0 +1,85 @@
+(* E4 — fragments (2 KiB) for structural information versus a
+   blocks-only layout: "for the storage of structural information of
+   fairly small size the use of fragments can substantially reduce
+   communication overheads and thereby improve performance"
+   (section 4), while blocks avoid the disproportionate I/O that
+   fragment-sized file DATA would cause. *)
+
+open Common
+
+let n_files = 200
+
+let run () =
+  header "E4 — fragments for metadata vs a blocks-only layout";
+  let frag_time, block_time, n_created, frags_used =
+    run_sim (fun sim ->
+        let fs = make_fs ~block_config:no_cache_block_config sim in
+        let bs = Fs.block_service fs 0 in
+        let free0 = Block.free_fragments bs in
+        let rng = Rng.create 42 in
+        let sizes = Workload.file_size_distribution ~rng ~n:n_files in
+        let ids = List.map (fun size ->
+            let id = Fs.create_file fs in
+            if size > 0 then Fs.pwrite fs id ~off:0 (pattern size);
+            id) sizes
+        in
+        let frags_used = free0 - Block.free_fragments bs in
+        (* Measured FIT fetch cost: a 1-fragment read vs a 4-fragment
+           (whole-block) read, over every file's real FIT location so
+           rotation/seek positions vary. *)
+        Fs.drop_caches fs;
+        let fit_frags =
+          List.map (fun id -> Fs.id_to_int id land 0xFFFFFFFF) ids
+        in
+        let time_with fragments =
+          let t0 = Sim.now sim in
+          List.iter
+            (fun frag -> ignore (Block.get_block bs ~pos:frag ~fragments))
+            fit_frags;
+          (Sim.now sim -. t0) /. float_of_int (List.length fit_frags)
+        in
+        let frag_time = time_with 1 in
+        Fs.drop_caches fs;
+        let block_time = time_with 4 in
+        (frag_time, block_time, List.length ids, frags_used))
+  in
+  (* Metadata space: every file has one FIT fragment (2 KiB); a
+     blocks-only design would burn a whole 8 KiB block per FIT. *)
+  let fit_bytes_fragments = n_created * 2048 in
+  let fit_bytes_blocks = n_created * 8192 in
+  let table =
+    Text_table.create ~title:(Printf.sprintf "%d files, early-90s size mix" n_created)
+      ~columns:[ "metric"; "fragments (RHODOS)"; "blocks-only"; "factor" ]
+  in
+  Text_table.add_row table
+    [
+      "metadata bytes for FITs";
+      Printf.sprintf "%d KiB" (fit_bytes_fragments / 1024);
+      Printf.sprintf "%d KiB" (fit_bytes_blocks / 1024);
+      "4.0x";
+    ];
+  Text_table.add_row table
+    [
+      "wasted metadata bytes";
+      "0 KiB";
+      Printf.sprintf "%d KiB" ((fit_bytes_blocks - fit_bytes_fragments) / 1024);
+      "-";
+    ];
+  Text_table.add_row table
+    [
+      "FIT fetch time (uncached)";
+      Printf.sprintf "%.2f ms" frag_time;
+      Printf.sprintf "%.2f ms" block_time;
+      Printf.sprintf "%.2fx" (block_time /. frag_time);
+    ];
+  Text_table.add_row table
+    [
+      "total fragments consumed";
+      string_of_int frags_used;
+      "(data identical; +3 frags/file)";
+      "-";
+    ];
+  Text_table.print table;
+  note "Structural information rides in 2 KiB fragments: 4x less metadata";
+  note "space and a cheaper transfer per FIT; file data stays in 8 KiB blocks";
+  note "so large transfers keep their low per-byte cost."

@@ -1,0 +1,119 @@
+(* E7 — WAL vs shadow pages vs the hybrid rule (section 6.7):
+   WAL "retains the performance gain achieved due to the contiguous
+   allocation"; shadow paging "requires lesser I/O overhead ... no
+   need to copy blocks in the commit phase" but "destroys the
+   contiguity of data blocks".
+
+   One transaction updates K blocks of a 64-block contiguous file;
+   we measure the commit-time disk writes, the bytes pushed through
+   the intentions list, the file's extent count afterwards, and a
+   sequential rescan. *)
+
+open Common
+
+let file_blocks = 64
+let updates = 8
+
+let measure technique =
+  run_sim (fun sim ->
+      let fs = make_fs ~with_stable:true ~block_config:no_cache_block_config sim in
+      let ts =
+        Txn.create
+          ~config:
+            { Txn.default_config with Txn.force_technique = technique; log_fragments = 512 }
+          ~fs ()
+      in
+      (* Base file laid down through the basic service (a transactional
+         setup would push all 512 KiB through the intentions list). *)
+      let f =
+        Fs.create_file ~service_type:Rhodos_file.Fit.Transaction
+          ~locking_level:Rhodos_file.Fit.Page_level fs
+      in
+      Fs.pwrite fs f ~off:0 (pattern (file_blocks * block_bytes));
+      assert (Fs.extent_count fs f = 1);
+      (* The measured transaction: update K spread-out blocks. *)
+      let txn = Txn.tbegin ts in
+      let rng = Rng.create 5 in
+      for _ = 1 to updates do
+        let bi = Rng.int rng file_blocks in
+        Txn.twrite ts txn f ~off:(bi * block_bytes) (Bytes.make 512 'u')
+      done;
+      reset_disk_stats fs;
+      let t0 = Sim.now sim in
+      Txn.tend ts txn;
+      let commit_ms = Sim.now sim -. t0 in
+      (* Bytes the commit pushed through the intentions list: re-read
+         the on-disk log. *)
+      let log_bytes =
+        let region, fragments = Txn.log_region ts in
+        Rhodos_txn.Txn_log.used_bytes
+          (Rhodos_txn.Txn_log.attach (Fs.block_service fs 0) ~region ~fragments)
+      in
+      let commit_writes =
+        let w = ref 0 in
+        for i = 0 to Fs.disk_count fs - 1 do
+          w := !w + (Disk.stats (Block.disk (Fs.block_service fs i))).Disk.writes
+        done;
+        !w
+      in
+      let extents = Fs.extent_count fs f in
+      let wal = Counter.get (Txn.stats ts) "wal_intentions" in
+      let shadow = Counter.get (Txn.stats ts) "shadow_intentions" in
+      (* Sequential rescan: contiguity pays here. *)
+      Fs.drop_caches fs;
+      reset_disk_stats fs;
+      let t0 = Sim.now sim in
+      ignore (Fs.pread fs f ~off:0 ~len:(file_blocks * block_bytes));
+      let rescan_ms = Sim.now sim -. t0 in
+      let rescan_refs = total_disk_refs fs in
+      (commit_writes, commit_ms, log_bytes, wal, shadow, extents, rescan_refs, rescan_ms))
+
+let run () =
+  header "E7 — commit techniques: WAL vs shadow pages vs the hybrid rule";
+  let table =
+    Text_table.create
+      ~title:
+        (Printf.sprintf
+           "one txn updating %d of %d blocks of a contiguous file (page locking)"
+           updates file_blocks)
+      ~columns:
+        [
+          "technique";
+          "commit disk writes";
+          "commit ms";
+          "log bytes";
+          "wal/shadow intents";
+          "extents after";
+          "rescan refs";
+          "rescan ms";
+        ]
+  in
+  List.iter
+    (fun (name, technique) ->
+      let writes, cms, log_bytes, wal, shadow, extents, refs, rms =
+        measure technique
+      in
+      Text_table.add_row table
+        [
+          name;
+          string_of_int writes;
+          Printf.sprintf "%.1f" cms;
+          string_of_int log_bytes;
+          Printf.sprintf "%d/%d" wal shadow;
+          string_of_int extents;
+          string_of_int refs;
+          Printf.sprintf "%.1f" rms;
+        ])
+    [
+      ("WAL (forced)", Some Txn.Wal);
+      ("shadow pages (forced)", Some Txn.Shadow_page);
+      ("hybrid (paper's rule)", None);
+    ];
+  Text_table.print table;
+  note "WAL keeps the file in one extent (fast rescans) but copies every";
+  note "updated byte through the stable intentions list ('log bytes'). Shadow";
+  note "pages log only tiny descriptor-swap records — the paper's 'lesser I/O";
+  note "overhead ... no need to copy blocks in the commit phase' — but leave";
+  note "the file shredded into extents, slowing every later sequential read";
+  note "(and our per-block FIT updates show up as extra commit writes). The";
+  note "hybrid rule follows the paper: contiguous blocks -> WAL."

@@ -1,0 +1,100 @@
+(* E8 — locking granularity (section 6.1): record locking maximises
+   concurrency at higher locking overhead; file locking is cheap to
+   manage but serialises everything; page locking sits between.
+
+   N concurrent transactions update small disjoint records of one
+   shared file under each locking level. *)
+
+open Common
+module Fit = Rhodos_file.Fit
+
+let n_workers = 8
+let updates_per_worker = 5
+let record_bytes = 64
+
+let measure level =
+  run_sim (fun sim ->
+      let fs = make_fs sim in
+      let ts =
+        Txn.create
+          ~config:
+            {
+              Txn.default_config with
+              Txn.lock_config =
+                { Lm.lt_ms = 2000.; max_renewals = 10; search_cost_ms = 0.002; cross_level = false };
+            }
+          ~fs ()
+      in
+      let setup = Txn.tbegin ts in
+      let f = Txn.tcreate ~locking_level:level ts setup in
+      Txn.twrite ts setup f ~off:0 (pattern (kib 256));
+      Txn.tend ts setup;
+      let committed = ref 0 and aborted = ref 0 and finished = ref 0 in
+      let t0 = Sim.now sim in
+      for w = 0 to n_workers - 1 do
+        ignore
+          (Sim.spawn ~name:"worker" sim (fun () ->
+               let rng = Rng.create (100 + w) in
+               for u = 1 to updates_per_worker do
+                 (try
+                    let txn = Txn.tbegin ts in
+                    (* Each worker touches its own disjoint records. *)
+                    let off = ((w * updates_per_worker) + u) * 4096 in
+                    ignore (Txn.tread ~intent:`Update ts txn f ~off ~len:record_bytes);
+                    (* Think time: this is where fine-grained locking
+                       lets transactions overlap. *)
+                    Sim.sleep sim (10. +. Rng.float rng 30.);
+                    Txn.twrite ts txn f ~off (Bytes.make record_bytes 'x');
+                    Txn.tend ts txn;
+                    incr committed
+                  with Txn.Aborted _ -> incr aborted);
+                 Sim.sleep sim (Rng.float rng 2.)
+               done;
+               incr finished))
+      done;
+      while !finished < n_workers do
+        Sim.sleep sim 50.
+      done;
+      let elapsed = Sim.now sim -. t0 in
+      let lm = Txn.lock_manager ts in
+      ( !committed,
+        !aborted,
+        elapsed,
+        Counter.get (Lm.stats lm) "acquires",
+        Counter.get (Lm.stats lm) "waits" ))
+
+let run () =
+  header "E8 — locking granularity: record vs page vs file";
+  let table =
+    Text_table.create
+      ~title:
+        (Printf.sprintf
+           "%d workers x %d disjoint %d-byte updates on one shared 256 KiB file"
+           n_workers updates_per_worker record_bytes)
+      ~columns:
+        [ "locking level"; "committed"; "aborted"; "elapsed ms"; "txn/s"; "lock acquires"; "waits" ]
+  in
+  List.iter
+    (fun (name, level) ->
+      let committed, aborted, elapsed, acquires, waits = measure level in
+      Text_table.add_row table
+        [
+          name;
+          string_of_int committed;
+          string_of_int aborted;
+          Printf.sprintf "%.0f" elapsed;
+          Printf.sprintf "%.1f" (float_of_int committed /. (elapsed /. 1000.));
+          string_of_int acquires;
+          string_of_int waits;
+        ])
+    [
+      ("record", Fit.Record_level);
+      ("page", Fit.Page_level);
+      ("file", Fit.File_level);
+    ];
+  Text_table.print table;
+  note "The updates are disjoint, so record locking admits them all in";
+  note "parallel (zero lock waits); page locking conflicts only when records";
+  note "share an 8 KiB page; file locking serialises every transaction —";
+  note "highest elapsed time but the fewest locks to manage, the trade the";
+  note "paper describes."

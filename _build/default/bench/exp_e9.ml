@@ -1,0 +1,124 @@
+(* E9 — timeout-based deadlock resolution (section 6.4): deadlocks are
+   broken within about one LT; but "the number of transactions timing
+   out will increase as the load ... increases" and "transactions
+   taking a long time will be penalized" — both reproduced.
+
+   Part A: a guaranteed two-transaction deadlock, sweeping LT.
+   Part B: an honest long-running transaction (no deadlock at all)
+   under the same sweep: small LT murders it. *)
+
+open Common
+module Fit = Rhodos_file.Fit
+
+let deadlock_case lt =
+  run_sim (fun sim ->
+      let fs = make_fs sim in
+      let ts =
+        Txn.create
+          ~config:
+            {
+              Txn.default_config with
+              Txn.lock_config = { Lm.lt_ms = lt; max_renewals = 3; search_cost_ms = 0.; cross_level = false };
+            }
+          ~fs ()
+      in
+      let setup = Txn.tbegin ts in
+      let f1 = Txn.tcreate ~locking_level:Fit.File_level ts setup in
+      let f2 = Txn.tcreate ~locking_level:Fit.File_level ts setup in
+      Txn.twrite ts setup f1 ~off:0 (Bytes.make 16 '1');
+      Txn.twrite ts setup f2 ~off:0 (Bytes.make 16 '2');
+      Txn.tend ts setup;
+      let t0 = Sim.now sim in
+      let finished = ref 0 and aborted = ref 0 in
+      let deadlocker a b =
+        ignore
+          (Sim.spawn sim (fun () ->
+               (try
+                  let txn = Txn.tbegin ts in
+                  Txn.twrite ts txn a ~off:0 (Bytes.make 16 'x');
+                  Sim.sleep sim 5.;
+                  Txn.twrite ts txn b ~off:0 (Bytes.make 16 'y');
+                  Txn.tend ts txn
+                with Txn.Aborted _ -> incr aborted);
+               incr finished))
+      in
+      deadlocker f1 f2;
+      deadlocker f2 f1;
+      while !finished < 2 do
+        Sim.sleep sim 10.
+      done;
+      (Sim.now sim -. t0, !aborted))
+
+let long_txn_case lt =
+  run_sim (fun sim ->
+      let fs = make_fs sim in
+      let ts =
+        Txn.create
+          ~config:
+            {
+              Txn.default_config with
+              Txn.lock_config = { Lm.lt_ms = lt; max_renewals = 3; search_cost_ms = 0.; cross_level = false };
+            }
+          ~fs ()
+      in
+      let setup = Txn.tbegin ts in
+      let f = Txn.tcreate ~locking_level:Fit.File_level ts setup in
+      Txn.twrite ts setup f ~off:0 (Bytes.make 64 'a');
+      Txn.tend ts setup;
+      (* One long computation-heavy transaction; an impatient reader
+         arrives midway and contests the lock. *)
+      let outcome = ref "?" in
+      let done_ = ref false in
+      ignore
+        (Sim.spawn sim (fun () ->
+             (try
+                let txn = Txn.tbegin ts in
+                ignore (Txn.tread ~intent:`Update ts txn f ~off:0 ~len:64);
+                Sim.sleep sim 400. (* honest long computation *);
+                Txn.twrite ts txn f ~off:0 (Bytes.make 64 'b');
+                Txn.tend ts txn;
+                outcome := "committed"
+              with Txn.Aborted _ -> outcome := "falsely aborted");
+             done_ := true));
+      ignore
+        (Sim.spawn sim (fun () ->
+             Sim.sleep sim 50.;
+             try
+               let txn = Txn.tbegin ts in
+               ignore (Txn.tread ts txn f ~off:0 ~len:64);
+               Txn.tend ts txn
+             with Txn.Aborted _ -> ()));
+      while not !done_ do
+        Sim.sleep sim 20.
+      done;
+      !outcome)
+
+let run () =
+  header "E9 — deadlock resolution by lock timeouts (LT sweep)";
+  let table =
+    Text_table.create
+      ~title:"A: a real deadlock (two transactions, opposite lock order)"
+      ~columns:[ "LT (ms)"; "resolved in (ms)"; "aborted txns" ]
+  in
+  List.iter
+    (fun lt ->
+      let elapsed, aborted = deadlock_case lt in
+      Text_table.add_row table
+        [ Printf.sprintf "%.0f" lt; Printf.sprintf "%.0f" elapsed; string_of_int aborted ])
+    [ 20.; 50.; 200.; 1000. ];
+  Text_table.print table;
+
+  let table2 =
+    Text_table.create
+      ~title:"B: an honest 400 ms transaction contested by a reader"
+      ~columns:[ "LT (ms)"; "outcome" ]
+  in
+  List.iter
+    (fun lt -> Text_table.add_row table2 [ Printf.sprintf "%.0f" lt; long_txn_case lt ])
+    [ 20.; 50.; 200.; 1000. ];
+  Text_table.print table2;
+  note "A: the deadlock always resolves within about one LT of forming;";
+  note "symmetric timeouts abort both victims. B: the same small LT falsely";
+  note "aborts a merely-slow transaction the moment someone contests its";
+  note "lock — the paper's admitted weakness, and why 'computing a value for";
+  note "the timeout period is not a simple matter'."

@@ -1,0 +1,51 @@
+(* The evaluation harness: regenerates the paper's table and figure
+   (E0, E1) and one experiment per quantitative claim (E2..E12), plus
+   bechamel microbenchmarks of the hot data structures.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only E5    # one experiment
+     dune exec bench/main.exe -- --only micro # microbenchmarks only
+     dune exec bench/main.exe -- --list       # list experiments *)
+
+let experiments =
+  [
+    ("E0", "Fig. 1 — architecture walk", Exp_e0.run);
+    ("E1", "Table 1 — lock compatibility", Exp_e1.run);
+    ("E2", "two disk references for files up to 0.5 MB", Exp_e2.run);
+    ("E3", "the FIT contiguity count field", Exp_e3.run);
+    ("E4", "fragments for metadata vs blocks-only", Exp_e4.run);
+    ("E5", "64x64 extent array vs bitmap scan", Exp_e5.run);
+    ("E6", "client caching vs the Bullet baseline", Exp_e6.run);
+    ("E7", "WAL vs shadow pages vs hybrid commit", Exp_e7.run);
+    ("E8", "locking granularity: record/page/file", Exp_e8.run);
+    ("E9", "deadlock timeouts (LT sweep)", Exp_e9.run);
+    ("E10", "file partitioning across disks", Exp_e10.run);
+    ("E11", "reliability: crash, decay, duplication", Exp_e11.run);
+    ("E12", "delayed-write vs write-through", Exp_e12.run);
+    ("E13", "the replication service", Exp_e13.run);
+    ("E14", "distribution transparency (goal 1)", Exp_e14.run);
+    ("A1", "ablation: disk scheduling FCFS/SSTF/SCAN", Exp_a1.run);
+    ("A2", "ablation: client cache size sweep", Exp_a2.run);
+    ("micro", "bechamel microbenchmarks", Micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (id, what, _) -> Printf.printf "%-6s %s\n" id what) experiments
+  | [ "--only"; id ] -> (
+    match List.find_opt (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id) experiments with
+    | Some (_, _, run) -> run ()
+    | None ->
+      Printf.eprintf "unknown experiment %S (try --list)\n" id;
+      exit 1)
+  | [] ->
+    Printf.printf
+      "RHODOS distributed file facility — evaluation harness\n\
+       (Panadiwal & Goscinski, ICDCS 1994; see EXPERIMENTS.md)\n";
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | _ ->
+    Printf.eprintf "usage: main.exe [--list | --only <id>]\n";
+    exit 1

@@ -1,0 +1,255 @@
+(* rhodos_cli — drive a simulated RHODOS cluster from a command script.
+
+   A tiny line-oriented language exercises the whole public API, so
+   the facility can be explored without writing OCaml:
+
+     dune exec bin/rhodos_cli.exe -- run --eval "
+       mkdir /data
+       create /data/greeting hello-world
+       read /data/greeting
+       stat /data/greeting
+       txn-update /data/greeting atomic-new-value
+       crash-server
+       recover-server
+       read /data/greeting"
+
+   or from a file: dune exec bin/rhodos_cli.exe -- run --script ops.rsh
+   Commands:
+     mkdir <path>                   create a directory (and parents)
+     create <path> [content]       create a file, optionally with content
+     write <path> <content>        overwrite a file's content
+     append <path> <content>       append
+     read <path>                   print content
+     stat <path>                   print size/extents/attributes
+     ls <path>                     list a directory
+     delete <path>                 delete a file
+     txn-update <path> <content>   overwrite atomically in a transaction
+     txn-abort-demo <path> <junk>  start an update then abort it
+     loss <rate> | dup <rate>      message loss / duplication rates
+     crash-client                  crash the client workstation
+     crash-server                  crash the server node
+     recover-server                re-attach disks, replay intentions
+     time                          print the simulated clock
+     stats                         disk/cache counters so far *)
+
+module Cluster = Rhodos.Cluster
+module Sim = Rhodos_sim.Sim
+module Disk = Rhodos_disk.Disk
+module Block = Rhodos_block.Block_service
+module Fs = Rhodos_file.File_service
+module Fit = Rhodos_file.Fit
+module Ta = Rhodos_agent.Transaction_agent
+module Fa = Rhodos_agent.File_agent
+module Ns = Rhodos_naming.Name_service
+module Txn = Rhodos_txn.Txn_service
+
+let split_words line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+
+let read_whole c path =
+  let d = Cluster.open_file c path in
+  let size = Fa.size (Cluster.file_agent c) d in
+  let data = Cluster.pread c d ~off:0 ~len:size in
+  Cluster.close c d;
+  data
+
+let write_whole c path data =
+  let d =
+    try Cluster.open_file c path
+    with Ns.Name_not_found _ | Ns.Unresolvable _ -> Cluster.create_file c path
+  in
+  Cluster.pwrite c d ~off:0 ~data;
+  Fa.flush (Cluster.file_agent c);
+  Cluster.close c d
+
+let execute sim t c line =
+  let fail fmt = Printf.ksprintf (fun s -> Printf.printf "error: %s\n" s) fmt in
+  match split_words line with
+  | [] -> ()
+  | cmd :: _ when cmd.[0] = '#' -> ()
+  | [ "mkdir"; path ] ->
+    Cluster.mkdir c path;
+    Printf.printf "mkdir %s\n" path
+  | "create" :: path :: rest ->
+    let d = Cluster.create_file c path in
+    (match rest with
+    | [] -> ()
+    | content ->
+      Cluster.write c d (Bytes.of_string (String.concat " " content)));
+    Fa.flush (Cluster.file_agent c);
+    Cluster.close c d;
+    Printf.printf "created %s\n" path
+  | "write" :: path :: content ->
+    write_whole c path (Bytes.of_string (String.concat " " content));
+    Printf.printf "wrote %s\n" path
+  | "append" :: path :: content ->
+    let d = Cluster.open_file c path in
+    ignore (Cluster.lseek c d (`End 0));
+    Cluster.write c d (Bytes.of_string (String.concat " " content));
+    Fa.flush (Cluster.file_agent c);
+    Cluster.close c d;
+    Printf.printf "appended to %s\n" path
+  | [ "read"; path ] ->
+    Printf.printf "%s: %S\n" path (Bytes.to_string (read_whole c path))
+  | [ "stat"; path ] ->
+    let d = Cluster.open_file c path in
+    let a = Fa.get_attribute (Cluster.file_agent c) d in
+    Cluster.close c d;
+    Printf.printf
+      "%s: size=%d refcount=%d runs=%d service=%s locking=%s created=%.1fms\n" path
+      a.Fit.size a.Fit.ref_count (Fit.run_count a)
+      (match a.Fit.service_type with Fit.Basic -> "basic" | Fit.Transaction -> "transaction")
+      (match a.Fit.locking_level with
+      | Fit.Record_level -> "record"
+      | Fit.Page_level -> "page"
+      | Fit.File_level -> "file")
+      a.Fit.created_at
+  | [ "ls"; path ] ->
+    Ns.list_dir (Cluster.naming t) path
+    |> List.iter (fun (name, kind) ->
+           Printf.printf "  %s%s\n" name
+             (match kind with Ns.Directory -> "/" | Ns.File -> "" | Ns.Device -> "@"))
+  | [ "delete"; path ] ->
+    Cluster.delete c path;
+    Printf.printf "deleted %s\n" path
+  | "txn-update" :: path :: content ->
+    Cluster.with_transaction c (fun ta td ->
+        let fd = Ta.topen ta td ~path in
+        Ta.tpwrite ta td fd ~off:0 ~data:(Bytes.of_string (String.concat " " content)));
+    Printf.printf "transaction committed on %s\n" path
+  | "txn-abort-demo" :: path :: content -> (
+    try
+      Cluster.with_transaction c (fun ta td ->
+          let fd = Ta.topen ta td ~path in
+          Ta.tpwrite ta td fd ~off:0
+            ~data:(Bytes.of_string (String.concat " " content));
+          failwith "deliberate abort")
+    with Failure _ -> Printf.printf "transaction aborted, %s untouched\n" path)
+  | [ "loss"; rate ] ->
+    Cluster.set_message_loss t (float_of_string rate);
+    Printf.printf "message loss rate = %s\n" rate
+  | [ "dup"; rate ] ->
+    Cluster.set_message_duplication t (float_of_string rate);
+    Printf.printf "message duplication rate = %s\n" rate
+  | [ "crash-client" ] ->
+    let lost = Cluster.crash_client t c in
+    Printf.printf "client crashed; %d dirty cached blocks lost\n" lost
+  | [ "crash-server" ] ->
+    let lost = Cluster.crash_server t in
+    Printf.printf "server crashed; %d dirty cached blocks lost\n" lost
+  | [ "recover-server" ] ->
+    let report = Cluster.recover_server t in
+    Printf.printf "server recovered; %d txns redone, %d discarded\n"
+      (List.length report.Txn.redone_transactions)
+      (List.length report.Txn.discarded_transactions)
+  | [ "time" ] -> Printf.printf "simulated time: %.2f ms\n" (Sim.now sim)
+  | [ "stats" ] ->
+    Array.iteri
+      (fun i disk ->
+        Format.printf "  disk %d: %a@." i Disk.pp_stats (Disk.stats disk))
+      (Cluster.disks t);
+    let fa = Cluster.file_agent c in
+    Printf.printf "  agent cache: %s\n"
+      (Rhodos_util.Stats.Counter.to_list (Fa.cache_stats fa)
+      |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+      |> String.concat " ")
+  | cmd :: _ -> fail "unknown command %S (see --help)" cmd
+
+let run_session ~ndisks ~remote ~latency ~seed ~commands =
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.ndisks;
+      remote;
+      net_latency_ms = latency;
+      seed;
+    }
+  in
+  Cluster.run ~config (fun sim t ->
+      let c = Cluster.add_client t ~name:"cli" in
+      List.iter
+        (fun line ->
+          try execute sim t c line with
+          | Fs.File_not_found _ -> Printf.printf "error: no such file\n"
+          | Ns.Name_not_found p -> Printf.printf "error: no such name %s\n" p
+          | Ns.Already_bound p -> Printf.printf "error: already exists %s\n" p
+          | Txn.Aborted { reason; _ } -> Printf.printf "error: aborted (%s)\n" reason
+          | Failure m -> Printf.printf "error: %s\n" m)
+        commands;
+      Printf.printf "done (simulated %.2f ms)\n" (Sim.now sim))
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let ndisks =
+  Arg.(value & opt int 1 & info [ "ndisks" ] ~docv:"N" ~doc:"Number of data disks.")
+
+let remote =
+  Arg.(
+    value & opt bool true
+    & info [ "remote" ] ~docv:"BOOL"
+        ~doc:"Put the services behind the simulated network (true) or co-locate (false).")
+
+let latency =
+  Arg.(
+    value & opt float 0.5
+    & info [ "latency" ] ~docv:"MS" ~doc:"One-way LAN latency in milliseconds.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let script =
+  Arg.(
+    value & opt (some file) None
+    & info [ "script" ] ~docv:"FILE" ~doc:"Command script, one command per line.")
+
+let eval_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "e"; "eval" ] ~docv:"COMMANDS" ~doc:"Inline commands, newline separated.")
+
+let run_cmd =
+  let doc = "run a command script against a fresh simulated cluster" in
+  let action ndisks remote latency seed script eval =
+    Rhodos_util.Logging.setup_from_env ();
+    let commands =
+      match (script, eval) with
+      | Some file, _ ->
+        let ic = open_in file in
+        let rec lines acc =
+          match input_line ic with
+          | line -> lines (line :: acc)
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        in
+        lines []
+      | None, Some text -> String.split_on_char '\n' text
+      | None, None ->
+        Printf.eprintf "nothing to do: pass --script FILE or --eval COMMANDS\n";
+        exit 2
+    in
+    run_session ~ndisks ~remote ~latency ~seed ~commands
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const action $ ndisks $ remote $ latency $ seed $ script $ eval_arg)
+
+let info_cmd =
+  let doc = "print the simulated hardware configuration" in
+  let action () =
+    let g = Disk.default_geometry in
+    Printf.printf "disk geometry: %d cylinders x %d heads x %d sectors x %d B\n"
+      g.Disk.cylinders g.Disk.heads g.Disk.sectors_per_track g.Disk.sector_bytes;
+    Printf.printf "  rpm=%.0f seek=%.1f+%.3f*d ms, track switch %.1f ms\n" g.Disk.rpm
+      g.Disk.seek_start_ms g.Disk.seek_per_cyl_ms g.Disk.track_switch_ms;
+    Printf.printf "fragment %d B, block %d B (%d fragments)\n" Block.fragment_bytes
+      Block.block_bytes Block.fragments_per_block
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "drive a simulated RHODOS distributed file facility" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "rhodos_cli" ~doc) [ run_cmd; info_cmd ]))

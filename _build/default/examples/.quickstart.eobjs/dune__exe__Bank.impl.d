@@ -1,0 +1,1 @@
+examples/bank.ml: Bytes Printf Rhodos Rhodos_agent Rhodos_file Rhodos_sim Rhodos_txn Rhodos_util String

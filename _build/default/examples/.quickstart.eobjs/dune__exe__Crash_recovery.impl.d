@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Bytes List Printf Rhodos Rhodos_agent Rhodos_disk Rhodos_sim Rhodos_txn

@@ -1,0 +1,1 @@
+examples/replicated_store.ml: Array Bytes Hashtbl Option Printf Rhodos_block Rhodos_disk Rhodos_file Rhodos_replication Rhodos_sim Rhodos_util String

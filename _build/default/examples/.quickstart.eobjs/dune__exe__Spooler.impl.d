@@ -1,0 +1,1 @@
+examples/spooler.ml: Bytes Printf Rhodos Rhodos_agent Rhodos_sim

@@ -1,0 +1,1 @@
+examples/striped_io.ml: Array Bytes List Printf Rhodos Rhodos_agent Rhodos_block Rhodos_disk Rhodos_file Rhodos_sim Rhodos_util String

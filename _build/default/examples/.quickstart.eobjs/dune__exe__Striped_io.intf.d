@@ -1,0 +1,1 @@
+examples/striped_io.mli:

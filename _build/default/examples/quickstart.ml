@@ -1,0 +1,51 @@
+(* Quickstart: bring up a RHODOS cluster, use the basic file service
+   through a client's file agent, then run a transaction.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Cluster = Rhodos.Cluster
+module Sim = Rhodos_sim.Sim
+module Ta = Rhodos_agent.Transaction_agent
+
+let () =
+  Cluster.run (fun sim t ->
+      Printf.printf "RHODOS distributed file facility — quickstart\n\n%!";
+
+      (* A client workstation joins the cluster. *)
+      let ws = Cluster.add_client t ~name:"workstation-1" in
+
+      (* Basic file service: directories live in the naming service,
+         files are flat objects behind attributed names. *)
+      Cluster.mkdir ws "/home";
+      Cluster.mkdir ws "/home/raj";
+      let d = Cluster.create_file ws "/home/raj/hello.txt" in
+      Cluster.write ws d (Bytes.of_string "Hello from RHODOS!\n");
+      ignore (Cluster.lseek ws d (`Set 0));
+      let content = Cluster.read ws d 100 in
+      Printf.printf "read back %d bytes: %s" (Bytes.length content)
+        (Bytes.to_string content);
+      Cluster.close ws d;
+
+      (* Transaction service: the transaction agent appears on first
+         use and the operations are all-or-nothing. *)
+      let balance_file = "/home/raj/balance" in
+      Cluster.with_transaction ws (fun ta td ->
+          let fd = Ta.tcreate ta td ~path:balance_file in
+          Ta.twrite ta td fd (Bytes.of_string "100"));
+      Printf.printf "\ncommitted initial balance; agent running: %b\n"
+        (Ta.is_running (Cluster.transaction_agent ws));
+
+      (* An aborted transaction leaves no trace. *)
+      (try
+         Cluster.with_transaction ws (fun ta td ->
+             let fd = Ta.topen ta td ~path:balance_file in
+             Ta.tpwrite ta td fd ~off:0 ~data:(Bytes.of_string "999");
+             failwith "changed my mind")
+       with Failure _ -> ());
+
+      let d = Cluster.open_file ws balance_file in
+      Printf.printf "balance after aborted update: %s\n"
+        (Bytes.to_string (Cluster.read ws d 10));
+      Cluster.close ws d;
+
+      Printf.printf "\nsimulated time elapsed: %.2f ms\n" (Sim.now sim))

@@ -1,0 +1,65 @@
+(* A print spooler built on the client-machine machinery of section 3:
+   device agents (TTY objects, descriptors < 100 000), file agents
+   (descriptors > 100 000), standard-stream redirection, and
+   mediumweight processes created with process-twin.
+
+   An editor process writes a document to its redirected stdout (a
+   spool file); a twin of the spooler daemon picks the file up and
+   copies it to the "printer" device.
+
+   Run with: dune exec examples/spooler.exe *)
+
+module Cluster = Rhodos.Cluster
+module Sim = Rhodos_sim.Sim
+module Env = Rhodos_agent.Process_env
+module Da = Rhodos_agent.Device_agent
+module Fa = Rhodos_agent.File_agent
+
+let () =
+  Cluster.run (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let env = Cluster.env ws in
+      let devices = Cluster.device_agent ws in
+      Cluster.mkdir ws "/spool";
+
+      (* The printer is a device with an attributed name handled by
+         the device agent. *)
+      Da.register_device devices "printer";
+
+      (* The "editor": its stdout is redirected to a spool file — the
+         env's stdout variable becomes the reserved descriptor
+         100001. *)
+      Env.redirect_stdout env ~path:"/spool/job-1";
+      Printf.printf "editor stdout redirected to descriptor %d\n"
+        (Env.stdout env);
+      Env.print env "REPORT\n";
+      Env.print env "Quarterly disk-service performance: excellent.\n";
+      Fa.flush (Cluster.file_agent ws);
+
+      (* The spooler daemon is a mediumweight twin: it inherits the
+         device and file descriptors of its parent. *)
+      let daemon_env = Env.twin env in
+      let finished = ref false in
+      ignore
+        (Sim.spawn ~name:"spool-daemon" sim (fun () ->
+             let printer = Da.open_device devices "printer" in
+             let d = Cluster.open_file ws "/spool/job-1" in
+             let rec pump () =
+               let chunk = Cluster.read ws d 64 in
+               if Bytes.length chunk > 0 then begin
+                 Da.write devices printer chunk;
+                 Sim.sleep sim 5. (* the printer is slow *);
+                 pump ()
+               end
+             in
+             pump ();
+             Cluster.close ws d;
+             ignore daemon_env;
+             finished := true));
+
+      while not !finished do
+        Sim.sleep sim 10.
+      done;
+      Printf.printf "\nprinter output:\n%s"
+        (Bytes.to_string (Da.output_of devices "printer"));
+      Printf.printf "\nsimulated time: %.1f ms\n" (Sim.now sim))

@@ -1,0 +1,1 @@
+lib/agent/device_agent.ml: Buffer Bytes Hashtbl List Rhodos_sim

@@ -1,0 +1,1 @@
+lib/agent/device_agent.mli: Rhodos_sim

@@ -1,0 +1,1 @@
+lib/agent/file_agent.ml: Bytes Hashtbl Rhodos_cache Rhodos_file Rhodos_naming Rhodos_sim Rhodos_util Service_conn

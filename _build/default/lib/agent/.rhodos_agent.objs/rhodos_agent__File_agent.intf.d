@@ -1,0 +1,1 @@
+lib/agent/file_agent.mli: Rhodos_file Rhodos_sim Rhodos_util Service_conn

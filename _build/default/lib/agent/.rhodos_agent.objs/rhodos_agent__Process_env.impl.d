@@ -1,0 +1,1 @@
+lib/agent/process_env.ml: Bytes Device_agent File_agent List Transaction_agent

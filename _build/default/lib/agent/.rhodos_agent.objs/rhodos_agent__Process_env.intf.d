@@ -1,0 +1,1 @@
+lib/agent/process_env.mli: Device_agent File_agent Transaction_agent

@@ -1,0 +1,1 @@
+lib/agent/service_conn.ml: Rhodos_file Rhodos_naming

@@ -1,0 +1,1 @@
+lib/agent/service_conn.mli: Rhodos_file Rhodos_naming

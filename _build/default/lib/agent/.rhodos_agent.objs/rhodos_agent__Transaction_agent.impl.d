@@ -1,0 +1,1 @@
+lib/agent/transaction_agent.ml: Bytes Fun Hashtbl List Rhodos_file Rhodos_naming Rhodos_sim Service_conn

@@ -1,0 +1,1 @@
+lib/agent/transaction_agent.mli: Rhodos_file Rhodos_sim Service_conn

@@ -1,0 +1,100 @@
+module Sim = Rhodos_sim.Sim
+
+type desc = int
+
+exception Bad_descriptor of int
+exception No_such_device of string
+
+type device = {
+  name : string;
+  input : Buffer.t;
+  output : Buffer.t;
+  data_ready : Sim.Condition.cond;
+}
+
+type t = {
+  sim : Sim.t;
+  devices : (string, device) Hashtbl.t;
+  descs : (desc, device) Hashtbl.t;
+  mutable next_desc : desc;
+}
+
+let is_device_descriptor d = d < 100_000
+
+let register_device t name =
+  if not (Hashtbl.mem t.devices name) then
+    Hashtbl.replace t.devices name
+      {
+        name;
+        input = Buffer.create 64;
+        output = Buffer.create 64;
+        data_ready = Sim.Condition.create t.sim;
+      }
+
+let device t name =
+  match Hashtbl.find_opt t.devices name with
+  | Some d -> d
+  | None -> raise (No_such_device name)
+
+let open_device t name =
+  let dev = device t name in
+  let d = t.next_desc in
+  if d >= 100_000 then failwith "device descriptor space exhausted";
+  t.next_desc <- d + 1;
+  Hashtbl.replace t.descs d dev;
+  d
+
+let create sim =
+  let t = { sim; devices = Hashtbl.create 8; descs = Hashtbl.create 8; next_desc = 0 } in
+  (* The three console devices behind the default stdin/stdout/stderr
+     descriptors 0, 1, 2. *)
+  List.iter (register_device t) [ "console-in"; "console-out"; "console-err" ];
+  ignore (open_device t "console-in");
+  ignore (open_device t "console-out");
+  ignore (open_device t "console-err");
+  t
+
+let lookup t d =
+  match Hashtbl.find_opt t.descs d with
+  | Some dev -> dev
+  | None -> raise (Bad_descriptor d)
+
+let close t d =
+  if not (Hashtbl.mem t.descs d) then raise (Bad_descriptor d);
+  Hashtbl.remove t.descs d
+
+let device_name t d = (lookup t d).name
+
+let write t d data =
+  let dev = lookup t d in
+  Buffer.add_bytes dev.output data
+
+let take_input dev n =
+  let available = Buffer.length dev.input in
+  let take = min n available in
+  let contents = Buffer.to_bytes dev.input in
+  let out = Bytes.sub contents 0 take in
+  Buffer.clear dev.input;
+  Buffer.add_subbytes dev.input contents take (available - take);
+  out
+
+let read t d n =
+  let dev = lookup t d in
+  if n <= 0 then Bytes.empty else take_input dev n
+
+let read_blocking t d n =
+  let dev = lookup t d in
+  if n <= 0 then Bytes.empty
+  else begin
+    while Buffer.length dev.input = 0 do
+      Sim.Condition.wait dev.data_ready
+    done;
+    take_input dev n
+  end
+
+let feed_input t name data =
+  let dev = device t name in
+  Buffer.add_bytes dev.input data;
+  Sim.Condition.broadcast dev.data_ready
+
+let output_of t name = Buffer.to_bytes (device t name).output

@@ -1,0 +1,55 @@
+(** The RHODOS device agent (paper section 3).
+
+    One per machine, it "facilitates I/O on devices such as
+    communication ports, keyboards, and monitors". Devices are TTY
+    objects with attributed names; the agent refers to them by system
+    name and returns object descriptors that are always {e less} than
+    100 000, so descriptor values alone distinguish devices from
+    files.
+
+    Devices are simulated byte streams: reads consume from an input
+    queue (fed by tests or by other processes), writes append to an
+    output buffer. Descriptors 0, 1, 2 are pre-opened on the console
+    devices, matching the default stdin/stdout/stderr environment
+    variables of a new process. *)
+
+type t
+
+type desc = int
+
+exception Bad_descriptor of int
+exception No_such_device of string
+
+val create : Rhodos_sim.Sim.t -> t
+(** Registers the console devices ["console-in"], ["console-out"],
+    ["console-err"] and pre-opens descriptors 0, 1, 2 on them. *)
+
+val register_device : t -> string -> unit
+(** Add a device (e.g. ["com1"], ["printer"]). *)
+
+val open_device : t -> string -> desc
+(** @raise No_such_device. The descriptor is < 100 000. *)
+
+val close : t -> desc -> unit
+
+val is_device_descriptor : desc -> bool
+(** [d < 100_000]. *)
+
+val write : t -> desc -> bytes -> unit
+(** Append to the device's output. *)
+
+val read : t -> desc -> int -> bytes
+(** Consume up to [n] bytes from the device's pending input;
+    returns what is available without blocking (empty if none). *)
+
+val read_blocking : t -> desc -> int -> bytes
+(** Block (in simulated time) until at least one byte is available. *)
+
+val feed_input : t -> string -> bytes -> unit
+(** Test/driver hook: append bytes to the device's input queue,
+    waking blocked readers. *)
+
+val output_of : t -> string -> bytes
+(** Everything written to the device so far. *)
+
+val device_name : t -> desc -> string

@@ -1,0 +1,318 @@
+module Sim = Rhodos_sim.Sim
+module Cache = Rhodos_cache.Buffer_cache
+module Fit = Rhodos_file.Fit
+module Counter = Rhodos_util.Stats.Counter
+
+let block_size = 8192
+
+type desc = int
+
+exception Bad_descriptor of int
+
+type config = {
+  cache_blocks : int;
+  flush_interval_ms : float;
+  name_cache_entries : int;
+}
+
+let default_config =
+  { cache_blocks = 64; flush_interval_ms = 1000.; name_cache_entries = 32 }
+
+type open_state = { file : int; mutable pos : int }
+
+type t = {
+  sim : Sim.t;
+  conn : Service_conn.fs_conn;
+  config : config;
+  descs : (desc, open_state) Hashtbl.t;
+  sizes : (int, int ref) Hashtbl.t; (* file -> cached size *)
+  cache : (int * int) Cache.t;      (* (file, block index) -> 8 KiB *)
+  name_cache : (string, int) Hashtbl.t;
+  mutable next_desc : desc;
+  counters : Counter.t;
+  name_counters : Counter.t;
+}
+
+(* Reserved redirection descriptors (paper section 3). *)
+let stdout_redirect = 100_001
+let stdin_redirect = 100_002
+let stderr_redirect = 100_003
+let first_dynamic_desc = 100_004
+
+let is_file_descriptor d = d > 100_000
+
+let size_ref t file =
+  match Hashtbl.find_opt t.sizes file with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.sizes file r;
+    r
+
+let create ?(config = default_config) ~sim ~(conn : Service_conn.fs_conn) () =
+  let sizes = Hashtbl.create 16 in
+  let counters = Counter.create () in
+  (* Write back one dirty block: trim to the file's logical size so a
+     partial tail block does not extend the file with padding. *)
+  let writeback (file, bi) data =
+    let size = match Hashtbl.find_opt sizes file with Some r -> !r | None -> 0 in
+    let len = min block_size (size - (bi * block_size)) in
+    if len > 0 then begin
+      Counter.incr counters "remote_writes";
+      conn.Service_conn.pwrite file ~off:(bi * block_size)
+        ~data:(if len = block_size then data else Bytes.sub data 0 len)
+    end
+  in
+  {
+    sim;
+    conn;
+    config;
+    descs = Hashtbl.create 16;
+    sizes;
+    cache =
+      Cache.create ~name:"file-agent-cache" ~sim
+        ~capacity:(max 1 config.cache_blocks)
+        ~policy:
+          (if config.cache_blocks = 0 then Cache.Write_through
+           else Cache.Delayed_write { flush_interval_ms = config.flush_interval_ms })
+        ~writeback ();
+    name_cache = Hashtbl.create 16;
+    next_desc = first_dynamic_desc;
+    counters;
+    name_counters = Counter.create ();
+  }
+
+let stats t = t.counters
+let cache_stats t = Cache.stats t.cache
+let name_cache_stats t = t.name_counters
+let open_count t = Hashtbl.length t.descs
+
+let state t d =
+  match Hashtbl.find_opt t.descs d with
+  | Some s -> s
+  | None -> raise (Bad_descriptor d)
+
+let descriptor_file t d = (state t d).file
+
+let resolve_path t path =
+  match Hashtbl.find_opt t.name_cache path with
+  | Some id ->
+    Counter.incr t.name_counters "hits";
+    id
+  | None ->
+    Counter.incr t.name_counters "misses";
+    let id = t.conn.Service_conn.resolve [ ("type", "FILE"); ("path", path) ] in
+    if Hashtbl.length t.name_cache >= t.config.name_cache_entries then
+      Hashtbl.reset t.name_cache;
+    Hashtbl.replace t.name_cache path id;
+    id
+
+let install t ~desc file attrs =
+  (size_ref t file) := attrs.Fit.size;
+  Hashtbl.replace t.descs desc { file; pos = 0 }
+
+let fresh_desc t =
+  let d = t.next_desc in
+  t.next_desc <- d + 1;
+  d
+
+let open_file t ~path =
+  let file = resolve_path t path in
+  let attrs = t.conn.Service_conn.open_file file in
+  let d = fresh_desc t in
+  install t ~desc:d file attrs;
+  d
+
+let create_file t ~path =
+  let file = t.conn.Service_conn.create_file () in
+  t.conn.Service_conn.bind ~path ~file_id:file;
+  let attrs = t.conn.Service_conn.open_file file in
+  let d = fresh_desc t in
+  install t ~desc:d file attrs;
+  d
+
+let open_redirect t ~path ~slot =
+  let d =
+    match slot with
+    | `Stdout -> stdout_redirect
+    | `Stdin -> stdin_redirect
+    | `Stderr -> stderr_redirect
+  in
+  let file =
+    match resolve_path t path with
+    | id -> id
+    | exception
+        Rhodos_naming.Name_service.(Name_not_found _ | Unresolvable _) ->
+      let id = t.conn.Service_conn.create_file () in
+      t.conn.Service_conn.bind ~path ~file_id:id;
+      id
+  in
+  let attrs = t.conn.Service_conn.open_file file in
+  (match Hashtbl.find_opt t.descs d with
+  | Some old -> t.conn.Service_conn.close_file old.file
+  | None -> ());
+  install t ~desc:d file attrs;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Cached data path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fetch block [bi] of [file] into the cache (zero-padded to a full
+   block); returns its bytes. *)
+let load_block t file bi =
+  match Cache.find t.cache (file, bi) with
+  | Some data -> data
+  | None ->
+    Counter.incr t.counters "remote_reads";
+    let fetched =
+      t.conn.Service_conn.pread file ~off:(bi * block_size) ~len:block_size
+    in
+    let block =
+      if Bytes.length fetched = block_size then fetched
+      else begin
+        let b = Bytes.make block_size '\000' in
+        Bytes.blit fetched 0 b 0 (Bytes.length fetched);
+        b
+      end
+    in
+    Cache.insert_clean t.cache (file, bi) block;
+    block
+
+let pread_file t file ~off ~len =
+  Counter.incr t.counters "reads";
+  let size = !(size_ref t file) in
+  let len = max 0 (min len (size - off)) in
+  if len = 0 then Bytes.empty
+  else if t.config.cache_blocks = 0 then begin
+    Counter.incr t.counters "remote_reads";
+    t.conn.Service_conn.pread file ~off ~len
+  end
+  else begin
+    let out = Bytes.create len in
+    let b0 = off / block_size and b1 = (off + len - 1) / block_size in
+    for bi = b0 to b1 do
+      let data = load_block t file bi in
+      let file_start = bi * block_size in
+      let s = max off file_start and e = min (off + len) (file_start + block_size) in
+      Bytes.blit data (s - file_start) out (s - off) (e - s)
+    done;
+    out
+  end
+
+let pwrite_file t file ~off ~data =
+  Counter.incr t.counters "writes";
+  let len = Bytes.length data in
+  if len > 0 then begin
+    let size = size_ref t file in
+    if t.config.cache_blocks = 0 then begin
+      Counter.incr t.counters "remote_writes";
+      t.conn.Service_conn.pwrite file ~off ~data
+    end
+    else begin
+      let b0 = off / block_size and b1 = (off + len - 1) / block_size in
+      for bi = b0 to b1 do
+        let file_start = bi * block_size in
+        let s = max off file_start and e = min (off + len) (file_start + block_size) in
+        let block =
+          if s = file_start && e = file_start + block_size then
+            Bytes.sub data (s - off) block_size
+          else begin
+            (* Partial block: start from the old content when the
+               block already has bytes inside the file. *)
+            let base =
+              if file_start < !size then Bytes.copy (load_block t file bi)
+              else Bytes.make block_size '\000'
+            in
+            Bytes.blit data (s - off) base (s - file_start) (e - s);
+            base
+          end
+        in
+        Cache.write t.cache (file, bi) block
+      done
+    end;
+    if off + len > !size then size := off + len
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read t d len =
+  let s = state t d in
+  let out = pread_file t s.file ~off:s.pos ~len in
+  s.pos <- s.pos + Bytes.length out;
+  out
+
+let write t d data =
+  let s = state t d in
+  pwrite_file t s.file ~off:s.pos ~data;
+  s.pos <- s.pos + Bytes.length data
+
+let pread t d ~off ~len = pread_file t (state t d).file ~off ~len
+
+let pwrite t d ~off ~data = pwrite_file t (state t d).file ~off ~data
+
+let size t d = !(size_ref t (state t d).file)
+
+let lseek t d whence =
+  let s = state t d in
+  let target =
+    match whence with
+    | `Set p -> p
+    | `Cur delta -> s.pos + delta
+    | `End delta -> !(size_ref t s.file) + delta
+  in
+  if target < 0 then invalid_arg "lseek: negative position";
+  s.pos <- target;
+  target
+
+let get_attribute t d =
+  let s = state t d in
+  let a = t.conn.Service_conn.get_attributes s.file in
+  (* The agent may hold newer (not yet flushed) size information. *)
+  { a with Fit.size = max a.Fit.size !(size_ref t s.file) }
+
+let flush_file t file =
+  let size = !(size_ref t file) in
+  let blocks = (size + block_size - 1) / block_size in
+  for bi = 0 to blocks - 1 do
+    Cache.flush_key t.cache (file, bi)
+  done
+
+let close t d =
+  let s = state t d in
+  flush_file t s.file;
+  t.conn.Service_conn.close_file s.file;
+  Hashtbl.remove t.descs d
+
+let delete t ~path =
+  let file = resolve_path t path in
+  let size = !(size_ref t file) in
+  for bi = 0 to ((size + block_size - 1) / block_size) - 1 do
+    Cache.invalidate t.cache (file, bi)
+  done;
+  Hashtbl.remove t.name_cache path;
+  Hashtbl.remove t.sizes file;
+  t.conn.Service_conn.delete_file file;
+  t.conn.Service_conn.unbind path
+
+let invalidate_file t ~file =
+  match Hashtbl.find_opt t.sizes file with
+  | None -> () (* nothing of this file is cached *)
+  | Some size ->
+    for bi = 0 to ((!size + block_size - 1) / block_size) - 1 do
+      Cache.invalidate t.cache (file, bi)
+    done;
+    (match t.conn.Service_conn.get_attributes file with
+    | attrs -> size := attrs.Fit.size
+    | exception _ -> Hashtbl.remove t.sizes file)
+
+let flush t = Cache.flush t.cache
+
+let crash t =
+  let lost = Cache.crash t.cache in
+  Hashtbl.reset t.descs;
+  Hashtbl.reset t.sizes;
+  Hashtbl.reset t.name_cache;
+  lost

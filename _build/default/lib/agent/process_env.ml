@@ -1,0 +1,69 @@
+exception Cannot_twin_with_transactions
+
+type t = {
+  devices : Device_agent.t;
+  files : File_agent.t;
+  transactions : Transaction_agent.t option;
+  mutable stdin : int;
+  mutable stdout : int;
+  mutable stderr : int;
+  mutable txn_descs : Transaction_agent.tdesc list;
+}
+
+let create ~devices ~files ?transactions () =
+  { devices; files; transactions; stdin = 0; stdout = 1; stderr = 2; txn_descs = [] }
+
+let stdin t = t.stdin
+let stdout t = t.stdout
+let stderr t = t.stderr
+
+let redirect_stdout t ~path =
+  t.stdout <- File_agent.open_redirect t.files ~path ~slot:`Stdout
+
+let redirect_stdin t ~path =
+  t.stdin <- File_agent.open_redirect t.files ~path ~slot:`Stdin
+
+let redirect_stderr t ~path =
+  t.stderr <- File_agent.open_redirect t.files ~path ~slot:`Stderr
+
+let read t d n =
+  if Device_agent.is_device_descriptor d then Device_agent.read t.devices d n
+  else File_agent.read t.files d n
+
+let write t d data =
+  if Device_agent.is_device_descriptor d then Device_agent.write t.devices d data
+  else File_agent.write t.files d data
+
+let print t s = write t t.stdout (Bytes.of_string s)
+
+let read_line_stdin t n = read t t.stdin n
+
+let transactions_exn t =
+  match t.transactions with
+  | Some agent -> agent
+  | None -> invalid_arg "Process_env: no transaction agent configured"
+
+let begin_transaction t =
+  let td = Transaction_agent.tbegin (transactions_exn t) in
+  t.txn_descs <- td :: t.txn_descs;
+  td
+
+let end_transaction t td how =
+  (match how with
+  | `Commit -> Transaction_agent.tend (transactions_exn t) td
+  | `Abort -> Transaction_agent.tabort (transactions_exn t) td);
+  t.txn_descs <- List.filter (fun d -> d <> td) t.txn_descs
+
+let transaction_descriptors t = t.txn_descs
+
+let twin t =
+  if t.txn_descs <> [] then raise Cannot_twin_with_transactions;
+  {
+    devices = t.devices;
+    files = t.files;
+    transactions = t.transactions;
+    stdin = t.stdin;
+    stdout = t.stdout;
+    stderr = t.stderr;
+    txn_descs = [];
+  }

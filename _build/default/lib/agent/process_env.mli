@@ -1,0 +1,68 @@
+(** Process environment and mediumweight processes (paper section 3).
+
+    Every RHODOS process is created with three global environment
+    variables — stdin = 0, stdout = 1, stderr = 2 — naming device
+    descriptors on the console. Requesting redirection rebinds them to
+    the reserved file descriptors 100001 (stdout), 100002 (stdin),
+    100003 (stderr). [read]/[write] dispatch on the descriptor value:
+    below 100 000 it is a device handled by the device agent, above it
+    a file handled by the file agent — the paper's descriptor-space
+    split is what makes redirection transparent.
+
+    A {e mediumweight process} shares text and data with its parent
+    but has its own stack: [twin] creates a child inheriting all the
+    device and file descriptors. "Inheritance of the transaction
+    descriptors of the parent process poses a serious threat to the
+    serializability property of a transaction. Therefore, processes
+    which perform I/O ... using the semantics of the basic file
+    service can only invoke the process-twin operation" — [twin]
+    refuses when the parent holds transaction descriptors. *)
+
+type t
+
+exception Cannot_twin_with_transactions
+
+val create :
+  devices:Device_agent.t ->
+  files:File_agent.t ->
+  ?transactions:Transaction_agent.t ->
+  unit ->
+  t
+(** stdin/stdout/stderr default to descriptors 0, 1, 2. *)
+
+val stdin : t -> int
+val stdout : t -> int
+val stderr : t -> int
+
+val redirect_stdout : t -> path:string -> unit
+(** stdout becomes 100001, writing to the named file. *)
+
+val redirect_stdin : t -> path:string -> unit
+(** stdin becomes 100002. *)
+
+val redirect_stderr : t -> path:string -> unit
+(** stderr becomes 100003. *)
+
+val read : t -> int -> int -> bytes
+(** Dispatch on the descriptor: device input or file read. *)
+
+val write : t -> int -> bytes -> unit
+
+val print : t -> string -> unit
+(** [write] on the current stdout. *)
+
+val read_line_stdin : t -> int -> bytes
+(** [read] on the current stdin. *)
+
+val begin_transaction : t -> Transaction_agent.tdesc
+(** Record the descriptor so that [twin] can refuse. *)
+
+val end_transaction : t -> Transaction_agent.tdesc -> [ `Commit | `Abort ] -> unit
+
+val transaction_descriptors : t -> Transaction_agent.tdesc list
+
+val twin : t -> t
+(** The mediumweight child: same agents (shared descriptor tables),
+    stdin/stdout/stderr copied.
+    @raise Cannot_twin_with_transactions if the parent has live
+    transaction descriptors. *)

@@ -1,0 +1,29 @@
+type fs_conn = {
+  resolve : Rhodos_naming.Name_service.attributed_name -> int;
+  bind : path:string -> file_id:int -> unit;
+  unbind : string -> unit;
+  mkdir : string -> unit;
+  create_file : unit -> int;
+  open_file : int -> Rhodos_file.Fit.t;
+  close_file : int -> unit;
+  delete_file : int -> unit;
+  pread : int -> off:int -> len:int -> bytes;
+  pwrite : int -> off:int -> data:bytes -> unit;
+  get_attributes : int -> Rhodos_file.Fit.t;
+  truncate : int -> size:int -> unit;
+}
+
+type txn_handle = int
+
+type txn_conn = {
+  tbegin : unit -> txn_handle;
+  tcreate : locking:Rhodos_file.Fit.locking_level -> txn_handle -> int;
+  topen : txn_handle -> int -> unit;
+  tclose : txn_handle -> int -> unit;
+  tdelete : txn_handle -> int -> unit;
+  tread : txn_handle -> int -> off:int -> len:int -> intent_update:bool -> bytes;
+  twrite : txn_handle -> int -> off:int -> data:bytes -> unit;
+  tget_attribute : txn_handle -> int -> Rhodos_file.Fit.t;
+  tend : txn_handle -> unit;
+  tabort : txn_handle -> unit;
+}

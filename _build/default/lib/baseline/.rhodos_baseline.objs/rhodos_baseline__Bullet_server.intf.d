@@ -1,0 +1,1 @@
+lib/baseline/bullet_server.mli: Rhodos_block Rhodos_net Rhodos_util

@@ -1,0 +1,1 @@
+lib/baseline/first_fit_allocator.mli:

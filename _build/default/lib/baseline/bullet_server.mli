@@ -1,0 +1,45 @@
+(** An Amoeba-Bullet-style file server — the paper's named comparator.
+
+    Section 1 singles out "the absence of caching in the client
+    machine as in the case of the 'Bullet server' of Amoeba" as a
+    bottleneck. This baseline reproduces the relevant Bullet
+    behaviour:
+
+    - files are {e immutable} and whole-file: a client reads or
+      creates entire files, never byte ranges;
+    - files are stored {e contiguously} on disk (Bullet's strength);
+    - the {e server} caches whole files in its RAM, but clients cache
+      nothing, so every read moves the whole file across the network.
+
+    Experiment E6 runs the same re-read workload against this server
+    and against RHODOS agents with client caching. *)
+
+type t
+
+type file_id = int
+
+exception No_such_file of int
+
+val create :
+  net:Rhodos_net.Net.t ->
+  node:Rhodos_net.Net.node ->
+  block:Rhodos_block.Block_service.t ->
+  ram_cache_files:int ->
+  t
+(** Serve on [node], storing files via the given (formatted) disk
+    service. *)
+
+val create_file : t -> from:Rhodos_net.Net.node -> bytes -> file_id
+(** Immutable whole-file creation (one RPC carrying all the bytes). *)
+
+val read_file : t -> from:Rhodos_net.Net.node -> file_id -> bytes
+(** Whole-file read: one RPC; the reply carries the whole file. The
+    server serves from its RAM cache or reads the file's contiguous
+    extent in one disk reference. *)
+
+val delete_file : t -> from:Rhodos_net.Net.node -> file_id -> unit
+
+val server_cache_stats : t -> Rhodos_util.Stats.Counter.t
+(** ["hits"], ["misses"]. *)
+
+val stop : t -> unit

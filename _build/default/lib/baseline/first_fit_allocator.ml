@@ -1,0 +1,40 @@
+module Bitset = Rhodos_util.Bitset
+
+exception No_space
+
+type t = { bitmap : Bitset.t; mutable examined : int }
+
+let create ~fragments = { bitmap = Bitset.create fragments; examined = 0 }
+
+(* Like [Bitset.find_clear_run] but counting every inspected bit. *)
+let allocate t ~fragments =
+  if fragments <= 0 then invalid_arg "allocate";
+  let n = Bitset.length t.bitmap in
+  let rec scan i =
+    if i + fragments > n then raise No_space
+    else begin
+      t.examined <- t.examined + 1;
+      if Bitset.get t.bitmap i then scan (i + 1)
+      else begin
+        let run = Bitset.clear_run_at t.bitmap i in
+        t.examined <- t.examined + min run fragments;
+        if run >= fragments then begin
+          Bitset.set_range t.bitmap ~pos:i ~len:fragments;
+          i
+        end
+        else scan (i + run)
+      end
+    end
+  in
+  scan 0
+
+let free t ~pos ~fragments =
+  if not (Bitset.range_all_set t.bitmap ~pos ~len:fragments) then
+    invalid_arg "double free";
+  Bitset.clear_range t.bitmap ~pos ~len:fragments
+
+let free_fragments t = Bitset.count_clear t.bitmap
+
+let bits_examined t = t.examined
+
+let reset_counters t = t.examined <- 0

@@ -1,0 +1,27 @@
+(** First-fit bitmap allocator — the baseline the 64x64 free-extent
+    array is measured against (experiment E5).
+
+    Allocation scans the bitmap linearly for the first sufficient run
+    of clear bits, which is exactly the cost the paper's extent array
+    avoids ("the objective of this array is to check quickly whether a
+    requested number of contiguous fragments or blocks are available
+    or not"). The allocator counts the bits it examines so the search
+    cost is directly comparable. *)
+
+type t
+
+exception No_space
+
+val create : fragments:int -> t
+
+val allocate : t -> fragments:int -> int
+(** @raise No_space. *)
+
+val free : t -> pos:int -> fragments:int -> unit
+
+val free_fragments : t -> int
+
+val bits_examined : t -> int
+(** Total bitmap positions inspected by all [allocate] calls. *)
+
+val reset_counters : t -> unit

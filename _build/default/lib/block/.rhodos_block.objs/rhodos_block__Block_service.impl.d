@@ -1,0 +1,1 @@
+lib/block/block_service.ml: Array Bytes Hashtbl Int64 List Logs Option Printf Rhodos_disk Rhodos_sim Rhodos_stable Rhodos_util

@@ -1,0 +1,1 @@
+lib/block/block_service.mli: Rhodos_disk Rhodos_sim Rhodos_util

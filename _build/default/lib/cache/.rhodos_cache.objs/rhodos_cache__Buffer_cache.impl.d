@@ -1,0 +1,1 @@
+lib/cache/buffer_cache.ml: Hashtbl List Rhodos_sim Rhodos_util

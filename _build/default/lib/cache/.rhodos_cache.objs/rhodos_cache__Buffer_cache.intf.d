@@ -1,0 +1,1 @@
+lib/cache/buffer_cache.mli: Rhodos_sim Rhodos_util

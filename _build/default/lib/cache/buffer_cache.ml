@@ -1,0 +1,155 @@
+module Sim = Rhodos_sim.Sim
+module Counter = Rhodos_util.Stats.Counter
+
+type policy =
+  | Write_through
+  | Delayed_write of { flush_interval_ms : float }
+
+type buffer = { mutable data : bytes; mutable dirty : bool; mutable last_use : int }
+
+type 'k t = {
+  name : string;
+  sim : Sim.t;
+  capacity : int;
+  policy : policy;
+  writeback : 'k -> bytes -> unit;
+  buffers : ('k, buffer) Hashtbl.t;
+  mutable lru_clock : int;
+  counters : Counter.t;
+  mutable flusher : Sim.pid option;
+}
+
+let rec flusher_loop t () =
+  match t.policy with
+  | Write_through -> ()
+  | Delayed_write { flush_interval_ms } ->
+    Sim.sleep t.sim flush_interval_ms;
+    flush t;
+    flusher_loop t ()
+
+and flush t =
+  (* Oldest dirty buffers first, so recency is preserved on re-dirty. *)
+  let dirty =
+    Hashtbl.fold (fun k b acc -> if b.dirty then (k, b) :: acc else acc) t.buffers []
+    |> List.sort (fun (_, a) (_, b) -> compare a.last_use b.last_use)
+  in
+  List.iter
+    (fun (k, b) ->
+      if b.dirty then begin
+        b.dirty <- false;
+        Counter.incr t.counters "writebacks";
+        t.writeback k b.data
+      end)
+    dirty
+
+let create ?(name = "cache") ~sim ~capacity ~policy ~writeback () =
+  if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity";
+  let t =
+    {
+      name;
+      sim;
+      capacity;
+      policy;
+      writeback;
+      buffers = Hashtbl.create capacity;
+      lru_clock = 0;
+      counters = Counter.create ();
+      flusher = None;
+    }
+  in
+  (match policy with
+  | Delayed_write { flush_interval_ms } when flush_interval_ms > 0. ->
+    t.flusher <- Some (Sim.spawn ~name:(name ^ "-flusher") sim (flusher_loop t))
+  | Delayed_write _ | Write_through -> ());
+  t
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.buffers
+let stats t = t.counters
+
+let touch t b =
+  t.lru_clock <- t.lru_clock + 1;
+  b.last_use <- t.lru_clock
+
+let find t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b ->
+    Counter.incr t.counters "hits";
+    touch t b;
+    Some b.data
+  | None ->
+    Counter.incr t.counters "misses";
+    None
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k b acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= b.last_use -> acc
+        | _ -> Some (k, b))
+      t.buffers None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, b) ->
+    Counter.incr t.counters "evictions";
+    if b.dirty then begin
+      Counter.incr t.counters "dirty_evictions";
+      b.dirty <- false;
+      t.writeback k b.data
+    end;
+    Hashtbl.remove t.buffers k
+
+let make_room t = while Hashtbl.length t.buffers >= t.capacity do evict_one t done
+
+let upsert t k data ~dirty =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b ->
+    b.data <- data;
+    if dirty then b.dirty <- true;
+    touch t b
+  | None ->
+    make_room t;
+    let b = { data; dirty; last_use = 0 } in
+    Hashtbl.replace t.buffers k b;
+    touch t b
+
+let insert_clean t k data = upsert t k data ~dirty:false
+
+let write t k data =
+  Counter.incr t.counters "writes";
+  match t.policy with
+  | Write_through ->
+    upsert t k data ~dirty:false;
+    Counter.incr t.counters "writebacks";
+    t.writeback k data
+  | Delayed_write _ -> upsert t k data ~dirty:true
+
+let invalidate t k = Hashtbl.remove t.buffers k
+
+let invalidate_all t = Hashtbl.reset t.buffers
+
+let flush_key t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b when b.dirty ->
+    b.dirty <- false;
+    Counter.incr t.counters "writebacks";
+    t.writeback k b.data
+  | Some _ | None -> ()
+
+let dirty_count t =
+  Hashtbl.fold (fun _ b acc -> if b.dirty then acc + 1 else acc) t.buffers 0
+
+let crash t =
+  let lost = dirty_count t in
+  Counter.add t.counters "lost_dirty" lost;
+  Hashtbl.reset t.buffers;
+  lost
+
+let stop t =
+  match t.flusher with
+  | Some pid ->
+    Sim.kill t.sim pid;
+    t.flusher <- None
+  | None -> ()

@@ -1,0 +1,82 @@
+(** The RHODOS caching module (paper section 5).
+
+    A buffer pool of fixed-size buffers with LRU replacement and a
+    configurable modification policy:
+
+    - {b write-through}: a [write] persists immediately via the
+      write-back function (the file service uses this for
+      transaction-related data);
+    - {b delayed-write}: dirty buffers are written back by a periodic
+      flusher, on eviction, or on explicit [flush] (the file agent and
+      the file service use this for basic-file data).
+
+    The paper sizes its fragment-pool and block-pool "on the basis of
+    the amount of main memory available"; here the capacity is given
+    in buffers. One cache instance is one pool, so a service holding a
+    fragment pool and a block pool owns two instances.
+
+    Keys are polymorphic (the file agent keys by (file, block index),
+    the file service by fragment address). All operations must run
+    inside a [Sim] process; [create] itself may be called anywhere. *)
+
+type policy =
+  | Write_through
+  | Delayed_write of { flush_interval_ms : float }
+      (** a background flusher writes all dirty buffers back every
+          interval; [0.] disables the periodic flusher (writeback then
+          happens only on eviction and explicit flush) *)
+
+type 'k t
+
+val create :
+  ?name:string ->
+  sim:Rhodos_sim.Sim.t ->
+  capacity:int ->
+  policy:policy ->
+  writeback:('k -> bytes -> unit) ->
+  unit ->
+  'k t
+(** [writeback] persists one dirty buffer; it runs inside a [Sim]
+    process and may block (e.g. calling the disk service).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'k t -> int
+
+val length : 'k t -> int
+
+val find : 'k t -> 'k -> bytes option
+(** Cache lookup; hits refresh LRU recency and are counted. The
+    returned bytes are the cache's own buffer — callers must not
+    mutate them. *)
+
+val insert_clean : 'k t -> 'k -> bytes -> unit
+(** Insert data freshly read from below (not dirty). May evict. *)
+
+val write : 'k t -> 'k -> bytes -> unit
+(** Insert or update a buffer with new contents. Write-through policy
+    persists it immediately; delayed-write marks it dirty. *)
+
+val invalidate : 'k t -> 'k -> unit
+(** Drop a buffer without writing it back (even if dirty). *)
+
+val invalidate_all : 'k t -> unit
+
+val flush_key : 'k t -> 'k -> unit
+(** Write back the buffer if dirty; keeps it cached. *)
+
+val flush : 'k t -> unit
+(** Write back all dirty buffers (oldest first). *)
+
+val dirty_count : 'k t -> int
+
+val crash : 'k t -> int
+(** Volatile memory is lost: drop everything without writeback and
+    return the number of dirty buffers that were lost — the
+    delayed-write data-loss window measured by experiment E12. *)
+
+val stop : 'k t -> unit
+(** Stop the periodic flusher process, if any. *)
+
+val stats : 'k t -> Rhodos_util.Stats.Counter.t
+(** Counters: ["hits"], ["misses"], ["writes"], ["writebacks"],
+    ["evictions"], ["dirty_evictions"], ["lost_dirty"]. *)

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Bytes Float Format Hashtbl List Printf Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Format Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+lib/file/file_service.ml: Array Bytes Fit Format Fun Hashtbl List Rhodos_block Rhodos_cache Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+lib/file/file_service.mli: Fit Format Rhodos_block Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+lib/file/fit.ml: Bytes Int32 Int64 List Printf

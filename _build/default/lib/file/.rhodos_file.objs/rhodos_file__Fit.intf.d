@@ -1,0 +1,1 @@
+lib/file/fit.mli:

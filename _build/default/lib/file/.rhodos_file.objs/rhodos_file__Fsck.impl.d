@@ -1,0 +1,1 @@
+lib/file/fsck.ml: Array File_service Fit Format List Rhodos_block Rhodos_util

@@ -1,0 +1,1 @@
+lib/file/fsck.mli: File_service Format

@@ -1,0 +1,214 @@
+type run = { disk : int; frag : int; blocks : int }
+
+type service_type = Basic | Transaction
+
+type locking_level = Record_level | Page_level | File_level
+
+type t = {
+  mutable size : int;
+  created_at : float;
+  mutable last_read : float;
+  mutable last_write : float;
+  mutable ref_count : int;
+  mutable service_type : service_type;
+  mutable locking_level : locking_level;
+  mutable runs : run list;
+  mutable indirect : (int * int) list;
+}
+
+let max_direct_runs = 64
+let max_indirect_blocks = 16
+let runs_per_indirect = 1024
+
+let max_runs _ = max_direct_runs + (max_indirect_blocks * runs_per_indirect)
+
+exception Corrupt of string
+
+let fresh ~now service_type locking_level =
+  {
+    size = 0;
+    created_at = now;
+    last_read = now;
+    last_write = now;
+    ref_count = 0;
+    service_type;
+    locking_level;
+    runs = [];
+    indirect = [];
+  }
+
+let total_blocks t = List.fold_left (fun acc r -> acc + r.blocks) 0 t.runs
+
+let run_count t = List.length t.runs
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | rest when n = 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let direct_runs t = take max_direct_runs t.runs
+
+let overflow_runs t =
+  let rec chunk = function
+    | [] -> []
+    | runs -> take runs_per_indirect runs :: chunk (drop runs_per_indirect runs)
+  in
+  chunk (drop max_direct_runs t.runs)
+
+let indirect_blocks_needed t =
+  let overflow = run_count t - max_direct_runs in
+  if overflow <= 0 then 0
+  else (overflow + runs_per_indirect - 1) / runs_per_indirect
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let magic = 0x54494652l (* "RFIT" *)
+let indirect_magic = 0x49444E52l (* "RNDI" *)
+
+let service_type_code = function Basic -> 0 | Transaction -> 1
+
+let service_type_of_code = function
+  | 0 -> Basic
+  | 1 -> Transaction
+  | n -> raise (Corrupt (Printf.sprintf "bad service type %d" n))
+
+let locking_level_code = function Record_level -> 0 | Page_level -> 1 | File_level -> 2
+
+let locking_level_of_code = function
+  | 0 -> Record_level
+  | 1 -> Page_level
+  | 2 -> File_level
+  | n -> raise (Corrupt (Printf.sprintf "bad locking level %d" n))
+
+(* One run descriptor is 8 bytes: disk(2) frag(4) count(2). *)
+let descriptor_bytes = 8
+
+let put_run b off r =
+  if r.blocks < 0 || r.blocks > 0xFFFF then raise (Corrupt "run too long for count field");
+  Bytes.set_uint16_le b off r.disk;
+  Bytes.set_int32_le b (off + 2) (Int32.of_int r.frag);
+  Bytes.set_uint16_le b (off + 6) r.blocks
+
+let get_run b off =
+  {
+    disk = Bytes.get_uint16_le b off;
+    frag = Int32.to_int (Bytes.get_int32_le b (off + 2));
+    blocks = Bytes.get_uint16_le b (off + 6);
+  }
+
+(* FIT fragment layout:
+   0   magic(4) version(4)
+   8   size(8) created(8) last_read(8) last_write(8)
+   40  ref_count(4) service_type(1) locking_level(1) n_direct(2)
+   48  n_indirect(2) spare(6)
+   56  64 direct descriptors (8 bytes each)          -> 568
+   568 16 indirect references (disk(2) frag(4) = 6)  -> 664
+   the rest is the paper's "space ... for storing the file-specific
+   attributes". *)
+let encode t =
+  let b = Bytes.make 2048 '\000' in
+  Bytes.set_int32_le b 0 magic;
+  Bytes.set_int32_le b 4 1l;
+  Bytes.set_int64_le b 8 (Int64.of_int t.size);
+  Bytes.set_int64_le b 16 (Int64.bits_of_float t.created_at);
+  Bytes.set_int64_le b 24 (Int64.bits_of_float t.last_read);
+  Bytes.set_int64_le b 32 (Int64.bits_of_float t.last_write);
+  Bytes.set_int32_le b 40 (Int32.of_int t.ref_count);
+  Bytes.set_uint8 b 44 (service_type_code t.service_type);
+  Bytes.set_uint8 b 45 (locking_level_code t.locking_level);
+  let direct = direct_runs t in
+  Bytes.set_uint16_le b 46 (List.length direct);
+  Bytes.set_uint16_le b 48 (List.length t.indirect);
+  List.iteri (fun i r -> put_run b (56 + (i * descriptor_bytes)) r) direct;
+  List.iteri
+    (fun i (disk, frag) ->
+      let off = 568 + (i * 6) in
+      Bytes.set_uint16_le b off disk;
+      Bytes.set_int32_le b (off + 2) (Int32.of_int frag))
+    t.indirect;
+  b
+
+let decode b =
+  if Bytes.length b < 2048 then raise (Corrupt "short FIT fragment");
+  if Bytes.get_int32_le b 0 <> magic then raise (Corrupt "bad FIT magic");
+  let n_direct = Bytes.get_uint16_le b 46 in
+  let n_indirect = Bytes.get_uint16_le b 48 in
+  if n_direct > max_direct_runs || n_indirect > max_indirect_blocks then
+    raise (Corrupt "FIT counts out of range");
+  let direct = List.init n_direct (fun i -> get_run b (56 + (i * descriptor_bytes))) in
+  let indirect =
+    List.init n_indirect (fun i ->
+        let off = 568 + (i * 6) in
+        (Bytes.get_uint16_le b off, Int32.to_int (Bytes.get_int32_le b (off + 2))))
+  in
+  {
+    size = Int64.to_int (Bytes.get_int64_le b 8);
+    created_at = Int64.float_of_bits (Bytes.get_int64_le b 16);
+    last_read = Int64.float_of_bits (Bytes.get_int64_le b 24);
+    last_write = Int64.float_of_bits (Bytes.get_int64_le b 32);
+    ref_count = Int32.to_int (Bytes.get_int32_le b 40);
+    service_type = service_type_of_code (Bytes.get_uint8 b 44);
+    locking_level = locking_level_of_code (Bytes.get_uint8 b 45);
+    runs = direct;
+    indirect;
+  }
+
+(* Indirect block layout: magic(4) count(4) then descriptors. *)
+let encode_indirect runs =
+  if List.length runs > runs_per_indirect then raise (Corrupt "too many runs for indirect block");
+  let b = Bytes.make 8192 '\000' in
+  Bytes.set_int32_le b 0 indirect_magic;
+  Bytes.set_int32_le b 4 (Int32.of_int (List.length runs));
+  List.iteri (fun i r -> put_run b (8 + (i * descriptor_bytes)) r) runs;
+  b
+
+let decode_indirect b =
+  if Bytes.length b < 8192 then raise (Corrupt "short indirect block");
+  if Bytes.get_int32_le b 0 <> indirect_magic then raise (Corrupt "bad indirect magic");
+  let n = Int32.to_int (Bytes.get_int32_le b 4) in
+  if n < 0 || n > runs_per_indirect then raise (Corrupt "indirect count out of range");
+  List.init n (fun i -> get_run b (8 + (i * descriptor_bytes)))
+
+(* ------------------------------------------------------------------ *)
+(* Run arithmetic                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fragments_per_block = 4
+
+let locate t ~block_index =
+  if block_index < 0 then invalid_arg "Fit.locate";
+  let rec walk skipped = function
+    | [] -> None
+    | r :: rest ->
+      if block_index < skipped + r.blocks then
+        let into = block_index - skipped in
+        Some
+          {
+            disk = r.disk;
+            frag = r.frag + (into * fragments_per_block);
+            blocks = r.blocks - into;
+          }
+      else walk (skipped + r.blocks) rest
+  in
+  walk 0 t.runs
+
+let append_blocks t ~disk ~frag ~blocks =
+  if blocks <= 0 then invalid_arg "Fit.append_blocks";
+  match List.rev t.runs with
+  | last :: rev_rest
+    when last.disk = disk
+         && last.frag + (last.blocks * fragments_per_block) = frag
+         && last.blocks + blocks <= 0xFFFF ->
+    t.runs <- List.rev ({ last with blocks = last.blocks + blocks } :: rev_rest)
+  | rev ->
+    if List.length rev + 1 > max_runs t then raise (Corrupt "file run table full");
+    t.runs <- List.rev ({ disk; frag; blocks } :: rev)
+
+let extent_count t = run_count t

@@ -1,0 +1,114 @@
+module Block = Rhodos_block.Block_service
+module Bitset = Rhodos_util.Bitset
+
+let fpb = Block.fragments_per_block
+
+type owner =
+  | Metadata of int
+  | Fit_of of int
+  | Indirect_of of int
+  | Data_of of int
+  | Region of string
+
+let pp_owner ppf = function
+  | Metadata disk -> Format.fprintf ppf "metadata(disk %d)" disk
+  | Fit_of id -> Format.fprintf ppf "FIT(file %d)" id
+  | Indirect_of id -> Format.fprintf ppf "indirect(file %d)" id
+  | Data_of id -> Format.fprintf ppf "data(file %d)" id
+  | Region name -> Format.fprintf ppf "region(%s)" name
+
+type report = {
+  files_checked : int;
+  fragments_allocated : int;
+  fragments_reachable : int;
+  leaked : (int * int) list;
+  phantom : (int * int * owner) list;
+  double_allocated : (int * int * owner * owner) list;
+  unreadable_fits : int list;
+}
+
+let is_clean r =
+  r.leaked = [] && r.phantom = [] && r.double_allocated = []
+  && r.unreadable_fits = []
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "files=%d allocated=%d reachable=%d leaked=%d phantom=%d double=%d unreadable=%d"
+    r.files_checked r.fragments_allocated r.fragments_reachable
+    (List.length r.leaked) (List.length r.phantom)
+    (List.length r.double_allocated) (List.length r.unreadable_fits)
+
+let check fs ~files ?(regions = []) () =
+  let ndisks = File_service.disk_count fs in
+  let bitmaps =
+    Array.init ndisks (fun i -> Block.bitmap_snapshot (File_service.block_service fs i))
+  in
+  (* Per-disk ownership map: None = unreferenced so far. *)
+  let owners =
+    Array.init ndisks (fun i -> Array.make (Bitset.length bitmaps.(i)) None)
+  in
+  let phantom = ref [] and double = ref [] in
+  let reachable = ref 0 in
+  let claim ~owner ~disk ~frag ~len =
+    for f = frag to frag + len - 1 do
+      if
+        disk >= ndisks || f < 0
+        || f >= Array.length owners.(disk)
+      then phantom := (disk, f, owner) :: !phantom
+      else begin
+        (match owners.(disk).(f) with
+        | None ->
+          owners.(disk).(f) <- Some owner;
+          incr reachable;
+          if not (Bitset.get bitmaps.(disk) f) then
+            phantom := (disk, f, owner) :: !phantom
+        | Some previous -> double := (disk, f, previous, owner) :: !double)
+      end
+    done
+  in
+  (* The metadata regions own themselves. *)
+  for disk = 0 to ndisks - 1 do
+    claim ~owner:(Metadata disk) ~disk ~frag:0
+      ~len:(Block.metadata_fragments (File_service.block_service fs disk))
+  done;
+  List.iter
+    (fun (name, disk, frag, len) -> claim ~owner:(Region name) ~disk ~frag ~len)
+    regions;
+  let unreadable = ref [] in
+  List.iter
+    (fun id ->
+      let fid = File_service.id_to_int id in
+      match File_service.get_attributes fs id with
+      | attrs ->
+        let home_disk = fid lsr 40 and fit_frag = fid land ((1 lsl 40) - 1) in
+        claim ~owner:(Fit_of fid) ~disk:home_disk ~frag:fit_frag ~len:1;
+        List.iter
+          (fun (disk, frag) ->
+            claim ~owner:(Indirect_of fid) ~disk ~frag ~len:fpb)
+          attrs.Fit.indirect;
+        List.iter
+          (fun (r : Fit.run) ->
+            claim ~owner:(Data_of fid) ~disk:r.Fit.disk ~frag:r.Fit.frag
+              ~len:(r.Fit.blocks * fpb))
+          attrs.Fit.runs
+      | exception _ -> unreadable := fid :: !unreadable)
+    files;
+  (* Anything allocated but never claimed has leaked. *)
+  let leaked = ref [] and allocated = ref 0 in
+  for disk = 0 to ndisks - 1 do
+    for f = 0 to Bitset.length bitmaps.(disk) - 1 do
+      if Bitset.get bitmaps.(disk) f then begin
+        incr allocated;
+        if owners.(disk).(f) = None then leaked := (disk, f) :: !leaked
+      end
+    done
+  done;
+  {
+    files_checked = List.length files;
+    fragments_allocated = !allocated;
+    fragments_reachable = !reachable;
+    leaked = List.rev !leaked;
+    phantom = List.rev !phantom;
+    double_allocated = List.rev !double;
+    unreadable_fits = List.rev !unreadable;
+  }

@@ -1,0 +1,1 @@
+lib/naming/name_service.ml: Hashtbl List Printf Rhodos_util String

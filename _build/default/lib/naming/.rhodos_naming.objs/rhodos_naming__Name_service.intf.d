@@ -1,0 +1,1 @@
+lib/naming/name_service.mli: Rhodos_util

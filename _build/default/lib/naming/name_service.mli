@@ -1,0 +1,122 @@
+(** The RHODOS naming / directory service (paper sections 2-3).
+
+    Processes refer to devices and files by {e attributed names}
+    (attribute/value lists such as
+    [[("type", "FILE"); ("path", "/src/main.c")]]); the file agent,
+    transaction agent and file service refer to them by {e system
+    names}. "The process of evaluation and resolution of an attributed
+    name of a device or file to its system name is performed by the
+    RHODOS naming service."
+
+    A system name identifies the managing service (so a file can live
+    on any file server in the distributed system) plus a local
+    identifier. The namespace is a conventional directory tree; the
+    basic file service itself stays flat, exactly as in the paper —
+    structure lives here, not in the file service.
+
+    This module is the service's logic; the facade exposes it over
+    RPC. Operations are cheap and synchronous (no simulated time of
+    their own). *)
+
+type t
+
+type system_name = { service : string; id : int }
+
+type kind = File | Device | Directory
+
+type attributed_name = (string * string) list
+
+exception Name_not_found of string
+exception Already_bound of string
+exception Not_a_directory of string
+exception Is_a_directory of string
+exception Directory_not_empty of string
+exception Unresolvable of string
+(** An attributed name without a usable combination of attributes, or
+    whose constraints match no entry. *)
+
+val create : unit -> t
+(** An empty namespace containing only the root directory ["/"]. *)
+
+val kind_attribute : kind -> string
+(** The value of the ["type"] attribute carried by entries of this
+    kind: ["FILE"], ["TTY"] or ["DIR"]. *)
+
+(** {1 Directory operations} *)
+
+val mkdir : t -> string -> unit
+(** Create a directory; parents must exist.
+    @raise Already_bound if the path exists. *)
+
+val mkdir_p : t -> string -> unit
+(** Create a directory and any missing parents; existing directories
+    are fine. *)
+
+val rmdir : t -> string -> unit
+(** @raise Directory_not_empty unless empty. *)
+
+val list_dir : t -> string -> (string * kind) list
+(** Entries sorted by name. *)
+
+(** {1 Binding} *)
+
+val bind :
+  t ->
+  path:string ->
+  kind:kind ->
+  ?attributes:(string * string) list ->
+  system_name ->
+  unit
+(** Bind a file or device object at [path]. The ["type"] attribute is
+    added automatically from [kind].
+    @raise Already_bound / Name_not_found / Not_a_directory. *)
+
+val unbind : t -> string -> unit
+(** Remove a file/device binding.
+    @raise Is_a_directory for directories (use [rmdir]). *)
+
+val rename : t -> old_path:string -> new_path:string -> unit
+
+val exists : t -> string -> bool
+
+(** {1 Resolution} *)
+
+val resolve_path : t -> string -> system_name
+(** @raise Name_not_found / Is_a_directory. *)
+
+val resolve : t -> attributed_name -> system_name
+(** Resolve an attributed name. A ["path"] attribute selects the
+    entry directly; otherwise all bound objects are searched for one
+    matching every given attribute.
+    @raise Unresolvable if no entry (or more than one, for
+    attribute-only names) matches. *)
+
+val find_all : t -> attributed_name -> (string * system_name) list
+(** Every bound object matching all the given attributes, as
+    (path, system name) pairs sorted by path — the multi-match form
+    of attribute-based resolution (e.g. all TTY objects, all files
+    owned by a user). *)
+
+val attributes : t -> string -> (string * string) list
+(** All attributes of the entry, sorted by key. *)
+
+val set_attribute : t -> path:string -> key:string -> value:string -> unit
+
+(** {1 Client-side name cache} *)
+
+module Cache : sig
+  type ns = t
+  type t
+
+  val create : capacity:int -> t
+
+  val resolve : t -> ns -> attributed_name -> system_name
+  (** Resolve through the cache; misses consult the service and are
+      counted (counters ["hits"]/["misses"]). *)
+
+  val invalidate : t -> attributed_name -> unit
+
+  val clear : t -> unit
+
+  val stats : t -> Rhodos_util.Stats.Counter.t
+end

@@ -1,0 +1,1 @@
+lib/net/net.ml: Hashtbl List Printf Rhodos_sim Rhodos_util

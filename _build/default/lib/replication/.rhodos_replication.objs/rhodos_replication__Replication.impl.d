@@ -1,0 +1,1 @@
+lib/replication/replication.ml: Array Bytes Fun Hashtbl Rhodos_file Rhodos_util

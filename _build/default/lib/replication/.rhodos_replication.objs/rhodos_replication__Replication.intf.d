@@ -1,0 +1,1 @@
+lib/replication/replication.mli: Rhodos_file Rhodos_util

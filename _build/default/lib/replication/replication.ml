@@ -1,0 +1,137 @@
+module Fs = Rhodos_file.File_service
+module Fit = Rhodos_file.Fit
+module Counter = Rhodos_util.Stats.Counter
+
+exception All_replicas_down
+
+type group = {
+  ids : Fs.file_id array;       (* one per replica *)
+  stale : bool array;           (* missed writes while down *)
+}
+
+type handle = int
+
+type t = {
+  replicas : Fs.t array;
+  up : bool array;
+  groups : (handle, group) Hashtbl.t;
+  mutable next_handle : int;
+  counters : Counter.t;
+}
+
+let create ~replicas =
+  if Array.length replicas = 0 then invalid_arg "Replication.create: no replicas";
+  {
+    replicas;
+    up = Array.make (Array.length replicas) true;
+    groups = Hashtbl.create 16;
+    next_handle = 0;
+    counters = Counter.create ();
+  }
+
+let replica_count t = Array.length t.replicas
+
+let stats t = t.counters
+
+let group t h =
+  match Hashtbl.find_opt t.groups h with
+  | Some g -> g
+  | None -> invalid_arg "Replication: unknown handle"
+
+let create_file ?service_type ?locking_level t =
+  let ids =
+    Array.map (fun fs -> Fs.create_file ?service_type ?locking_level fs) t.replicas
+  in
+  let g = { ids; stale = Array.make (Array.length t.replicas) false } in
+  (* Replicas down at creation never got the file: stale until resync
+     (resync recreates content; the id was still allocated above —
+     creation requires all replicas reachable in this model). *)
+  Array.iteri (fun i up -> if not up then g.stale.(i) <- true) t.up;
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Hashtbl.replace t.groups h g;
+  h
+
+let delete t h =
+  let g = group t h in
+  Array.iteri
+    (fun i fs ->
+      if t.up.(i) then
+        try Fs.delete fs g.ids.(i) with Fs.File_not_found _ -> ())
+    t.replicas;
+  Hashtbl.remove t.groups h
+
+(* The replica reads are served from: primary when live, else the
+   first live in-sync backup. *)
+let read_replica t g =
+  let n = Array.length t.replicas in
+  let rec find i =
+    if i >= n then raise All_replicas_down
+    else if t.up.(i) && not g.stale.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let pread t h ~off ~len =
+  let g = group t h in
+  let i = read_replica t g in
+  Counter.incr t.counters "reads";
+  if i > 0 then Counter.incr t.counters "failover_reads";
+  Fs.pread t.replicas.(i) g.ids.(i) ~off ~len
+
+let file_size t h =
+  let g = group t h in
+  let i = read_replica t g in
+  Fs.file_size t.replicas.(i) g.ids.(i)
+
+let pwrite t h ~off data =
+  let g = group t h in
+  if not (Array.exists Fun.id t.up) then raise All_replicas_down;
+  Counter.incr t.counters "writes";
+  Array.iteri
+    (fun i fs ->
+      if t.up.(i) then Fs.pwrite fs g.ids.(i) ~off data
+      else if not g.stale.(i) then begin
+        g.stale.(i) <- true;
+        Counter.incr t.counters "stale_marks"
+      end)
+    t.replicas
+
+let set_replica_down t i = t.up.(i) <- false
+
+let set_replica_up t i = t.up.(i) <- true
+
+let is_stale t h i = (group t h).stale.(i)
+
+let resync t h =
+  let g = group t h in
+  let primary = read_replica t g in
+  let size = Fs.file_size t.replicas.(primary) g.ids.(primary) in
+  let content = Fs.pread t.replicas.(primary) g.ids.(primary) ~off:0 ~len:size in
+  Array.iteri
+    (fun i fs ->
+      if t.up.(i) && g.stale.(i) then begin
+        Fs.truncate fs g.ids.(i) 0;
+        if size > 0 then Fs.pwrite fs g.ids.(i) ~off:0 content;
+        g.stale.(i) <- false;
+        Counter.incr t.counters "resyncs"
+      end)
+    t.replicas
+
+let resync_all t = Hashtbl.iter (fun h _ -> resync t h) t.groups
+
+let replicas_consistent t h =
+  let g = group t h in
+  let reference = ref None in
+  let ok = ref true in
+  Array.iteri
+    (fun i fs ->
+      if t.up.(i) && not g.stale.(i) then begin
+        let size = Fs.file_size fs g.ids.(i) in
+        let content = Fs.pread fs g.ids.(i) ~off:0 ~len:size in
+        match !reference with
+        | None -> reference := Some content
+        | Some r -> if not (Bytes.equal r content) then ok := false
+      end)
+    t.replicas;
+  !ok

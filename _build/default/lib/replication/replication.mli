@@ -1,0 +1,69 @@
+(** The RHODOS replication service (paper sections 2.1-2.2).
+
+    The paper requires that the design "must have the provision to
+    support the concept of file replication" and places a replication
+    service directly under the naming/directory service in Fig. 1.
+    This module implements primary-copy replication across several
+    file services (typically on different nodes/disks):
+
+    - a replicated file is a group of per-replica files, one per file
+      service, identified by a single {e group handle};
+    - reads are served by the primary (read-one), falling over to the
+      first live backup when the primary is down;
+    - writes go to every live replica (write-all), primary first;
+    - a replica that was down during writes is marked stale and is
+      resynchronised from the primary by [resync] when it comes
+      back. *)
+
+type t
+
+type handle
+(** A replicated file group. *)
+
+exception All_replicas_down
+
+val create : replicas:Rhodos_file.File_service.t array -> t
+(** Replica 0 is the primary. At least one file service required. *)
+
+val replica_count : t -> int
+
+val create_file :
+  ?service_type:Rhodos_file.Fit.service_type ->
+  ?locking_level:Rhodos_file.Fit.locking_level ->
+  t ->
+  handle
+(** Create the file on every live replica. *)
+
+val delete : t -> handle -> unit
+
+val pread : t -> handle -> off:int -> len:int -> bytes
+(** Read-one: primary if live, else the first live, in-sync backup.
+    @raise All_replicas_down. *)
+
+val pwrite : t -> handle -> off:int -> bytes -> unit
+(** Write-all live replicas; down replicas become stale.
+    @raise All_replicas_down if none is live. *)
+
+val file_size : t -> handle -> int
+
+val set_replica_down : t -> int -> unit
+(** Mark replica [i] failed (its node crashed / its disks died). *)
+
+val set_replica_up : t -> int -> unit
+(** Bring it back; stale files must still be [resync]ed before the
+    replica serves reads. *)
+
+val is_stale : t -> handle -> int -> bool
+
+val resync : t -> handle -> unit
+(** Copy the primary's content over every stale live replica. *)
+
+val resync_all : t -> unit
+(** [resync] every handle created through this service. *)
+
+val replicas_consistent : t -> handle -> bool
+(** All live, in-sync replicas hold identical bytes (test hook). *)
+
+val stats : t -> Rhodos_util.Stats.Counter.t
+(** Counters: ["reads"], ["failover_reads"], ["writes"],
+    ["stale_marks"], ["resyncs"]. *)

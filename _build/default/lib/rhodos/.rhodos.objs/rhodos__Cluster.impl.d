@@ -1,0 +1,1 @@
+lib/rhodos/cluster.ml: Array Buffer Bytes Hashtbl List Logs Option Printexc Printf Rhodos_agent Rhodos_block Rhodos_disk Rhodos_file Rhodos_naming Rhodos_net Rhodos_sim Rhodos_txn Rhodos_util String

@@ -1,0 +1,1 @@
+lib/rhodos/cluster.mli: Rhodos_agent Rhodos_block Rhodos_disk Rhodos_file Rhodos_naming Rhodos_net Rhodos_sim Rhodos_txn

@@ -1,0 +1,732 @@
+module Sim = Rhodos_sim.Sim
+module Net = Rhodos_net.Net
+module Disk = Rhodos_disk.Disk
+module Block = Rhodos_block.Block_service
+module Ns = Rhodos_naming.Name_service
+module Fit = Rhodos_file.Fit
+module Fs = Rhodos_file.File_service
+module Txn = Rhodos_txn.Txn_service
+module Lm = Rhodos_txn.Lock_manager
+module Conn = Rhodos_agent.Service_conn
+module File_agent = Rhodos_agent.File_agent
+module Device_agent = Rhodos_agent.Device_agent
+module Transaction_agent = Rhodos_agent.Transaction_agent
+module Process_env = Rhodos_agent.Process_env
+
+module L = (val Logs.src_log (Rhodos_util.Logging.src "cluster") : Logs.LOG)
+
+type config = {
+  nservers : int;
+  ndisks : int;                 (* per server *)
+  disk_capacity_bytes : int;
+  with_stable : bool;
+  remote : bool;
+  placement : Fs.placement;
+  fs_data_policy : Fs.data_policy;
+  client_cache_blocks : int;
+  client_flush_interval_ms : float;
+  lock_config : Lm.config;
+  net_latency_ms : float;
+  net_bandwidth_bytes_per_ms : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    nservers = 1;
+    ndisks = 1;
+    disk_capacity_bytes = 32 * 1024 * 1024;
+    with_stable = true;
+    remote = true;
+    placement = Fs.Fill_first;
+    fs_data_policy = Fs.Write_through;
+    client_cache_blocks = 64;
+    client_flush_interval_ms = 1000.;
+    lock_config = Lm.default_config;
+    net_latency_ms = 0.5;
+    net_bandwidth_bytes_per_ms = 1000.;
+    seed = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global identifiers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Files may live on any file server ("the design does not take into
+   account the physical location of the ... file and disk [services]").
+   A system name therefore carries its server: the high bits of the
+   integer id. With one server the encoding is the identity, so local
+   ids and global ids coincide. Transaction handles are tagged the
+   same way. *)
+let server_shift = 48
+let local_mask = (1 lsl server_shift) - 1
+let gid ~server local = (server lsl server_shift) lor local
+let gid_server g = g lsr server_shift
+let gid_local g = g land local_mask
+
+(* ------------------------------------------------------------------ *)
+(* RPC protocol                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type remote_error =
+  | E_file_not_found of int
+  | E_file_busy of int
+  | E_name_not_found of string
+  | E_already_bound of string
+  | E_unresolvable of string
+  | E_txn_aborted of int * string
+  | E_no_space
+  | E_other of string
+
+exception Remote_failure of string
+
+let to_remote_error = function
+  | Fs.File_not_found id -> E_file_not_found id
+  | Fs.File_busy id -> E_file_busy id
+  | Ns.Name_not_found p -> E_name_not_found p
+  | Ns.Already_bound p -> E_already_bound p
+  | Ns.Unresolvable p | Ns.Not_a_directory p | Ns.Is_a_directory p -> E_unresolvable p
+  | Txn.Aborted { txn; reason } -> E_txn_aborted (txn, reason)
+  | Block.No_space _ -> E_no_space
+  | e -> E_other (Printexc.to_string e)
+
+let raise_remote = function
+  | E_file_not_found id -> raise (Fs.File_not_found id)
+  | E_file_busy id -> raise (Fs.File_busy id)
+  | E_name_not_found p -> raise (Ns.Name_not_found p)
+  | E_already_bound p -> raise (Ns.Already_bound p)
+  | E_unresolvable p -> raise (Ns.Unresolvable p)
+  | E_txn_aborted (txn, reason) -> raise (Txn.Aborted { txn; reason })
+  | E_no_space -> raise (Block.No_space { wanted_fragments = 0; free_fragments = 0 })
+  | E_other s -> raise (Remote_failure s)
+
+type request =
+  (* naming (always served by server 0) *)
+  | R_resolve of (string * string) list
+  | R_bind of string * int
+  | R_unbind of string
+  | R_mkdir of string
+  (* basic file service (routed by the id's server bits) *)
+  | R_create
+  | R_open of int
+  | R_close of int
+  | R_delete of int
+  | R_pread of int * int * int
+  | R_pwrite of int * int * bytes
+  | R_getattr of int
+  | R_truncate of int * int
+  (* transaction service (routed by the handle's server bits) *)
+  | R_tbegin
+  | R_tcreate of int * Fit.locking_level
+  | R_topen of int * int
+  | R_tclose of int * int
+  | R_tdelete of int * int
+  | R_tread of int * int * int * int * bool
+  | R_twrite of int * int * int * bytes
+  | R_tgetattr of int * int
+  | R_tend of int
+  | R_tabort of int
+
+type response =
+  | Ok_unit
+  | Ok_int of int
+  | Ok_bytes of bytes
+  | Ok_attrs of Fit.t
+  | Err of remote_error
+
+(* ------------------------------------------------------------------ *)
+(* Cluster state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type server = {
+  s_index : int;
+  s_node : Net.node;
+  s_disks : Disk.t array;
+  s_stable_disks : (Disk.t * Disk.t) array;
+  mutable s_bss : Block.t array;
+  mutable s_fs : Fs.t;
+  mutable s_ts : Txn.t;
+  s_log_region : int * int;
+  mutable s_port : (request, response) Net.Rpc.port option;
+  s_txn_handles : (int, Txn.txn) Hashtbl.t;
+}
+
+type client = {
+  c_name : string;
+  c_node : Net.node;
+  c_env : Process_env.t;
+  c_files : File_agent.t;
+  c_devices : Device_agent.t;
+  c_txn : Transaction_agent.t;
+  c_fs_conn : Conn.fs_conn;
+}
+
+type t = {
+  cfg : config;
+  t_sim : Sim.t;
+  t_net : Net.t;
+  t_servers : server array;
+  mutable t_ns : Ns.t;
+  t_naming_file : Fs.file_id; (* on server 0 *)
+  mutable t_rr : int;         (* round-robin cursor for creations *)
+  mutable t_clients : client list;
+}
+
+let sim t = t.t_sim
+let net t = t.t_net
+let server_count t = Array.length t.t_servers
+let server_node t = t.t_servers.(0).s_node
+let server_node_of t i = t.t_servers.(i).s_node
+let naming t = t.t_ns
+let file_service t = t.t_servers.(0).s_fs
+let file_service_of t i = t.t_servers.(i).s_fs
+let txn_service t = t.t_servers.(0).s_ts
+let txn_service_of t i = t.t_servers.(i).s_ts
+let block_services t = t.t_servers.(0).s_bss
+let disks t = Array.concat (Array.to_list (Array.map (fun s -> s.s_disks) t.t_servers))
+
+(* ------------------------------------------------------------------ *)
+(* Namespace persistence                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Directories are "structural information of fairly small size": the
+   whole namespace is serialised into a reserved file (on server 0) so
+   that it survives a server crash like any other file. Paths must not
+   contain newlines or spaces (a documented simplification). *)
+let serialise_namespace ns =
+  let buf = Buffer.create 256 in
+  let rec walk path =
+    List.iter
+      (fun (name, kind) ->
+        let p = (if path = "/" then "" else path) ^ "/" ^ name in
+        match kind with
+        | Ns.Directory ->
+          Buffer.add_string buf (Printf.sprintf "D %s\n" p);
+          walk p
+        | Ns.File | Ns.Device ->
+          let sysname = Ns.resolve_path ns p in
+          let tag = if kind = Ns.File then "F" else "V" in
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %s %d\n" tag p sysname.Ns.service sysname.Ns.id))
+      (Ns.list_dir ns path)
+  in
+  walk "/";
+  Buffer.to_bytes buf
+
+let deserialise_namespace data =
+  let ns = Ns.create () in
+  String.split_on_char '\n' (Bytes.to_string data)
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "D"; path ] -> Ns.mkdir_p ns path
+         | [ tag; path; service; id ] when tag = "F" || tag = "V" ->
+           let kind = if tag = "F" then Ns.File else Ns.Device in
+           Ns.bind ns ~path ~kind { Ns.service; id = int_of_string id }
+         | _ -> ());
+  ns
+
+let persist_namespace t =
+  let data = serialise_namespace t.t_ns in
+  let fs0 = t.t_servers.(0).s_fs in
+  Fs.truncate fs0 t.t_naming_file 0;
+  if Bytes.length data > 0 then Fs.pwrite fs0 t.t_naming_file ~off:0 data
+
+(* ------------------------------------------------------------------ *)
+(* Server-side request handling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Translate a global file id to this server's local id. Locating "the
+   file service which manages the file" is the first of the paper's
+   three steps; a misrouted id is a client bug. *)
+let local_fid server g =
+  if gid_server g <> server.s_index then
+    failwith
+      (Printf.sprintf "file %d belongs to server %d, not %d" g (gid_server g)
+         server.s_index)
+  else Fs.id_of_int (gid_local g)
+
+let global_fid server id = gid ~server:server.s_index (Fs.id_to_int id)
+
+let txn_of server handle =
+  match Hashtbl.find_opt server.s_txn_handles (gid_local handle) with
+  | Some txn -> txn
+  | None -> raise (Txn.No_such_transaction handle)
+
+let handle_request t server request =
+  try
+    match request with
+    | R_resolve aname -> Ok_int (Ns.resolve t.t_ns aname).Ns.id
+    | R_bind (path, id) ->
+      Ns.bind t.t_ns ~path ~kind:Ns.File
+        { Ns.service = Printf.sprintf "fs%d" (gid_server id); id };
+      persist_namespace t;
+      Ok_unit
+    | R_unbind path ->
+      Ns.unbind t.t_ns path;
+      persist_namespace t;
+      Ok_unit
+    | R_mkdir path ->
+      Ns.mkdir_p t.t_ns path;
+      persist_namespace t;
+      Ok_unit
+    | R_create -> Ok_int (global_fid server (Fs.create_file server.s_fs))
+    | R_open id ->
+      let f = local_fid server id in
+      Fs.open_file server.s_fs f;
+      Ok_attrs (Fs.get_attributes server.s_fs f)
+    | R_close id ->
+      Fs.close_file server.s_fs (local_fid server id);
+      Ok_unit
+    | R_delete id ->
+      Fs.delete server.s_fs (local_fid server id);
+      Ok_unit
+    | R_pread (id, off, len) ->
+      Ok_bytes (Fs.pread server.s_fs (local_fid server id) ~off ~len)
+    | R_pwrite (id, off, data) ->
+      Fs.pwrite server.s_fs (local_fid server id) ~off data;
+      Ok_unit
+    | R_getattr id -> Ok_attrs (Fs.get_attributes server.s_fs (local_fid server id))
+    | R_truncate (id, size) ->
+      Fs.truncate server.s_fs (local_fid server id) size;
+      Ok_unit
+    | R_tbegin ->
+      let txn = Txn.tbegin server.s_ts in
+      Hashtbl.replace server.s_txn_handles (Txn.txn_id txn) txn;
+      Ok_int (gid ~server:server.s_index (Txn.txn_id txn))
+    | R_tcreate (h, locking) ->
+      Ok_int
+        (global_fid server (Txn.tcreate ~locking_level:locking server.s_ts (txn_of server h)))
+    | R_topen (h, id) ->
+      Txn.topen server.s_ts (txn_of server h) (local_fid server id);
+      Ok_unit
+    | R_tclose (h, id) ->
+      Txn.tclose server.s_ts (txn_of server h) (local_fid server id);
+      Ok_unit
+    | R_tdelete (h, id) ->
+      Txn.tdelete server.s_ts (txn_of server h) (local_fid server id);
+      Ok_unit
+    | R_tread (h, id, off, len, update) ->
+      let intent = if update then `Update else `Query in
+      Ok_bytes (Txn.tread ~intent server.s_ts (txn_of server h) (local_fid server id) ~off ~len)
+    | R_twrite (h, id, off, data) ->
+      Txn.twrite server.s_ts (txn_of server h) (local_fid server id) ~off data;
+      Ok_unit
+    | R_tgetattr (h, id) ->
+      Ok_attrs (Txn.tget_attribute server.s_ts (txn_of server h) (local_fid server id))
+    | R_tend h ->
+      let txn = txn_of server h in
+      Hashtbl.remove server.s_txn_handles (gid_local h);
+      Txn.tend server.s_ts txn;
+      Ok_unit
+    | R_tabort h ->
+      let txn = txn_of server h in
+      Hashtbl.remove server.s_txn_handles (gid_local h);
+      Txn.tabort server.s_ts txn;
+      Ok_unit
+  with e -> Err (to_remote_error e)
+
+let serve_rpc t server =
+  server.s_port <-
+    Some
+      (Net.Rpc.serve
+         ~name:(Printf.sprintf "rhodos-services-%d" server.s_index)
+         t.t_net server.s_node
+         (handle_request t server))
+
+(* ------------------------------------------------------------------ *)
+(* Client connections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let request_size = function
+  | R_pwrite (_, _, data) | R_twrite (_, _, _, data) -> 128 + Bytes.length data
+  | _ -> 128
+
+let response_size = function
+  | R_pread (_, _, len) | R_tread (_, _, _, len, _) -> 128 + len
+  | _ -> 128
+
+(* Step one of the paper's three-step location procedure: find the
+   file service that manages the object of the request. *)
+let route t request =
+  let by_id id = gid_server id mod Array.length t.t_servers in
+  match request with
+  | R_resolve _ | R_bind _ | R_unbind _ | R_mkdir _ -> 0
+  | R_create | R_tbegin ->
+    (* New objects rotate across the file servers. *)
+    let s = t.t_rr mod Array.length t.t_servers in
+    t.t_rr <- t.t_rr + 1;
+    s
+  | R_open id | R_close id | R_delete id | R_pread (id, _, _)
+  | R_pwrite (id, _, _) | R_getattr id | R_truncate (id, _) ->
+    by_id id
+  | R_tcreate (h, _) | R_topen (h, _) | R_tclose (h, _) | R_tdelete (h, _)
+  | R_tread (h, _, _, _, _) | R_twrite (h, _, _, _) | R_tgetattr (h, _)
+  | R_tend h | R_tabort h ->
+    by_id h
+
+(* Dispatch a request either directly (co-located services) or via RPC
+   from the client's node. *)
+let call t ~from request =
+  let server = t.t_servers.(route t request) in
+  let response =
+    if not t.cfg.remote then handle_request t server request
+    else begin
+      let port =
+        match server.s_port with
+        | Some port -> port
+        | None -> failwith "rhodos: server not running"
+      in
+      let size_bytes = request_size request in
+      let resp_size_bytes = response_size request in
+      let payload = max size_bytes resp_size_bytes in
+      let timeout_ms =
+        200. +. (4. *. float_of_int payload /. t.cfg.net_bandwidth_bytes_per_ms)
+      in
+      Net.Rpc.call ~timeout_ms ~max_retries:8 ~size_bytes ~resp_size_bytes t.t_net
+        ~from port request
+    end
+  in
+  match response with Err e -> raise_remote e | ok -> ok
+
+let expect_unit = function Ok_unit -> () | _ -> failwith "rhodos: protocol mismatch"
+let expect_int = function Ok_int i -> i | _ -> failwith "rhodos: protocol mismatch"
+let expect_bytes = function Ok_bytes b -> b | _ -> failwith "rhodos: protocol mismatch"
+let expect_attrs = function Ok_attrs a -> a | _ -> failwith "rhodos: protocol mismatch"
+
+let make_fs_conn t ~from : Conn.fs_conn =
+  {
+    Conn.resolve = (fun aname -> expect_int (call t ~from (R_resolve aname)));
+    bind = (fun ~path ~file_id -> expect_unit (call t ~from (R_bind (path, file_id))));
+    unbind = (fun path -> expect_unit (call t ~from (R_unbind path)));
+    mkdir = (fun path -> expect_unit (call t ~from (R_mkdir path)));
+    create_file = (fun () -> expect_int (call t ~from R_create));
+    open_file = (fun id -> expect_attrs (call t ~from (R_open id)));
+    close_file = (fun id -> expect_unit (call t ~from (R_close id)));
+    delete_file = (fun id -> expect_unit (call t ~from (R_delete id)));
+    pread = (fun id ~off ~len -> expect_bytes (call t ~from (R_pread (id, off, len))));
+    pwrite =
+      (fun id ~off ~data -> expect_unit (call t ~from (R_pwrite (id, off, data))));
+    get_attributes = (fun id -> expect_attrs (call t ~from (R_getattr id)));
+    truncate = (fun id ~size -> expect_unit (call t ~from (R_truncate (id, size))));
+  }
+
+let make_txn_conn t ~from : Conn.txn_conn =
+  {
+    Conn.tbegin = (fun () -> expect_int (call t ~from R_tbegin));
+    tcreate = (fun ~locking h -> expect_int (call t ~from (R_tcreate (h, locking))));
+    topen = (fun h id -> expect_unit (call t ~from (R_topen (h, id))));
+    tclose = (fun h id -> expect_unit (call t ~from (R_tclose (h, id))));
+    tdelete = (fun h id -> expect_unit (call t ~from (R_tdelete (h, id))));
+    tread =
+      (fun h id ~off ~len ~intent_update ->
+        expect_bytes (call t ~from (R_tread (h, id, off, len, intent_update))));
+    twrite =
+      (fun h id ~off ~data -> expect_unit (call t ~from (R_twrite (h, id, off, data))));
+    tget_attribute = (fun h id -> expect_attrs (call t ~from (R_tgetattr (h, id))));
+    tend = (fun h -> expect_unit (call t ~from (R_tend h)));
+    tabort = (fun h -> expect_unit (call t ~from (R_tabort h)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_block_services ~cfg ~sidx ~disks ~stable_disks =
+  Array.mapi
+    (fun i disk ->
+      let stable = if cfg.with_stable then Some stable_disks.(i) else None in
+      Block.create ~name:(Printf.sprintf "bs%d-%d" sidx i) ~disk ?stable ())
+    disks
+
+let fs_config cfg =
+  {
+    Fs.default_config with
+    Fs.placement = cfg.placement;
+    data_policy = cfg.fs_data_policy;
+  }
+
+let build_server ~cfg ~sim ~net sidx =
+  let node =
+    Net.add_node net (if sidx = 0 then "server" else Printf.sprintf "server%d" sidx)
+  in
+  let geometry = Disk.geometry_with_capacity cfg.disk_capacity_bytes in
+  let disks =
+    Array.init cfg.ndisks (fun i ->
+        Disk.create ~name:(Printf.sprintf "d%d-%d" sidx i) sim geometry)
+  in
+  let stable_geometry = Disk.geometry_with_capacity (cfg.disk_capacity_bytes * 2) in
+  let stable_disks =
+    if cfg.with_stable then
+      Array.init cfg.ndisks (fun i ->
+          ( Disk.create ~name:(Printf.sprintf "st%d-%da" sidx i) sim stable_geometry,
+            Disk.create ~name:(Printf.sprintf "st%d-%db" sidx i) sim stable_geometry ))
+    else [||]
+  in
+  let bss = build_block_services ~cfg ~sidx ~disks ~stable_disks in
+  Array.iter Block.format bss;
+  let fs = Fs.create ~config:(fs_config cfg) ~disks:bss () in
+  (* The reserved namespace file must be the very first file created on
+     server 0, so its id is deterministic across restarts. *)
+  let naming_file = if sidx = 0 then Some (Fs.create_file fs) else None in
+  let ts =
+    Txn.create
+      ~config:{ Txn.default_config with Txn.lock_config = cfg.lock_config }
+      ~fs ()
+  in
+  ( {
+      s_index = sidx;
+      s_node = node;
+      s_disks = disks;
+      s_stable_disks = stable_disks;
+      s_bss = bss;
+      s_fs = fs;
+      s_ts = ts;
+      s_log_region = Txn.log_region ts;
+      s_port = None;
+      s_txn_handles = Hashtbl.create 16;
+    },
+    naming_file )
+
+let create ?(config = default_config) sim =
+  let cfg = config in
+  if cfg.nservers < 1 then invalid_arg "Cluster.create: nservers";
+  let net =
+    Net.create ~seed:cfg.seed ~latency_ms:cfg.net_latency_ms
+      ~bandwidth_bytes_per_ms:cfg.net_bandwidth_bytes_per_ms sim
+  in
+  let naming_file = ref None in
+  let servers =
+    Array.init cfg.nservers (fun sidx ->
+        let server, nf = build_server ~cfg ~sim ~net sidx in
+        if sidx = 0 then naming_file := nf;
+        server)
+  in
+  let t =
+    {
+      cfg;
+      t_sim = sim;
+      t_net = net;
+      t_servers = servers;
+      t_ns = Ns.create ();
+      t_naming_file = Option.get !naming_file;
+      t_rr = 0;
+      t_clients = [];
+    }
+  in
+  if cfg.remote then Array.iter (serve_rpc t) t.t_servers;
+  t
+
+let run ?config f =
+  let sim = Sim.create () in
+  let result = ref None in
+  let _ =
+    Sim.spawn ~name:"main" sim (fun () ->
+        let t = create ?config sim in
+        result := Some (f sim t))
+  in
+  (* Periodic background processes (cache flushers, agents) keep the
+     event queue non-empty forever; stop as soon as the driver
+     function has returned. *)
+  while !result = None && Sim.step sim do
+    ()
+  done;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Cluster.run: simulation stalled before completion"
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let add_client t ~name =
+  let node = Net.add_node t.t_net name in
+  let fs_conn = make_fs_conn t ~from:node in
+  let txn_conn = make_txn_conn t ~from:node in
+  let files =
+    File_agent.create
+      ~config:
+        {
+          File_agent.default_config with
+          File_agent.cache_blocks = t.cfg.client_cache_blocks;
+          flush_interval_ms = t.cfg.client_flush_interval_ms;
+        }
+      ~sim:t.t_sim ~conn:fs_conn ()
+  in
+  let devices = Device_agent.create t.t_sim in
+  let txn_agent =
+    Transaction_agent.create
+      ~on_commit:(fun ~file -> File_agent.invalidate_file files ~file)
+      ~sim:t.t_sim ~fs_conn ~txn_conn ()
+  in
+  let env = Process_env.create ~devices ~files ~transactions:txn_agent () in
+  let client =
+    {
+      c_name = name;
+      c_node = node;
+      c_env = env;
+      c_files = files;
+      c_devices = devices;
+      c_txn = txn_agent;
+      c_fs_conn = fs_conn;
+    }
+  in
+  t.t_clients <- client :: t.t_clients;
+  client
+
+let client_name c = c.c_name
+let client_node c = c.c_node
+let env c = c.c_env
+let file_agent c = c.c_files
+let device_agent c = c.c_devices
+let transaction_agent c = c.c_txn
+let fs_conn c = c.c_fs_conn
+
+(* Convenience wrappers *)
+
+let mkdir c path = c.c_fs_conn.Conn.mkdir path
+let create_file c path = File_agent.create_file c.c_files ~path
+let open_file c path = File_agent.open_file c.c_files ~path
+let write c d data = File_agent.write c.c_files d data
+let read c d n = File_agent.read c.c_files d n
+let pwrite c d ~off ~data = File_agent.pwrite c.c_files d ~off ~data
+let pread c d ~off ~len = File_agent.pread c.c_files d ~off ~len
+let lseek c d whence = File_agent.lseek c.c_files d whence
+let close c d = File_agent.close c.c_files d
+let delete c path = File_agent.delete c.c_files ~path
+
+let with_transaction c f =
+  let td = Transaction_agent.tbegin c.c_txn in
+  match f c.c_txn td with
+  | result ->
+    Transaction_agent.tend c.c_txn td;
+    result
+  | exception e ->
+    (try Transaction_agent.tabort c.c_txn td with _ -> ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Faults and recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let crash_client t client =
+  ignore (Net.crash_node t.t_net client.c_node);
+  File_agent.crash client.c_files
+
+let crash_server t =
+  L.warn (fun m -> m "server crash at t=%.1fms" (Sim.now t.t_sim));
+  Array.fold_left
+    (fun lost server ->
+      ignore (Net.crash_node t.t_net server.s_node);
+      (match server.s_port with Some port -> Net.Rpc.stop port | None -> ());
+      server.s_port <- None;
+      Hashtbl.reset server.s_txn_handles;
+      Txn.shutdown server.s_ts;
+      lost + Fs.crash server.s_fs)
+    0 t.t_servers
+
+let recover_server t =
+  (* Re-attach every disk service of every server: stable-storage
+     recovery, bitmap restore, extent array rebuild; then replay each
+     server's intentions list. *)
+  let reports =
+    Array.map
+      (fun server ->
+        server.s_bss <-
+          build_block_services ~cfg:t.cfg ~sidx:server.s_index ~disks:server.s_disks
+            ~stable_disks:server.s_stable_disks;
+        Array.iter Block.attach server.s_bss;
+        server.s_fs <- Fs.create ~config:(fs_config t.cfg) ~disks:server.s_bss ();
+        let ts, report =
+          Txn.recover_service
+            ~config:{ Txn.default_config with Txn.lock_config = t.cfg.lock_config }
+            ~fs:server.s_fs ~log_region:server.s_log_region ()
+        in
+        server.s_ts <- ts;
+        report)
+      t.t_servers
+  in
+  (* Reload the namespace from its reserved file on server 0. *)
+  let fs0 = t.t_servers.(0).s_fs in
+  let size = Fs.file_size fs0 t.t_naming_file in
+  let data = Fs.pread fs0 t.t_naming_file ~off:0 ~len:size in
+  t.t_ns <- deserialise_namespace data;
+  if t.cfg.remote then Array.iter (serve_rpc t) t.t_servers;
+  L.info (fun m -> m "server recovered at t=%.1fms" (Sim.now t.t_sim));
+  {
+    Txn.redone_transactions =
+      Array.to_list reports
+      |> List.concat_map (fun r -> r.Txn.redone_transactions);
+    discarded_transactions =
+      Array.to_list reports
+      |> List.concat_map (fun r -> r.Txn.discarded_transactions);
+  }
+
+let set_message_loss t rate = Net.set_loss_rate t.t_net rate
+let set_message_duplication t rate = Net.set_duplicate_rate t.t_net rate
+
+(* ------------------------------------------------------------------ *)
+(* Integrity checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every file id bound somewhere in the namespace, as global ids. *)
+let bound_files t =
+  let acc = ref [] in
+  let rec walk path =
+    List.iter
+      (fun (name, kind) ->
+        let p = (if path = "/" then "" else path) ^ "/" ^ name in
+        match kind with
+        | Ns.Directory -> walk p
+        | Ns.File -> acc := (Ns.resolve_path t.t_ns p).Ns.id :: !acc
+        | Ns.Device -> ())
+      (Ns.list_dir t.t_ns path)
+  in
+  walk "/";
+  !acc
+
+let fsck t =
+  let by_server = Array.make (Array.length t.t_servers) [] in
+  List.iter
+    (fun g ->
+      let s = gid_server g in
+      by_server.(s) <- Fs.id_of_int (gid_local g) :: by_server.(s))
+    (bound_files t);
+  by_server.(0) <- t.t_naming_file :: by_server.(0);
+  let reports =
+    Array.mapi
+      (fun sidx server ->
+        let log_frag, log_len = server.s_log_region in
+        Rhodos_file.Fsck.check server.s_fs
+          ~files:(List.sort_uniq compare by_server.(sidx))
+          ~regions:[ ("intentions-list", 0, log_frag, log_len) ]
+          ())
+      t.t_servers
+  in
+  (* Merge: per-server (disk, frag) pairs are disambiguated by
+     offsetting the disk index with the server index. *)
+  let shift sidx (disk, frag) = ((sidx * 1000) + disk, frag) in
+  let shift3 sidx (disk, frag, o) = ((sidx * 1000) + disk, frag, o) in
+  let shift4 sidx (disk, frag, a, b) = ((sidx * 1000) + disk, frag, a, b) in
+  Array.to_list reports
+  |> List.mapi (fun sidx r -> (sidx, r))
+  |> List.fold_left
+       (fun (acc : Rhodos_file.Fsck.report) (sidx, (r : Rhodos_file.Fsck.report)) ->
+         {
+           Rhodos_file.Fsck.files_checked = acc.files_checked + r.files_checked;
+           fragments_allocated = acc.fragments_allocated + r.fragments_allocated;
+           fragments_reachable = acc.fragments_reachable + r.fragments_reachable;
+           leaked = acc.leaked @ List.map (shift sidx) r.leaked;
+           phantom = acc.phantom @ List.map (shift3 sidx) r.phantom;
+           double_allocated =
+             acc.double_allocated @ List.map (shift4 sidx) r.double_allocated;
+           unreadable_fits = acc.unreadable_fits @ r.unreadable_fits;
+         })
+       {
+         Rhodos_file.Fsck.files_checked = 0;
+         fragments_allocated = 0;
+         fragments_reachable = 0;
+         leaked = [];
+         phantom = [];
+         double_allocated = [];
+         unreadable_fits = [];
+       }

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect List Printf Queue Rhodos_util

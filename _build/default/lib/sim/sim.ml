@@ -1,0 +1,276 @@
+open Effect
+open Effect.Deep
+module Prio_queue = Rhodos_util.Prio_queue
+
+exception Killed
+
+(* A parked process: its captured continuation plus the one-shot flag
+   shared with every waker registered for it. *)
+type parked = Parked : ('a, unit) continuation * bool ref -> parked
+
+type proc_state = Ready | Parked_st of parked | Dead
+
+type proc = {
+  id : int;
+  name : string;
+  mutable state : proc_state;
+  mutable kill_pending : bool;
+}
+
+type pid = proc
+
+(* [live] lets a cancelled timer (say, the sleep of a killed process)
+   be skipped without advancing the clock to its deadline. *)
+type event = { live : unit -> bool; thunk : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  events : event Prio_queue.t;
+  mutable failure : exn option;
+  mutable next_pid : int;
+  mutable current : proc option;
+}
+
+(* The registration callback receives the waker plus a liveness
+   predicate ([false] once the process has been woken or killed), used
+   to cancel pending timer events. *)
+type _ Effect.t +=
+  | Block : (('a -> bool) -> (unit -> bool) -> unit) -> 'a Effect.t
+
+let create () =
+  { clock = 0.; events = Prio_queue.create (); failure = None; next_pid = 0;
+    current = None }
+
+let now t = t.clock
+
+let always_live () = true
+
+let schedule_event t ~at ~live thunk =
+  let at = if at < t.clock then t.clock else at in
+  Prio_queue.add t.events ~prio:at { live; thunk }
+
+let schedule t ~at thunk = schedule_event t ~at ~live:always_live thunk
+
+let schedule_cancellable t ~at ~live thunk = schedule_event t ~at ~live thunk
+
+let record_failure t e = if t.failure = None then t.failure <- Some e
+
+(* Run [f] as a process under the deep handler that implements
+   suspension. The handler stays in force across resumptions, so every
+   Block performed during the process's life lands here. *)
+let run_process t proc f =
+  match_with f ()
+    {
+      retc = (fun () -> proc.state <- Dead);
+      exnc =
+        (fun e ->
+          proc.state <- Dead;
+          match e with Killed -> () | e -> record_failure t e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Block register ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if proc.kill_pending then begin
+                  proc.kill_pending <- false;
+                  discontinue k Killed
+                end
+                else begin
+                  let resumed = ref false in
+                  proc.state <- Parked_st (Parked (k, resumed));
+                  let waker v =
+                    if !resumed then false
+                    else begin
+                      resumed := true;
+                      proc.state <- Ready;
+                      schedule t ~at:t.clock (fun () ->
+                          let saved = t.current in
+                          t.current <- Some proc;
+                          continue k v;
+                          t.current <- saved);
+                      true
+                    end
+                  in
+                  register waker (fun () -> not !resumed)
+                end)
+          | _ -> None);
+    }
+
+let spawn_at ?(name = "proc") t ~at f =
+  let proc = { id = t.next_pid; name; state = Ready; kill_pending = false } in
+  t.next_pid <- t.next_pid + 1;
+  schedule t ~at (fun () ->
+      if proc.state = Ready && not proc.kill_pending then begin
+        let saved = t.current in
+        t.current <- Some proc;
+        run_process t proc f;
+        t.current <- saved
+      end
+      else proc.state <- Dead);
+  proc
+
+let spawn ?name t f = spawn_at ?name t ~at:t.clock f
+
+let step t =
+  match Prio_queue.pop t.events with
+  | None -> false
+  | Some (time, ev) ->
+    if ev.live () then begin
+      if time > t.clock then t.clock <- time;
+      ev.thunk ();
+      match t.failure with
+      | Some e ->
+        t.failure <- None;
+        raise e
+      | None -> ()
+    end;
+    true
+
+let run ?until t =
+  let should_continue () =
+    match (until, Prio_queue.peek t.events) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some u, Some (next, _) -> next <= u
+  in
+  while should_continue () do
+    ignore (step t)
+  done;
+  match until with Some u -> if u > t.clock then t.clock <- u | None -> ()
+
+let suspend _t register = perform (Block (fun waker _live -> register waker))
+
+let suspend_full _t register = perform (Block register)
+
+let sleep t d =
+  suspend_full t (fun waker live ->
+      schedule_event t ~at:(t.clock +. d) ~live (fun () -> ignore (waker ())))
+
+let yield t =
+  suspend t (fun waker -> schedule t ~at:t.clock (fun () -> ignore (waker ())))
+
+let kill t proc =
+  match proc.state with
+  | Dead -> ()
+  | Parked_st (Parked (k, resumed)) ->
+    if not !resumed then begin
+      resumed := true;
+      proc.state <- Dead;
+      schedule t ~at:t.clock (fun () -> discontinue k Killed)
+    end
+  | Ready ->
+    if t.current == Some proc then raise Killed else proc.kill_pending <- true
+
+let is_alive _t proc = proc.state <> Dead
+
+let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
+
+module Mailbox = struct
+  type 'a mb = {
+    sim : t;
+    queue : 'a Queue.t;
+    mutable waiters : ('a -> bool) list; (* reversed arrival order *)
+  }
+
+  let create sim = { sim; queue = Queue.create (); waiters = [] }
+
+  let send mb v =
+    let rec deliver = function
+      | [] ->
+        mb.waiters <- [];
+        Queue.push v mb.queue
+      | w :: rest -> if w v then mb.waiters <- rest else deliver rest
+    in
+    deliver mb.waiters
+
+  let try_recv mb = Queue.take_opt mb.queue
+
+  let recv mb =
+    match Queue.take_opt mb.queue with
+    | Some v -> v
+    | None ->
+      suspend mb.sim (fun waker -> mb.waiters <- mb.waiters @ [ waker ])
+
+  let recv_timeout mb d =
+    match Queue.take_opt mb.queue with
+    | Some v -> Some v
+    | None ->
+      suspend_full mb.sim (fun waker live ->
+          let deliver v = waker (Some v) in
+          mb.waiters <- mb.waiters @ [ deliver ];
+          schedule_event mb.sim ~at:(mb.sim.clock +. d) ~live (fun () ->
+              ignore (waker None)))
+
+  let length mb = Queue.length mb.queue
+end
+
+module Semaphore = struct
+  type sem = {
+    sim : t;
+    mutable count : int;
+    mutable waiters : (unit -> bool) list;
+  }
+
+  let create sim count =
+    if count < 0 then invalid_arg "Semaphore.create";
+    { sim; count; waiters = [] }
+
+  let acquire s =
+    if s.count > 0 then s.count <- s.count - 1
+    else suspend s.sim (fun waker -> s.waiters <- s.waiters @ [ waker ])
+
+  let try_acquire s =
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      true
+    end
+    else false
+
+  let release s =
+    let rec wake = function
+      | [] ->
+        s.waiters <- [];
+        s.count <- s.count + 1
+      | w :: rest -> if w () then s.waiters <- rest else wake rest
+    in
+    wake s.waiters
+
+  let available s = s.count
+end
+
+module Condition = struct
+  type cond = { sim : t; mutable waiters : (bool -> bool) list }
+
+  let create sim = { sim; waiters = [] }
+
+  let wait c =
+    let signalled =
+      suspend c.sim (fun waker -> c.waiters <- c.waiters @ [ waker ])
+    in
+    ignore (signalled : bool)
+
+  let wait_timeout c d =
+    suspend_full c.sim (fun waker live ->
+        c.waiters <- c.waiters @ [ waker ];
+        schedule_event c.sim ~at:(c.sim.clock +. d) ~live (fun () ->
+            ignore (waker false)))
+
+  let signal c =
+    let rec wake = function
+      | [] -> c.waiters <- []
+      | w :: rest ->
+        if w true then c.waiters <- rest else wake rest
+    in
+    wake c.waiters
+
+  let broadcast c =
+    let ws = c.waiters in
+    c.waiters <- [];
+    List.iter (fun w -> ignore (w true)) ws
+
+  let waiters c =
+    (* Timed-out entries linger until skimmed; count only live ones is
+       not observable, so report the raw queue length. *)
+    List.length c.waiters
+end

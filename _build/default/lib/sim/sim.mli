@@ -1,0 +1,128 @@
+(** Deterministic discrete-event simulator with lightweight blocking
+    processes.
+
+    Everything in the reproduction runs on simulated time: disk
+    transfers, network hops, lock waits, transaction timeouts. A
+    process is an ordinary OCaml function that may call the blocking
+    operations below ([sleep], [Mailbox.recv], [Semaphore.acquire],
+    ...); suspension is implemented with OCaml 5 effects, so service
+    code reads in direct style.
+
+    Time is a [float] in milliseconds. Runs are deterministic: events
+    at equal times fire in schedule order. *)
+
+type t
+(** A simulation world: clock plus event queue. *)
+
+type pid
+(** Process identifier. *)
+
+exception Killed
+(** Raised inside a process that is killed (e.g. its node crashed). *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (ms). *)
+
+val spawn : ?name:string -> t -> (unit -> unit) -> pid
+(** Schedule a new process to start at the current time. An exception
+    escaping the process (other than [Killed]) is recorded and
+    re-raised by [run]. *)
+
+val spawn_at : ?name:string -> t -> at:float -> (unit -> unit) -> pid
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue is empty or the clock passes
+    [until]. Re-raises the first exception that escaped a process. *)
+
+val step : t -> bool
+(** Execute a single event; [false] if none remain. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Low-level: run a callback (not a blocking process) at time [at]. *)
+
+val sleep : t -> float -> unit
+(** Block the calling process for the given duration. *)
+
+val yield : t -> unit
+(** Reschedule the calling process at the current time, letting other
+    ready processes run first. *)
+
+val kill : t -> pid -> unit
+(** Kill a process: if it is blocked it resumes by raising [Killed];
+    if it is ready-to-run it raises [Killed] at its next blocking
+    point. Killing a dead process is a no-op. *)
+
+val is_alive : t -> pid -> bool
+
+val pid_name : t -> pid -> string
+
+(** First-class suspension, used to build new blocking primitives.
+    [suspend t register] parks the calling process and hands
+    [register] a waker; the first call of the waker resumes the
+    process with the given value and returns [true]; later calls
+    return [false] and do nothing. *)
+val suspend : t -> (('a -> bool) -> unit) -> 'a
+
+val suspend_full : t -> (('a -> bool) -> (unit -> bool) -> unit) -> 'a
+(** Like [suspend] but [register] also receives a liveness predicate,
+    [false] once the process has been woken or killed. Pass it to
+    [schedule_cancellable] so a stale timer neither fires nor drags
+    the clock forward. *)
+
+val schedule_cancellable : t -> at:float -> live:(unit -> bool) -> (unit -> unit) -> unit
+(** [schedule] with a liveness predicate checked at dispatch time. *)
+
+module Mailbox : sig
+  type 'a mb
+
+  val create : t -> 'a mb
+
+  val send : 'a mb -> 'a -> unit
+  (** Never blocks; delivers to a waiting receiver or queues. *)
+
+  val recv : 'a mb -> 'a
+  (** Block until a message arrives. *)
+
+  val recv_timeout : 'a mb -> float -> 'a option
+  (** [None] if no message arrives within the duration. *)
+
+  val try_recv : 'a mb -> 'a option
+
+  val length : 'a mb -> int
+end
+
+module Semaphore : sig
+  type sem
+
+  val create : t -> int -> sem
+
+  val acquire : sem -> unit
+
+  val try_acquire : sem -> bool
+
+  val release : sem -> unit
+
+  val available : sem -> int
+end
+
+module Condition : sig
+  type cond
+
+  val create : t -> cond
+
+  val wait : cond -> unit
+  (** Block until [signal]/[broadcast]. No mutex is needed: the
+      simulator is cooperative, so the test-and-wait is atomic. *)
+
+  val wait_timeout : cond -> float -> bool
+  (** [true] if signalled, [false] on timeout. *)
+
+  val signal : cond -> unit
+  (** Wake one waiter (FIFO). No-op if none. *)
+
+  val broadcast : cond -> unit
+
+  val waiters : cond -> int
+end

@@ -1,0 +1,1 @@
+lib/stable/stable_store.ml: Array Bytes Int64 List Rhodos_disk Rhodos_sim Rhodos_util

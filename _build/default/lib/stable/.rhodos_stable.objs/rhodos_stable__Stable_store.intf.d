@@ -1,0 +1,1 @@
+lib/stable/stable_store.mli: Rhodos_disk Rhodos_sim

@@ -1,0 +1,1 @@
+lib/txn/lock_manager.ml: Hashtbl List Option Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+lib/txn/txn_log.ml: Bytes Int32 Int64 List Rhodos_block Rhodos_util

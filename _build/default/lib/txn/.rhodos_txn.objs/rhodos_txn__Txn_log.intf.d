@@ -1,0 +1,1 @@
+lib/txn/txn_log.mli: Rhodos_block

@@ -1,0 +1,1 @@
+lib/txn/txn_service.ml: Bytes Hashtbl List Lock_manager Logs Rhodos_block Rhodos_file Rhodos_sim Rhodos_util Txn_log

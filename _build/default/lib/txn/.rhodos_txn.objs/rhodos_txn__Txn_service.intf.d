@@ -1,0 +1,1 @@
+lib/txn/txn_service.mli: Lock_manager Rhodos_file Rhodos_util

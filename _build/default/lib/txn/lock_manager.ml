@@ -1,0 +1,331 @@
+module Sim = Rhodos_sim.Sim
+module Counter = Rhodos_util.Stats.Counter
+
+type mode = Read_only | Iread | Iwrite
+
+type item =
+  | File_item of int
+  | Page_item of int * int
+  | Record_item of int * int * int
+
+let mode_to_string = function
+  | Read_only -> "read-only"
+  | Iread -> "Iread"
+  | Iwrite -> "Iwrite"
+
+let mode_rank = function Read_only -> 0 | Iread -> 1 | Iwrite -> 2
+
+let items_conflict a b =
+  match (a, b) with
+  | File_item f1, File_item f2 -> f1 = f2
+  | Page_item (f1, p1), Page_item (f2, p2) -> f1 = f2 && p1 = p2
+  | Record_item (f1, o1, l1), Record_item (f2, o2, l2) ->
+    f1 = f2 && o1 < o2 + l2 && o2 < o1 + l1
+  | (File_item _ | Page_item _ | Record_item _), _ -> false
+
+exception Wait_cancelled of int
+
+type config = {
+  lt_ms : float;
+  max_renewals : int;
+  search_cost_ms : float;
+  cross_level : bool;
+}
+
+let default_config =
+  { lt_ms = 200.; max_renewals = 5; search_cost_ms = 0.002; cross_level = false }
+
+let page_bytes = 8192
+
+(* Conflicts between items of DIFFERENT locking levels on the same
+   file — the relaxation of the paper's "a file cannot be subjected to
+   more than one level of locking" assumption. A file-level item
+   conflicts with anything on the file; a page conflicts with a record
+   whose byte range intersects the page. *)
+let items_conflict_cross a b =
+  match (a, b) with
+  | File_item f, (Page_item (f', _) | Record_item (f', _, _))
+  | (Page_item (f', _) | Record_item (f', _, _)), File_item f ->
+    f = f'
+  | Page_item (f, p), Record_item (f', o, l) | Record_item (f', o, l), Page_item (f, p)
+    ->
+    f = f' && o < (p + 1) * page_bytes && p * page_bytes < o + l
+  | (File_item _ | Page_item _ | Record_item _), _ -> false
+
+type grant = {
+  g_txn : int;
+  g_item : item;
+  mutable g_mode : mode;
+  mutable g_renewals : int;
+  mutable g_active : bool;
+}
+
+type wait_outcome = Granted | Cancelled
+
+type waiter = {
+  w_txn : int;
+  w_item : item;
+  w_mode : mode;
+  w_upgrade : bool;
+  w_waker : wait_outcome -> bool;
+}
+
+type table = { mutable grants : grant list; mutable waiters : waiter list }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  on_suspect : txn:int -> unit;
+  record_table : table;
+  page_table : table;
+  file_table : table;
+  released : (int, unit) Hashtbl.t; (* transactions past their shrink phase *)
+  counters : Counter.t;
+}
+
+let create ?(config = default_config) ~sim ~on_suspect () =
+  {
+    sim;
+    config;
+    on_suspect;
+    record_table = { grants = []; waiters = [] };
+    page_table = { grants = []; waiters = [] };
+    file_table = { grants = []; waiters = [] };
+    released = Hashtbl.create 32;
+    counters = Counter.create ();
+  }
+
+let table_of t = function
+  | Record_item _ -> t.record_table
+  | Page_item _ -> t.page_table
+  | File_item _ -> t.file_table
+
+let all_tables t = [ t.record_table; t.page_table; t.file_table ]
+
+(* Which tables can hold conflicting records: only the item's own
+   level normally, every level under the cross-level relaxation. *)
+let relevant_tables t item =
+  if t.config.cross_level then all_tables t else [ table_of t item ]
+
+let conflicts t a b =
+  items_conflict a b || (t.config.cross_level && items_conflict_cross a b)
+
+let stats t = t.counters
+
+(* Simulated lock-table search cost: proportional to the records
+   examined, so coarse levels with "fewer locks to manage" really are
+   cheaper, as section 6.5 argues. *)
+let charge_search t table =
+  let scanned = List.length table.grants + List.length table.waiters in
+  let cost = t.config.search_cost_ms *. float_of_int scanned in
+  if cost > 0. then Sim.sleep t.sim cost
+
+(* Can [txn] hold [item] in [mode] given the other active grants?
+   A transaction never conflicts with itself. *)
+let compatible_with_others t ~txn ~item ~mode =
+  let others =
+    List.concat_map
+      (fun table ->
+        List.filter
+          (fun g -> g.g_active && g.g_txn <> txn && conflicts t g.g_item item)
+          table.grants)
+      (relevant_tables t item)
+  in
+  match mode with
+  | Read_only | Iread ->
+    (* New RO is refused once an IR is in place; IR additionally
+       requires that no other IR exists. Both are the same check:
+       every conflicting holder must be a plain reader. *)
+    List.for_all (fun g -> g.g_mode = Read_only) others
+  | Iwrite -> others = []
+
+let self_grant table ~txn ~item =
+  List.find_opt
+    (fun g -> g.g_active && g.g_txn = txn && g.g_item = item)
+    table.grants
+
+(* ------------------------------------------------------------------ *)
+(* Lease timers (section 6.4)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec arm_lease t table g =
+  Sim.schedule_cancellable t.sim
+    ~at:(Sim.now t.sim +. t.config.lt_ms)
+    ~live:(fun () -> g.g_active)
+    (fun () ->
+      if g.g_active then begin
+        let contested =
+          List.exists
+            (fun tbl ->
+              List.exists (fun w -> conflicts t w.w_item g.g_item) tbl.waiters)
+            (relevant_tables t g.g_item)
+        in
+        if g.g_renewals >= t.config.max_renewals then begin
+          Counter.incr t.counters "breaks_expired";
+          suspect t g
+        end
+        else if contested then begin
+          Counter.incr t.counters "breaks_contested";
+          suspect t g
+        end
+        else begin
+          g.g_renewals <- g.g_renewals + 1;
+          Counter.incr t.counters "renewals";
+          arm_lease t table g
+        end
+      end)
+
+and suspect t g =
+  (* The holder is suspected deadlocked; the callback aborts the
+     transaction, which releases its locks and wakes the queue. Run it
+     in its own process: it may block (logging the abort). *)
+  ignore
+    (Sim.spawn ~name:"lock-suspect" t.sim (fun () -> t.on_suspect ~txn:g.g_txn))
+
+let add_grant t table ~txn ~item ~mode =
+  let g = { g_txn = txn; g_item = item; g_mode = mode; g_renewals = 0; g_active = true } in
+  table.grants <- table.grants @ [ g ];
+  Counter.incr t.counters "grants";
+  arm_lease t table g
+
+(* Wake waiters in FIFO order, stopping at the first that still
+   cannot be granted — strict FIFO prevents reader streams from
+   starving writers. *)
+let rec pump t table =
+  match table.waiters with
+  | [] -> ()
+  | w :: rest ->
+    let self = self_grant table ~txn:w.w_txn ~item:w.w_item in
+    let ok = compatible_with_others t ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode in
+    if not ok then ()
+    else begin
+      table.waiters <- rest;
+      (match self with
+      | Some g when mode_rank w.w_mode > mode_rank g.g_mode ->
+        g.g_mode <- w.w_mode;
+        g.g_renewals <- 0;
+        Counter.incr t.counters "conversions"
+      | Some _ -> ()
+      | None -> add_grant t table ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode);
+      ignore (w.w_waker Granted);
+      pump t table
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let note_2pl t ~txn =
+  if Hashtbl.mem t.released txn then Counter.incr t.counters "2pl_violations"
+
+let acquire t ~txn item mode =
+  Counter.incr t.counters "acquires";
+  note_2pl t ~txn;
+  let table = table_of t item in
+  charge_search t table;
+  match self_grant table ~txn ~item with
+  | Some g when mode_rank mode <= mode_rank g.g_mode -> () (* already strong enough *)
+  | self -> (
+    let can_upgrade_now = compatible_with_others t ~txn ~item ~mode in
+    match self with
+    | Some g when can_upgrade_now ->
+      g.g_mode <- mode;
+      g.g_renewals <- 0;
+      Counter.incr t.counters "conversions"
+    | None when can_upgrade_now -> add_grant t table ~txn ~item ~mode
+    | _ ->
+      Counter.incr t.counters "waits";
+      let outcome =
+        Sim.suspend t.sim (fun waker ->
+            let w =
+              {
+                w_txn = txn;
+                w_item = item;
+                w_mode = mode;
+                w_upgrade = self <> None;
+                w_waker = waker;
+              }
+            in
+            (* Conversions queue ahead of fresh requests so an
+               upgrader is not starved by arrivals behind it. *)
+            if w.w_upgrade then begin
+              let upgrades, rest =
+                List.partition (fun x -> x.w_upgrade) table.waiters
+              in
+              table.waiters <- upgrades @ [ w ] @ rest
+            end
+            else table.waiters <- table.waiters @ [ w ])
+      in
+      match outcome with
+      | Granted -> ()
+      | Cancelled -> raise (Wait_cancelled txn))
+
+let try_acquire t ~txn item mode =
+  Counter.incr t.counters "acquires";
+  note_2pl t ~txn;
+  let table = table_of t item in
+  charge_search t table;
+  match self_grant table ~txn ~item with
+  | Some g when mode_rank mode <= mode_rank g.g_mode -> true
+  | self ->
+    if compatible_with_others t ~txn ~item ~mode then begin
+      (match self with
+      | Some g ->
+        g.g_mode <- mode;
+        g.g_renewals <- 0;
+        Counter.incr t.counters "conversions"
+      | None -> add_grant t table ~txn ~item ~mode);
+      true
+    end
+    else false
+
+let release_all t ~txn =
+  Hashtbl.replace t.released txn ();
+  let released_any = ref false in
+  List.iter
+    (fun table ->
+      let mine, rest = List.partition (fun g -> g.g_txn = txn) table.grants in
+      List.iter (fun g -> g.g_active <- false) mine;
+      table.grants <- rest;
+      if mine <> [] then begin
+        released_any := true;
+        pump t table
+      end)
+    (all_tables t);
+  (* Under the cross-level relaxation, a release in one table can
+     unblock waiters queued in another. *)
+  if !released_any && t.config.cross_level then List.iter (pump t) (all_tables t)
+
+let cancel_waits t ~txn =
+  List.iter
+    (fun table ->
+      let mine, rest = List.partition (fun w -> w.w_txn = txn) table.waiters in
+      table.waiters <- rest;
+      List.iter (fun w -> ignore (w.w_waker Cancelled)) mine;
+      (* Removing a waiter may unblock the queue behind it. *)
+      if mine <> [] then pump t table)
+    (all_tables t)
+
+let holds t ~txn item =
+  let table = table_of t item in
+  Option.map (fun g -> g.g_mode) (self_grant table ~txn ~item)
+
+let held_count t ~txn =
+  List.fold_left
+    (fun acc table ->
+      acc + List.length (List.filter (fun g -> g.g_txn = txn) table.grants))
+    0 (all_tables t)
+
+let waiter_count t =
+  List.length t.record_table.waiters
+  + List.length t.page_table.waiters
+  + List.length t.file_table.waiters
+
+let table_size t level =
+  let table =
+    match level with
+    | `Record -> t.record_table
+    | `Page -> t.page_table
+    | `File -> t.file_table
+  in
+  List.length table.grants + List.length table.waiters

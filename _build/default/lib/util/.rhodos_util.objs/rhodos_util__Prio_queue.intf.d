@@ -1,0 +1,1 @@
+lib/util/prio_queue.mli:

@@ -1,0 +1,102 @@
+type t = { bits : bytes; nbits : int }
+
+let create nbits =
+  if nbits < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+
+let length t = t.nbits
+
+let check t i =
+  if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let set_range t ~pos ~len =
+  for i = pos to pos + len - 1 do
+    set t i
+  done
+
+let clear_range t ~pos ~len =
+  for i = pos to pos + len - 1 do
+    clear t i
+  done
+
+let range_all_clear t ~pos ~len =
+  let rec loop i = i >= pos + len || ((not (get t i)) && loop (i + 1)) in
+  loop pos
+
+let range_all_set t ~pos ~len =
+  let rec loop i = i >= pos + len || (get t i && loop (i + 1)) in
+  loop pos
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let count_set t =
+  let full = t.nbits / 8 in
+  let n = ref 0 in
+  for i = 0 to full - 1 do
+    n := !n + popcount_byte (Bytes.get t.bits i)
+  done;
+  for i = full * 8 to t.nbits - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let count_clear t = t.nbits - count_set t
+
+let clear_run_at t i =
+  let rec loop j = if j < t.nbits && not (get t j) then loop (j + 1) else j in
+  if i >= t.nbits || get t i then 0 else loop i - i
+
+let find_clear_run t ~start ~len =
+  if len <= 0 then invalid_arg "Bitset.find_clear_run";
+  let rec scan i =
+    if i + len > t.nbits then None
+    else if get t i then scan (i + 1)
+    else
+      let run = clear_run_at t i in
+      if run >= len then Some i else scan (i + run)
+  in
+  scan (max 0 start)
+
+let iter_clear_runs t f =
+  let rec loop i =
+    if i < t.nbits then
+      if get t i then loop (i + 1)
+      else begin
+        let run = clear_run_at t i in
+        f ~pos:i ~len:run;
+        loop (i + run)
+      end
+  in
+  loop 0
+
+let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }
+
+let equal a b = a.nbits = b.nbits && Bytes.equal a.bits b.bits
+
+let to_bytes t = Bytes.copy t.bits
+
+let of_bytes nbits b =
+  let needed = (nbits + 7) / 8 in
+  if Bytes.length b < needed then invalid_arg "Bitset.of_bytes";
+  { bits = Bytes.sub b 0 needed; nbits }

@@ -1,0 +1,58 @@
+(** Mutable fixed-size bitset with run (extent) queries.
+
+    Used by the disk service for the free-space bitmap: bit [i] set
+    means unit [i] (a fragment) is allocated, clear means free. The run
+    queries are phrased in those terms. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of [n] bits, all clear (all free). *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val set_range : t -> pos:int -> len:int -> unit
+
+val clear_range : t -> pos:int -> len:int -> unit
+
+val range_all_clear : t -> pos:int -> len:int -> bool
+(** All bits in [pos, pos+len) are clear. *)
+
+val range_all_set : t -> pos:int -> len:int -> bool
+
+val count_set : t -> int
+(** Number of set bits. *)
+
+val count_clear : t -> int
+
+val find_clear_run : t -> start:int -> len:int -> int option
+(** [find_clear_run t ~start ~len] is the position of the first run of
+    at least [len] clear bits at or after [start], scanning linearly.
+    This is the slow path the paper's 64x64 array is designed to avoid;
+    the baseline allocator uses it directly. *)
+
+val clear_run_at : t -> int -> int
+(** [clear_run_at t i] is the length of the maximal run of clear bits
+    beginning exactly at [i] (0 if bit [i] is set). *)
+
+val iter_clear_runs : t -> (pos:int -> len:int -> unit) -> unit
+(** Iterate over all maximal runs of clear bits, in increasing
+    position order. Used to (re)build the free-extent array from the
+    bitmap, as the paper prescribes. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val to_bytes : t -> bytes
+(** Serialised form (for writing the bitmap to stable storage). *)
+
+val of_bytes : int -> bytes -> t
+(** [of_bytes n b] restores a bitset of [n] bits from [to_bytes]'s
+    output. Raises [Invalid_argument] if [b] is too short. *)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to checksum stable-storage
+    pages so that a torn mirrored write is detectable on recovery. *)
+
+val bytes : bytes -> int32
+(** Checksum of a whole buffer. *)
+
+val sub : bytes -> pos:int -> len:int -> int32
+(** Checksum of a slice. *)
+
+val string : string -> int32

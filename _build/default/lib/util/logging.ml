@@ -1,0 +1,40 @@
+let sources : (string, Logs.src) Hashtbl.t = Hashtbl.create 8
+
+let src name =
+  match Hashtbl.find_opt sources name with
+  | Some s -> s
+  | None ->
+    let s = Logs.Src.create ("rhodos." ^ name) ~doc:("RHODOS " ^ name) in
+    Hashtbl.replace sources name s;
+    s
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf k Format.err_formatter
+          ("[%s/%s] " ^^ fmt ^^ "@.")
+          (Logs.Src.name src)
+          (Logs.level_to_string (Some level)))
+  in
+  { Logs.report }
+
+let setup ?(level = Logs.Info) () =
+  Logs.set_reporter (reporter ());
+  Logs.set_level (Some level)
+
+let setup_from_env () =
+  match Sys.getenv_opt "RHODOS_LOG" with
+  | None -> ()
+  | Some value ->
+    let level =
+      match String.lowercase_ascii value with
+      | "debug" -> Logs.Debug
+      | "warning" | "warn" -> Logs.Warning
+      | "error" -> Logs.Error
+      | _ -> Logs.Info
+    in
+    setup ~level ()

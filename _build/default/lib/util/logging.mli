@@ -1,0 +1,17 @@
+(** Logging setup for the facility.
+
+    Every subsystem logs through its own [Logs] source (["rhodos.txn"],
+    ["rhodos.block"], ["rhodos.cluster"], ...). Logging is off unless a
+    reporter is installed: call [setup] from executables (the CLI's
+    [--verbose], tests debugging a failure, ...). *)
+
+val src : string -> Logs.src
+(** [src "txn"] is the (memoised) source ["rhodos.txn"]. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter and set the level (default [Info]). *)
+
+val setup_from_env : unit -> unit
+(** [setup] only if [RHODOS_LOG] is set; its value picks the level
+    ("debug", "info", "warning", "error"; anything else means
+    info). Call freely from binaries. *)

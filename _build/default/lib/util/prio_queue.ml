@@ -1,0 +1,84 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* [e1] sorts before [e2]: smaller priority first, then insertion order. *)
+let before e1 e2 =
+  e1.prio < e2.prio || (e1.prio = e2.prio && e1.seq < e2.seq)
+
+let ensure_capacity q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let dummy = q.heap.(0) in
+    let heap = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~prio value =
+  let entry = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if Array.length q.heap = 0 then q.heap <- Array.make 8 entry;
+  ensure_capacity q;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).prio, q.heap.(0).value)
+
+let min_prio q = if q.size = 0 then None else Some q.heap.(0).prio
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear q =
+  q.size <- 0;
+  q.heap <- [||]
+
+let drain q =
+  let rec loop acc =
+    match pop q with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []

@@ -1,0 +1,31 @@
+(** Mutable min-priority queue keyed by [float] priority.
+
+    Ties are broken by insertion order (FIFO), which makes event
+    processing in the simulator deterministic. Implemented as a binary
+    heap over a growable array. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:float -> 'a -> unit
+(** [add q ~prio v] inserts [v] with priority [prio]. *)
+
+val min_prio : 'a t -> float option
+(** Priority of the minimum element, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the element with the smallest priority;
+    among equal priorities, the earliest inserted. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order. *)

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = mix (bits64 t) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+(* Rejection-free approximation: draw a uniform and raise it to a power
+   so that low indices are favoured. theta = 0 gives uniform; this is a
+   standard cheap skew used when an exact Zipf CDF is overkill. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  if theta <= 0. then int t n
+  else
+    let u = float t 1.0 in
+    let idx = Float.to_int (Float.of_int n *. (u ** (1.0 +. theta))) in
+    min (n - 1) (max 0 idx)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))

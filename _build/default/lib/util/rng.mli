@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every simulated component draws from its own [t] so that runs are
+    reproducible regardless of module initialisation order. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator seeded with [seed]. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's
+    subsequent output. *)
+
+val bits64 : t -> int64
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean; used for
+    inter-arrival times. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-like skewed choice in [0, n): [theta = 0.] is uniform,
+    larger values concentrate mass on low indices. Used for hot-spot
+    access patterns. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

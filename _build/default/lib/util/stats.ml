@@ -1,0 +1,129 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+  mutable samples : float array;
+  mutable n_samples : int;
+  max_samples : int;
+}
+
+let create ?(max_samples = 100_000) () =
+  {
+    count = 0;
+    mean = 0.;
+    m2 = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sum = 0.;
+    samples = [||];
+    n_samples = 0;
+    max_samples;
+  }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  if t.n_samples < t.max_samples then begin
+    if t.n_samples >= Array.length t.samples then begin
+      let cap = max 64 (2 * Array.length t.samples) in
+      let samples = Array.make (min cap t.max_samples) 0. in
+      Array.blit t.samples 0 samples 0 t.n_samples;
+      t.samples <- samples
+    end;
+    t.samples.(t.n_samples) <- x;
+    t.n_samples <- t.n_samples + 1
+  end
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then 0. else t.mean
+
+let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t = t.min_v
+
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.n_samples = 0 then 0.
+  else begin
+    let sorted = Array.sub t.samples 0 t.n_samples in
+    Array.sort compare sorted;
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int t.n_samples)) - 1
+    in
+    sorted.(max 0 (min (t.n_samples - 1) rank))
+  end
+
+let merge a b =
+  let t = create ~max_samples:(max a.max_samples b.max_samples) () in
+  let feed src =
+    for i = 0 to src.n_samples - 1 do
+      add t src.samples.(i)
+    done
+  in
+  feed a;
+  feed b;
+  (* Summary fields must reflect all observations, including those whose
+     samples were dropped by the retention bound. *)
+  if a.count + b.count <> t.count then begin
+    let count = a.count + b.count in
+    let mean =
+      if count = 0 then 0.
+      else ((a.mean *. float_of_int a.count) +. (b.mean *. float_of_int b.count))
+           /. float_of_int count
+    in
+    t.count <- count;
+    t.sum <- a.sum +. b.sum;
+    t.mean <- mean;
+    t.min_v <- Float.min a.min_v b.min_v;
+    t.max_v <- Float.max a.max_v b.max_v
+  end;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count
+    (mean t) (stddev t)
+    (if t.count = 0 then 0. else t.min_v)
+    (if t.count = 0 then 0. else t.max_v)
+
+module Counter = struct
+  type nonrec t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let find t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+  let incr t name = Stdlib.incr (find t name)
+
+  let add t name n =
+    let r = find t name in
+    r := !r + n
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let reset t = Hashtbl.reset t
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

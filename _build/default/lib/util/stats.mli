@@ -1,0 +1,58 @@
+(** Online statistics and counters for the simulation's measurements. *)
+
+type t
+(** A running summary: count, mean, variance (Welford), min, max, sum.
+    Samples are also retained (up to a bound) for percentiles. *)
+
+val create : ?max_samples:int -> unit -> t
+(** [max_samples] bounds retained samples for percentile queries
+    (default 100_000; older samples beyond the bound are dropped by
+    reservoir-free truncation — percentiles then reflect the first
+    [max_samples] observations). *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100], by nearest-rank over retained
+    samples; 0. when empty. *)
+
+val merge : t -> t -> t
+(** Combined summary (samples concatenated up to the bound). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Named monotonic counters, for disk references, cache hits, etc. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> string -> unit
+
+  val add : t -> string -> int -> unit
+
+  val get : t -> string -> int
+  (** 0 for a name never incremented. *)
+
+  val reset : t -> unit
+
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end

@@ -1,0 +1,58 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Text_table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf
+    (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
+    fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i cell =
+    let extra = widths.(i) - String.length cell in
+    cell ^ String.make (max 0 extra) ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad i cell);
+        Buffer.add_string buf " | ")
+      row;
+    (* Drop the trailing space after the final separator. *)
+    let len = Buffer.length buf in
+    Buffer.truncate buf (len - 1);
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make (w + 2) '-'); Buffer.add_char buf '|')
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness, so every
+    reproduced table/figure prints in the same aligned format. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the
+    header. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Convenience: format a single string and split it on ['|'] into
+    cells. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Buffer Bytes Format List Printf Rhodos_sim Rhodos_util String

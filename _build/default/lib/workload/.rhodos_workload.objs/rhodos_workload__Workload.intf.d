@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Format Rhodos_sim Rhodos_util

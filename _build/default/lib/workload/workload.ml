@@ -1,0 +1,135 @@
+module Sim = Rhodos_sim.Sim
+module Rng = Rhodos_util.Rng
+module Stats = Rhodos_util.Stats
+
+type op =
+  | Read of { file : int; off : int; len : int }
+  | Write of { file : int; off : int; len : int }
+
+let op_file = function Read { file; _ } | Write { file; _ } -> file
+let op_len = function Read { len; _ } | Write { len; _ } -> len
+let is_read = function Read _ -> true | Write _ -> false
+
+let chunked ~size ~chunk f =
+  if size <= 0 || chunk <= 0 then []
+  else
+    List.init
+      ((size + chunk - 1) / chunk)
+      (fun i -> f ~off:(i * chunk) ~len:(min chunk (size - (i * chunk))))
+
+let sequential_read ~file ~size ~chunk =
+  chunked ~size ~chunk (fun ~off ~len -> Read { file; off; len })
+
+let sequential_write ~file ~size ~chunk =
+  chunked ~size ~chunk (fun ~off ~len -> Write { file; off; len })
+
+let random_ops ~rng ~file ~size ~count ~chunk ~read_fraction =
+  let slots = max 1 (size / chunk) in
+  List.init count (fun _ ->
+      let off = Rng.int rng slots * chunk in
+      let len = min chunk (size - off) in
+      if Rng.float rng 1.0 < read_fraction then Read { file; off; len }
+      else Write { file; off; len })
+
+let hotspot_ops ~rng ~files ~count ~chunk ~read_fraction ~theta =
+  if Array.length files = 0 then invalid_arg "hotspot_ops: no files";
+  List.init count (fun _ ->
+      let file, size = files.(Rng.zipf rng ~n:(Array.length files) ~theta) in
+      let slots = max 1 (size / chunk) in
+      let off = Rng.int rng slots * chunk in
+      let len = max 1 (min chunk (size - off)) in
+      if Rng.float rng 1.0 < read_fraction then Read { file; off; len }
+      else Write { file; off; len })
+
+let working_set_rereads ~rng ~files ~rounds ~chunk =
+  let rec round n acc =
+    if n = 0 then List.concat (List.rev acc)
+    else begin
+      let order = Array.copy files in
+      Rng.shuffle rng order;
+      let ops =
+        Array.to_list order
+        |> List.concat_map (fun (file, size) -> sequential_read ~file ~size ~chunk)
+      in
+      round (n - 1) (ops :: acc)
+    end
+  in
+  round rounds []
+
+let file_size_distribution ~rng ~n =
+  List.init n (fun _ ->
+      let bucket = Rng.float rng 1.0 in
+      if bucket < 0.70 then 512 + Rng.int rng (8 * 1024 - 512)
+      else if bucket < 0.95 then 8 * 1024 * (1 + Rng.int rng 16)
+      else 128 * 1024 * (1 + Rng.int rng 16))
+
+let trace_to_string ops =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun op ->
+      let tag, file, off, len =
+        match op with
+        | Read { file; off; len } -> ('R', file, off, len)
+        | Write { file; off; len } -> ('W', file, off, len)
+      in
+      Buffer.add_string buf (Printf.sprintf "%c %d %d %d\n" tag file off len))
+    ops;
+  Buffer.contents buf
+
+let trace_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "R"; file; off; len ] -> (
+           try Some (Read { file = int_of_string file; off = int_of_string off; len = int_of_string len })
+           with Failure _ -> None)
+         | [ "W"; file; off; len ] -> (
+           try Some (Write { file = int_of_string file; off = int_of_string off; len = int_of_string len })
+           with Failure _ -> None)
+         | _ -> None)
+
+type result = {
+  ops : int;
+  reads : int;
+  writes : int;
+  bytes : int;
+  elapsed_ms : float;
+  latency : Stats.t;
+}
+
+let run ~sim ~read ~write ops =
+  let latency = Stats.create () in
+  let reads = ref 0 and writes = ref 0 and bytes = ref 0 in
+  let started = Sim.now sim in
+  List.iter
+    (fun op ->
+      let t0 = Sim.now sim in
+      (match op with
+      | Read { file; off; len } ->
+        let data = read ~file ~off ~len in
+        incr reads;
+        bytes := !bytes + Bytes.length data
+      | Write { file; off; len } ->
+        write ~file ~off ~data:(Bytes.make len 'w');
+        incr writes;
+        bytes := !bytes + len);
+      Stats.add latency (Sim.now sim -. t0))
+    ops;
+  {
+    ops = List.length ops;
+    reads = !reads;
+    writes = !writes;
+    bytes = !bytes;
+    elapsed_ms = Sim.now sim -. started;
+    latency;
+  }
+
+let throughput_mb_per_s r =
+  if r.elapsed_ms <= 0. then 0.
+  else float_of_int r.bytes /. 1024. /. 1024. /. (r.elapsed_ms /. 1000.)
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d ops (%dr/%dw) %.1f KiB in %.2f ms (%.2f MB/s, lat %a)"
+    r.ops r.reads r.writes
+    (float_of_int r.bytes /. 1024.)
+    r.elapsed_ms (throughput_mb_per_s r) Stats.pp r.latency

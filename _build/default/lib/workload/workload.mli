@@ -1,0 +1,93 @@
+(** Synthetic workload generation for the evaluation harness.
+
+    The paper reports no traces, so every experiment drives the system
+    with parameterised synthetic workloads: sequential and random
+    scans, skewed (hot-spot) access, early-1990s file-size
+    distributions, and transactional mixes in the style of
+    debit-credit. Generators are deterministic given the seed. *)
+
+type op =
+  | Read of { file : int; off : int; len : int }
+  | Write of { file : int; off : int; len : int }
+
+val op_file : op -> int
+val op_len : op -> int
+val is_read : op -> bool
+
+(** {1 Access-pattern generators} *)
+
+val sequential_read : file:int -> size:int -> chunk:int -> op list
+(** Scan the whole file in [chunk]-byte reads. *)
+
+val sequential_write : file:int -> size:int -> chunk:int -> op list
+
+val random_ops :
+  rng:Rhodos_util.Rng.t ->
+  file:int ->
+  size:int ->
+  count:int ->
+  chunk:int ->
+  read_fraction:float ->
+  op list
+(** Uniformly random offsets (chunk-aligned). *)
+
+val hotspot_ops :
+  rng:Rhodos_util.Rng.t ->
+  files:(int * int) array ->
+  count:int ->
+  chunk:int ->
+  read_fraction:float ->
+  theta:float ->
+  op list
+(** Zipf-skewed choice among [(file, size)] pairs: [theta = 0.] is
+    uniform; larger values concentrate on the first files. *)
+
+val working_set_rereads :
+  rng:Rhodos_util.Rng.t ->
+  files:(int * int) array ->
+  rounds:int ->
+  chunk:int ->
+  op list
+(** Read every file fully, [rounds] times, in shuffled order — the
+    re-read pattern where client caching pays (experiment E6). *)
+
+(** {1 File-size distribution} *)
+
+val file_size_distribution : rng:Rhodos_util.Rng.t -> n:int -> int list
+(** Sizes drawn from an early-90s-like mix: ~70% small files
+    (<= 8 KiB), ~25% medium (<= 128 KiB), ~5% large (<= 2 MiB).
+    Calibrated to the shape (not the absolutes) of the BSD/Sprite
+    file-size studies the paper's design arguments rely on. *)
+
+(** {1 Traces} *)
+
+val trace_to_string : op list -> string
+(** One line per op ("R file off len" / "W file off len") — a stable
+    textual trace for saving a workload and replaying it later. *)
+
+val trace_of_string : string -> op list
+(** Inverse of [trace_to_string]; unparseable lines are skipped. *)
+
+(** {1 Execution} *)
+
+type result = {
+  ops : int;
+  reads : int;
+  writes : int;
+  bytes : int;
+  elapsed_ms : float;
+  latency : Rhodos_util.Stats.t;  (** per-op simulated latency *)
+}
+
+val run :
+  sim:Rhodos_sim.Sim.t ->
+  read:(file:int -> off:int -> len:int -> bytes) ->
+  write:(file:int -> off:int -> data:bytes -> unit) ->
+  op list ->
+  result
+(** Execute the ops sequentially in the calling process, timing each
+    against the simulated clock. *)
+
+val throughput_mb_per_s : result -> float
+
+val pp_result : Format.formatter -> result -> unit

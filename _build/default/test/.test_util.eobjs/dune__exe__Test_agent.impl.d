@@ -1,0 +1,1 @@
+test/test_agent.ml: Alcotest Bytes Hashtbl Rhodos_agent Rhodos_block Rhodos_disk Rhodos_file Rhodos_naming Rhodos_sim Rhodos_txn Rhodos_util

@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Bytes Char Hashtbl List QCheck QCheck_alcotest Rhodos_block Rhodos_disk Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Char Hashtbl List QCheck QCheck_alcotest Rhodos_cache Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Char Format List Printf QCheck QCheck_alcotest Rhodos Rhodos_agent Rhodos_file Rhodos_sim Rhodos_txn Rhodos_util

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char List Printf QCheck QCheck_alcotest Rhodos_disk Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_file.ml: Alcotest Array Bytes Char Gen List Printf QCheck QCheck_alcotest Rhodos_block Rhodos_disk Rhodos_file Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Array Bytes Format List Printf Rhodos Rhodos_agent Rhodos_block Rhodos_disk Rhodos_file Rhodos_sim Rhodos_txn Rhodos_util

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Fmt Format List Printf QCheck QCheck_alcotest Rhodos_naming Rhodos_util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List QCheck QCheck_alcotest Rhodos_net Rhodos_sim

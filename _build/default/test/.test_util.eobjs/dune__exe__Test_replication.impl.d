@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Bytes Char Fun List Printf QCheck QCheck_alcotest Rhodos_block Rhodos_disk Rhodos_file Rhodos_replication Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_stable.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Rhodos_disk Rhodos_sim Rhodos_stable

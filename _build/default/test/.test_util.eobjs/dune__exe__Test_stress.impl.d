@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bytes Char Format List Printf Rhodos Rhodos_agent Rhodos_file Rhodos_sim Rhodos_util

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Bytes Int64 List Printf QCheck QCheck_alcotest Rhodos_block Rhodos_disk Rhodos_file Rhodos_sim Rhodos_txn Rhodos_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Bytes Crc32 Float Fun Gen List Prio_queue QCheck QCheck_alcotest Rhodos_util Rng Stats String Text_table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bytes Hashtbl List Rhodos_baseline Rhodos_block Rhodos_disk Rhodos_net Rhodos_sim Rhodos_util Rhodos_workload

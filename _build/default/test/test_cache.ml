@@ -1,0 +1,202 @@
+module Sim = Rhodos_sim.Sim
+module Cache = Rhodos_cache.Buffer_cache
+module Counter = Rhodos_util.Stats.Counter
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let run_in_sim f =
+  let sim = Sim.create () in
+  let result = ref None in
+  let _ = Sim.spawn sim (fun () -> result := Some (f sim)) in
+  Sim.run sim;
+  match !result with Some r -> r | None -> Alcotest.fail "process did not finish"
+
+(* A cache over a recording "store" so write-back behaviour is
+   observable. *)
+let make_cache ?(capacity = 4) ~policy sim =
+  let store : (int, bytes) Hashtbl.t = Hashtbl.create 16 in
+  let log = ref [] in
+  let writeback k data =
+    log := k :: !log;
+    Hashtbl.replace store k (Bytes.copy data)
+  in
+  let cache = Cache.create ~sim ~capacity ~policy ~writeback () in
+  (cache, store, log)
+
+let data tag = Bytes.make 8 (Char.chr (Char.code 'a' + tag))
+
+let test_miss_then_hit () =
+  run_in_sim (fun sim ->
+      let c, _, _ = make_cache ~policy:Cache.Write_through sim in
+      check (Alcotest.option Alcotest.bytes) "miss" None (Cache.find c 1);
+      Cache.insert_clean c 1 (data 1);
+      check (Alcotest.option Alcotest.bytes) "hit" (Some (data 1)) (Cache.find c 1);
+      let s = Cache.stats c in
+      check int "one hit" 1 (Counter.get s "hits");
+      check int "one miss" 1 (Counter.get s "misses"))
+
+let test_write_through_persists_immediately () =
+  run_in_sim (fun sim ->
+      let c, store, _ = make_cache ~policy:Cache.Write_through sim in
+      Cache.write c 7 (data 2);
+      check bool "persisted now" true (Hashtbl.mem store 7);
+      check int "no dirty buffers" 0 (Cache.dirty_count c))
+
+let test_delayed_write_defers () =
+  run_in_sim (fun sim ->
+      let c, store, _ =
+        make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 0. }) sim
+      in
+      Cache.write c 7 (data 3);
+      check bool "not yet persisted" false (Hashtbl.mem store 7);
+      check int "one dirty" 1 (Cache.dirty_count c);
+      Cache.flush c;
+      check bool "persisted after flush" true (Hashtbl.mem store 7);
+      check int "clean after flush" 0 (Cache.dirty_count c))
+
+let test_periodic_flusher () =
+  let sim = Sim.create () in
+  let c, store, _ =
+    make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 30. }) sim
+  in
+  let _ = Sim.spawn sim (fun () -> Cache.write c 1 (data 1)) in
+  Sim.run ~until:10. sim;
+  check bool "not flushed at t=10" false (Hashtbl.mem store 1);
+  Sim.run ~until:40. sim;
+  check bool "flushed by t=40" true (Hashtbl.mem store 1);
+  Cache.stop c;
+  Sim.run ~until:1000. sim
+
+let test_lru_eviction () =
+  run_in_sim (fun sim ->
+      let c, _, _ = make_cache ~capacity:2 ~policy:Cache.Write_through sim in
+      Cache.insert_clean c 1 (data 1);
+      Cache.insert_clean c 2 (data 2);
+      ignore (Cache.find c 1) (* 1 is now most recent *);
+      Cache.insert_clean c 3 (data 3) (* evicts 2 *);
+      check bool "1 kept" true (Cache.find c 1 <> None);
+      check bool "3 kept" true (Cache.find c 3 <> None);
+      check bool "2 evicted" true (Cache.find c 2 = None);
+      check int "length bounded" 2 (Cache.length c))
+
+let test_dirty_eviction_writes_back () =
+  run_in_sim (fun sim ->
+      let c, store, _ =
+        make_cache ~capacity:1 ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          sim
+      in
+      Cache.write c 1 (data 1);
+      Cache.write c 2 (data 2) (* evicts dirty 1 *);
+      check bool "evicted dirty written back" true (Hashtbl.mem store 1);
+      check int "dirty eviction counted" 1
+        (Counter.get (Cache.stats c) "dirty_evictions"))
+
+let test_invalidate_drops_dirty () =
+  run_in_sim (fun sim ->
+      let c, store, _ =
+        make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 0. }) sim
+      in
+      Cache.write c 1 (data 1);
+      Cache.invalidate c 1;
+      Cache.flush c;
+      check bool "never written" false (Hashtbl.mem store 1))
+
+let test_flush_key () =
+  run_in_sim (fun sim ->
+      let c, store, _ =
+        make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 0. }) sim
+      in
+      Cache.write c 1 (data 1);
+      Cache.write c 2 (data 2);
+      Cache.flush_key c 1;
+      check bool "key 1 persisted" true (Hashtbl.mem store 1);
+      check bool "key 2 still dirty" false (Hashtbl.mem store 2);
+      check int "one dirty left" 1 (Cache.dirty_count c))
+
+let test_crash_loses_dirty () =
+  run_in_sim (fun sim ->
+      let c, store, _ =
+        make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 0. }) sim
+      in
+      Cache.write c 1 (data 1);
+      Cache.write c 2 (data 2);
+      Cache.flush_key c 1;
+      let lost = Cache.crash c in
+      check int "one dirty buffer lost" 1 lost;
+      check bool "flushed data survived below" true (Hashtbl.mem store 1);
+      check bool "unflushed data gone" false (Hashtbl.mem store 2);
+      check int "cache empty" 0 (Cache.length c))
+
+let test_write_updates_existing () =
+  run_in_sim (fun sim ->
+      let c, store, _ = make_cache ~policy:Cache.Write_through sim in
+      Cache.write c 1 (data 1);
+      Cache.write c 1 (data 2);
+      check (Alcotest.option Alcotest.bytes) "latest value" (Some (data 2))
+        (Cache.find c 1);
+      check bool "store has latest" true (Bytes.equal (Hashtbl.find store 1) (data 2)))
+
+let test_flush_order_oldest_first () =
+  run_in_sim (fun sim ->
+      let c, _, log =
+        make_cache ~capacity:8 ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          sim
+      in
+      Cache.write c 3 (data 1);
+      Cache.write c 1 (data 1);
+      Cache.write c 2 (data 1);
+      Cache.flush c;
+      check (Alcotest.list int) "oldest first" [ 3; 1; 2 ] (List.rev !log))
+
+let delayed_write_coalesces_prop =
+  (* N writes to the same key cost exactly one writeback on flush. *)
+  QCheck.Test.make ~name:"delayed-write coalesces repeated writes" ~count:50
+    QCheck.(int_range 1 20)
+    (fun n ->
+      run_in_sim (fun sim ->
+          let c, _, log =
+            make_cache ~policy:(Cache.Delayed_write { flush_interval_ms = 0. }) sim
+          in
+          for i = 1 to n do
+            Cache.write c 42 (data (i mod 20))
+          done;
+          Cache.flush c;
+          List.length !log = 1))
+
+let cache_never_exceeds_capacity_prop =
+  QCheck.Test.make ~name:"cache never exceeds capacity" ~count:50
+    QCheck.(pair (int_range 1 6) (small_list (int_bound 20)))
+    (fun (cap, keys) ->
+      run_in_sim (fun sim ->
+          let c, _, _ = make_cache ~capacity:cap ~policy:Cache.Write_through sim in
+          List.iter (fun k -> Cache.write c k (data (k mod 20))) keys;
+          Cache.length c <= cap))
+
+let () =
+  Alcotest.run "rhodos_cache"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+          Alcotest.test_case "write-through immediate" `Quick
+            test_write_through_persists_immediately;
+          Alcotest.test_case "delayed-write defers" `Quick test_delayed_write_defers;
+          Alcotest.test_case "periodic flusher" `Quick test_periodic_flusher;
+          Alcotest.test_case "write updates" `Quick test_write_updates_existing;
+          Alcotest.test_case "flush oldest first" `Quick test_flush_order_oldest_first;
+          QCheck_alcotest.to_alcotest delayed_write_coalesces_prop;
+        ] );
+      ( "replacement",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "dirty eviction writes back" `Quick
+            test_dirty_eviction_writes_back;
+          Alcotest.test_case "invalidate drops dirty" `Quick test_invalidate_drops_dirty;
+          Alcotest.test_case "flush_key" `Quick test_flush_key;
+          QCheck_alcotest.to_alcotest cache_never_exceeds_capacity_prop;
+        ] );
+      ( "failure",
+        [ Alcotest.test_case "crash loses dirty window" `Quick test_crash_loses_dirty ] );
+    ]

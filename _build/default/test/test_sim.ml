@@ -1,0 +1,327 @@
+module Sim = Rhodos_sim.Sim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let fl = Alcotest.float 1e-9
+
+let test_clock_starts_at_zero () =
+  let t = Sim.create () in
+  check fl "t=0" 0. (Sim.now t);
+  Sim.run t;
+  check fl "still 0 with no events" 0. (Sim.now t)
+
+let test_sleep_advances_clock () =
+  let t = Sim.create () in
+  let woke = ref (-1.) in
+  let _ = Sim.spawn t (fun () -> Sim.sleep t 12.5; woke := Sim.now t) in
+  Sim.run t;
+  check fl "woke at 12.5" 12.5 !woke;
+  check fl "clock at 12.5" 12.5 (Sim.now t)
+
+let test_spawn_at () =
+  let t = Sim.create () in
+  let started = ref (-1.) in
+  let _ = Sim.spawn_at t ~at:100. (fun () -> started := Sim.now t) in
+  Sim.run t;
+  check fl "started at 100" 100. !started
+
+let test_deterministic_ordering () =
+  (* Two processes scheduled at the same instant run in spawn order. *)
+  let t = Sim.create () in
+  let log = ref [] in
+  let _ = Sim.spawn t (fun () -> log := "a" :: !log) in
+  let _ = Sim.spawn t (fun () -> log := "b" :: !log) in
+  Sim.run t;
+  check (Alcotest.list Alcotest.string) "spawn order" [ "a"; "b" ] (List.rev !log)
+
+let test_run_until () =
+  let t = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule t ~at:5. (fun () -> incr fired);
+  Sim.schedule t ~at:15. (fun () -> incr fired);
+  Sim.run ~until:10. t;
+  check int "only first fired" 1 !fired;
+  check fl "clock clamped to until" 10. (Sim.now t);
+  Sim.run t;
+  check int "second fires later" 2 !fired
+
+let test_exception_propagates () =
+  let t = Sim.create () in
+  let _ = Sim.spawn t (fun () -> failwith "boom") in
+  Alcotest.check_raises "process failure re-raised" (Failure "boom") (fun () ->
+      Sim.run t)
+
+let test_mailbox_delivery_order () =
+  let t = Sim.create () in
+  let mb = Sim.Mailbox.create t in
+  let got = ref [] in
+  let _ = Sim.spawn t (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.recv mb :: !got
+      done) in
+  let _ = Sim.spawn t (fun () ->
+      Sim.Mailbox.send mb 1;
+      Sim.sleep t 1.;
+      Sim.Mailbox.send mb 2;
+      Sim.Mailbox.send mb 3) in
+  Sim.run t;
+  check (Alcotest.list int) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_queues_when_no_receiver () =
+  let t = Sim.create () in
+  let mb = Sim.Mailbox.create t in
+  Sim.Mailbox.send mb 7;
+  check int "queued" 1 (Sim.Mailbox.length mb);
+  check (Alcotest.option int) "try_recv" (Some 7) (Sim.Mailbox.try_recv mb);
+  check (Alcotest.option int) "empty now" None (Sim.Mailbox.try_recv mb)
+
+let test_mailbox_timeout () =
+  let t = Sim.create () in
+  let mb = Sim.Mailbox.create t in
+  let result = ref (Some 0) in
+  let when_done = ref 0. in
+  let _ = Sim.spawn t (fun () ->
+      result := Sim.Mailbox.recv_timeout mb 8.;
+      when_done := Sim.now t) in
+  Sim.run t;
+  check (Alcotest.option int) "timed out" None !result;
+  check fl "at timeout instant" 8. !when_done
+
+let test_mailbox_timeout_beaten_by_message () =
+  let t = Sim.create () in
+  let mb = Sim.Mailbox.create t in
+  let result = ref None in
+  let _ = Sim.spawn t (fun () -> result := Sim.Mailbox.recv_timeout mb 10.) in
+  let _ = Sim.spawn t (fun () -> Sim.sleep t 2.; Sim.Mailbox.send mb 99) in
+  Sim.run t;
+  check (Alcotest.option int) "message wins" (Some 99) !result;
+  check fl "clock not dragged to timeout" 2. (Sim.now t)
+
+let test_semaphore_mutual_exclusion () =
+  let t = Sim.create () in
+  let sem = Sim.Semaphore.create t 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  let worker () =
+    Sim.Semaphore.acquire sem;
+    incr inside;
+    if !inside > !max_inside then max_inside := !inside;
+    Sim.sleep t 3.;
+    decr inside;
+    Sim.Semaphore.release sem
+  in
+  for _ = 1 to 5 do
+    ignore (Sim.spawn t worker)
+  done;
+  Sim.run t;
+  check int "never two inside" 1 !max_inside;
+  check fl "serialized: 5 * 3ms" 15. (Sim.now t)
+
+let test_semaphore_try_acquire () =
+  let t = Sim.create () in
+  let sem = Sim.Semaphore.create t 1 in
+  check bool "first succeeds" true (Sim.Semaphore.try_acquire sem);
+  check bool "second fails" false (Sim.Semaphore.try_acquire sem);
+  Sim.Semaphore.release sem;
+  check int "available again" 1 (Sim.Semaphore.available sem)
+
+let test_condition_signal () =
+  let t = Sim.create () in
+  let c = Sim.Condition.create t in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    ignore (Sim.spawn t (fun () ->
+        Sim.Condition.wait c;
+        woken := i :: !woken))
+  done;
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 1.;
+      Sim.Condition.signal c;
+      Sim.sleep t 1.;
+      Sim.Condition.broadcast c) in
+  Sim.run t;
+  check int "all woken" 3 (List.length !woken);
+  check int "first signalled is first waiter" 1 (List.nth (List.rev !woken) 0)
+
+let test_condition_wait_timeout () =
+  let t = Sim.create () in
+  let c = Sim.Condition.create t in
+  let r1 = ref true and r2 = ref false in
+  let _ = Sim.spawn t (fun () -> r1 := Sim.Condition.wait_timeout c 5.) in
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 10.;
+      (* waiter 1 timed out already; this wakes nobody waiting *)
+      ignore (Sim.spawn t (fun () -> r2 := Sim.Condition.wait_timeout c 5.));
+      Sim.sleep t 1.;
+      Sim.Condition.signal c) in
+  Sim.run t;
+  check bool "first timed out" false !r1;
+  check bool "second signalled" true !r2
+
+let test_kill_blocked_process () =
+  let t = Sim.create () in
+  let killed_at = ref (-1.) in
+  let victim = Sim.spawn t (fun () ->
+      try Sim.sleep t 1000. with Sim.Killed as e ->
+        killed_at := Sim.now t;
+        raise e) in
+  let _ = Sim.spawn t (fun () -> Sim.sleep t 3.; Sim.kill t victim) in
+  Sim.run t;
+  check fl "killed at 3" 3. !killed_at;
+  check bool "dead" false (Sim.is_alive t victim);
+  check fl "stale timer skipped" 3. (Sim.now t)
+
+let test_kill_while_ready () =
+  (* Killing a process that has been woken but not yet resumed: it
+     still runs up to its next blocking point (it already owns the
+     wakeup value), and dies there. *)
+  let t = Sim.create () in
+  let mb = Sim.Mailbox.create t in
+  let got = ref 0 and died = ref false and after_sleep = ref false in
+  let victim = Sim.spawn t (fun () ->
+      (try
+         got := Sim.Mailbox.recv mb;
+         Sim.sleep t 5. (* the next blocking point *);
+         after_sleep := true
+       with Sim.Killed as e ->
+         died := true;
+         raise e)) in
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 1.;
+      Sim.Mailbox.send mb 42 (* victim becomes ready... *);
+      Sim.kill t victim (* ...and is killed before it resumes *)) in
+  Sim.run t;
+  check int "delivered value was consumed" 42 !got;
+  check bool "killed at the next block" true !died;
+  check bool "never passed the sleep" false !after_sleep
+
+let test_kill_before_first_run () =
+  let t = Sim.create () in
+  let ran = ref false in
+  let victim = Sim.spawn_at t ~at:10. (fun () -> ran := true) in
+  let _ = Sim.spawn t (fun () -> Sim.kill t victim) in
+  Sim.run t;
+  check bool "never started" false !ran;
+  check bool "dead" false (Sim.is_alive t victim)
+
+let test_kill_is_idempotent () =
+  let t = Sim.create () in
+  let victim = Sim.spawn t (fun () -> Sim.sleep t 100.) in
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 1.;
+      Sim.kill t victim;
+      Sim.kill t victim) in
+  Sim.run t;
+  check bool "dead" false (Sim.is_alive t victim)
+
+let test_yield_interleaving () =
+  let t = Sim.create () in
+  let log = ref [] in
+  let _ = Sim.spawn t (fun () ->
+      log := "a1" :: !log;
+      Sim.yield t;
+      log := "a2" :: !log) in
+  let _ = Sim.spawn t (fun () -> log := "b" :: !log) in
+  Sim.run t;
+  check (Alcotest.list Alcotest.string) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_suspend_custom_primitive () =
+  (* Build a one-shot future out of [suspend]. *)
+  let t = Sim.create () in
+  let cell = ref None in
+  let value = ref 0 in
+  let _ = Sim.spawn t (fun () ->
+      value := Sim.suspend t (fun waker -> cell := Some waker)) in
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 2.;
+      match !cell with
+      | Some waker ->
+        check bool "first wake accepted" true (waker 17);
+        check bool "second wake rejected" false (waker 18)
+      | None -> Alcotest.fail "waker not registered") in
+  Sim.run t;
+  check int "value delivered" 17 !value
+
+let test_many_processes () =
+  let t = Sim.create () in
+  let n = 2000 in
+  let done_count = ref 0 in
+  for i = 1 to n do
+    ignore (Sim.spawn t (fun () ->
+        Sim.sleep t (float_of_int (i mod 17));
+        incr done_count))
+  done;
+  Sim.run t;
+  check int "all completed" n !done_count
+
+(* Bit-for-bit determinism: the same seeded scenario produces the same
+   event trace on every run — the property all experiment
+   reproducibility rests on. *)
+let determinism_prop =
+  QCheck.Test.make ~name:"identical seeds give identical traces" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let trace () =
+        let t = Sim.create () in
+        let rng = Rhodos_util.Rng.create seed in
+        let log = ref [] in
+        let mb = Sim.Mailbox.create t in
+        for i = 1 to 8 do
+          ignore
+            (Sim.spawn t (fun () ->
+                 for _ = 1 to 5 do
+                   Sim.sleep t (Rhodos_util.Rng.float rng 10.);
+                   Sim.Mailbox.send mb i;
+                   match Sim.Mailbox.recv_timeout mb 1. with
+                   | Some v -> log := (Sim.now t, v) :: !log
+                   | None -> log := (Sim.now t, -1) :: !log
+                 done))
+        done;
+        Sim.run t;
+        (!log, Sim.now t)
+      in
+      trace () = trace ())
+
+let () =
+  Alcotest.run "rhodos_sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "sleep advances" `Quick test_sleep_advances_clock;
+          Alcotest.test_case "spawn_at" `Quick test_spawn_at;
+          Alcotest.test_case "deterministic order" `Quick test_deterministic_ordering;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "delivery order" `Quick test_mailbox_delivery_order;
+          Alcotest.test_case "queues" `Quick test_mailbox_queues_when_no_receiver;
+          Alcotest.test_case "timeout" `Quick test_mailbox_timeout;
+          Alcotest.test_case "message beats timeout" `Quick
+            test_mailbox_timeout_beaten_by_message;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+          Alcotest.test_case "try_acquire" `Quick test_semaphore_try_acquire;
+        ] );
+      ( "condition",
+        [
+          Alcotest.test_case "signal/broadcast" `Quick test_condition_signal;
+          Alcotest.test_case "wait timeout" `Quick test_condition_wait_timeout;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "kill blocked" `Quick test_kill_blocked_process;
+          Alcotest.test_case "kill while ready" `Quick test_kill_while_ready;
+          Alcotest.test_case "kill before first run" `Quick test_kill_before_first_run;
+          Alcotest.test_case "kill idempotent" `Quick test_kill_is_idempotent;
+          Alcotest.test_case "yield" `Quick test_yield_interleaving;
+          Alcotest.test_case "suspend primitive" `Quick test_suspend_custom_primitive;
+          Alcotest.test_case "many processes" `Quick test_many_processes;
+          QCheck_alcotest.to_alcotest determinism_prop;
+        ] );
+    ]
