@@ -1,0 +1,100 @@
+(* Correctness-analysis driver for the @analyze alias. Runs the
+   Table 1 model check, the seeded deadlock-detector scenarios and
+   the simulator determinism sanitizer; prints each report and exits
+   nonzero if any analysis fails. *)
+
+module Sim = Rhodos_sim.Sim
+module Analysis = Rhodos_analysis
+module Counter = Rhodos_util.Stats.Counter
+
+let failures = ref 0
+
+let section name ok detail =
+  Format.printf "@[<v>== %s: %s@ %s@]@.@." name
+    (if ok then "ok" else "FAIL")
+    detail;
+  if not ok then incr failures
+
+(* ------------------------------------------------------------------ *)
+(* 1. Table 1 model check                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_table_check () =
+  let checks = Analysis.Table_check.run () in
+  section "table-1 model check"
+    (Analysis.Table_check.all_ok checks)
+    (Format.asprintf "%a" Analysis.Table_check.pp_report checks)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Deadlock detector: seeded cycle and seeded false abort           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_outcome fmt (o : Analysis.Scenarios.deadlock_outcome) =
+  Format.fprintf fmt
+    "true_deadlocks=%d false_aborts=%d cycle=%s aborted=[%s]"
+    o.true_deadlocks o.false_aborts
+    (match o.cycle with
+    | None -> "none"
+    | Some c -> String.concat "->" (List.map string_of_int c))
+    (String.concat ";" (List.map string_of_int o.aborted))
+
+let run_deadlock_scenarios () =
+  let o = Analysis.Scenarios.two_cycle () in
+  section "deadlock: seeded 2-cycle"
+    (o.true_deadlocks >= 1
+    && (match o.cycle with Some (_ :: _ :: _) -> true | _ -> false)
+    && o.aborted <> [])
+    (Format.asprintf "%a" pp_outcome o);
+  let o = Analysis.Scenarios.long_transaction_false_abort () in
+  section "deadlock: long transaction, no cycle"
+    (o.false_aborts >= 1 && o.true_deadlocks = 0 && o.aborted = [ 1 ])
+    (Format.asprintf "%a" pp_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Determinism sanitizer                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An order-independent workload: clients bank into distinct cells,
+   with sleeps, mailbox traffic and same-time wakeups. Must survive
+   perturbed tie-breaking with identical observations. *)
+let run_determinism () =
+  let cells = 8 in
+  let results = Array.make cells 0 in
+  let setup sim =
+    Array.fill results 0 cells 0;
+    let mb = Sim.Mailbox.create sim in
+    ignore
+      (Sim.spawn ~name:"server" sim (fun () ->
+           for _ = 1 to cells do
+             let i = Sim.Mailbox.recv mb in
+             results.(i) <- results.(i) + (i * i)
+           done));
+    for i = 0 to cells - 1 do
+      ignore
+        (Sim.spawn ~name:"client" sim (fun () ->
+             Sim.sleep sim 1.;
+             Sim.Mailbox.send mb i;
+             Sim.sleep sim 2.;
+             results.(i) <- results.(i) + 1))
+    done
+  in
+  let observe _sim =
+    String.concat ","
+      (Array.to_list (Array.map string_of_int results))
+  in
+  let report = Analysis.Determinism.run_twice_compare ~setup ~observe () in
+  section "determinism sanitizer"
+    (Analysis.Determinism.ok report)
+    (Format.asprintf "%a" Analysis.Determinism.pp_report report)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  run_table_check ();
+  run_deadlock_scenarios ();
+  run_determinism ();
+  if !failures > 0 then begin
+    Format.eprintf "analyze: %d analysis(es) failed@." !failures;
+    exit 1
+  end
+  else Format.printf "analyze: all analyses passed@."

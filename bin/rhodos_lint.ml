@@ -1,0 +1,28 @@
+(* Repo lint driver: [rhodos_lint DIR...] lints every .ml under the
+   given directories (default: lib) and exits nonzero on any
+   violation. Wired to the @lint alias, which is part of the tier-1
+   runtest path. *)
+
+module Lint = Rhodos_analysis.Lint
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: d -> d
+  in
+  List.iter
+    (fun d ->
+      if not (Sys.file_exists d && Sys.is_directory d) then begin
+        Format.eprintf "lint: no such directory: %s@." d;
+        exit 2
+      end)
+    dirs;
+  let violations = List.concat_map Lint.lint_dir dirs in
+  List.iter
+    (fun v -> Format.printf "%a@." Lint.pp_violation v)
+    violations;
+  match violations with
+  | [] ->
+    Format.printf "lint: %s clean@." (String.concat " " dirs)
+  | vs ->
+    Format.eprintf "lint: %d violation(s)@." (List.length vs);
+    exit 1

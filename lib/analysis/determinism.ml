@@ -1,0 +1,59 @@
+module Sim = Rhodos_sim.Sim
+module Prio_queue = Rhodos_util.Prio_queue
+
+type run = {
+  digest : int;
+  dispatched : int;
+  observation : string;
+  audit : Sim.audit;
+}
+
+type report = {
+  fifo : run;
+  fifo_repeat : run;
+  lifo : run;
+  digest_repeatable : bool;
+  order_independent : bool;
+  leaked : string list;
+}
+
+let run_one ~tie ?until ~setup ~observe () =
+  let sim = Sim.create ~tie_break:tie ~track:true () in
+  setup sim;
+  Sim.run ?until sim;
+  {
+    digest = Sim.run_digest sim;
+    dispatched = Sim.events_dispatched sim;
+    observation = observe sim;
+    audit = Sim.audit sim;
+  }
+
+let run_twice_compare ?until ~setup ~observe () =
+  let go tie = run_one ~tie ?until ~setup ~observe () in
+  let fifo = go Prio_queue.Fifo in
+  let fifo_repeat = go Prio_queue.Fifo in
+  let lifo = go Prio_queue.Lifo in
+  {
+    fifo;
+    fifo_repeat;
+    lifo;
+    digest_repeatable =
+      fifo.digest = fifo_repeat.digest
+      && fifo.observation = fifo_repeat.observation;
+    order_independent = fifo.observation = lifo.observation;
+    leaked = fifo.audit.Sim.parked @ fifo.audit.Sim.undelivered_kills;
+  }
+
+let ok r = r.digest_repeatable && r.order_independent && r.leaked = []
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>digest repeatable : %b (%#x / %#x)@ order independent : %b@ \
+     events dispatched : %d fifo / %d lifo@ leaked processes  : %s@]"
+    r.digest_repeatable r.fifo.digest r.fifo_repeat.digest r.order_independent
+    r.fifo.dispatched r.lifo.dispatched
+    (match r.leaked with [] -> "none" | l -> String.concat ", " l);
+  if not r.order_independent then
+    Format.fprintf fmt
+      "@ @[<v>fifo observation:@   %s@ lifo observation:@   %s@]"
+      r.fifo.observation r.lifo.observation

@@ -1,0 +1,53 @@
+(** Determinism sanitizer for the discrete-event simulator.
+
+    The whole reproduction depends on [Sim] runs being replayable:
+    the same program must dispatch the same events in the same order
+    every time, and its {e observable results} must not depend on the
+    arbitrary order in which same-time events fire. This module checks
+    both by running a scenario three times:
+
+    - twice with the default FIFO tie-breaking — the two run digests
+      ({!Rhodos_sim.Sim.run_digest}) must match, or something
+      nondeterministic (wall clock, [Random.self_init], ...) leaked
+      into the simulation;
+    - once with perturbed (LIFO) tie-breaking — the observation
+      function must return the same value, or the scenario's results
+      depend on schedule order among same-time events.
+
+    The FIFO run is also audited for leaked processes: waiters never
+    resumed by end of run and kills never delivered. *)
+
+type run = {
+  digest : int;
+  dispatched : int;
+  observation : string;
+  audit : Rhodos_sim.Sim.audit;
+}
+
+type report = {
+  fifo : run;
+  fifo_repeat : run;
+  lifo : run;
+  digest_repeatable : bool;
+      (** two FIFO runs produced identical digests and observations *)
+  order_independent : bool;
+      (** the LIFO run's observation matches the FIFO run's *)
+  leaked : string list;
+      (** parked + undelivered-kill processes left in the FIFO run *)
+}
+
+val run_twice_compare :
+  ?until:float ->
+  setup:(Rhodos_sim.Sim.t -> unit) ->
+  observe:(Rhodos_sim.Sim.t -> string) ->
+  unit ->
+  report
+(** [setup] builds the world (spawns processes, ...) on a fresh
+    simulator; [observe] extracts the run's observable result as a
+    string after the run completes. Both are called once per run and
+    must not retain state across calls. *)
+
+val ok : report -> bool
+(** Repeatable, order-independent, and leak-free. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,340 @@
+type violation = { file : string; line : int; rule : string; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Source preparation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Blank out comments (nesting, as OCaml's do), string literals and
+   character literals, preserving newlines so line numbers survive.
+   Type variables ('a) are distinguished from character literals by
+   looking ahead for the closing quote. *)
+let strip_comments_and_strings src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec skip_string i =
+    (* [i] points after the opening quote; returns index after the
+       closing quote. *)
+    if i >= n then i
+    else
+      match src.[i] with
+      | '\\' ->
+        blank i;
+        if i + 1 < n then blank (i + 1);
+        skip_string (i + 2)
+      | '"' ->
+        blank i;
+        i + 1
+      | _ ->
+        blank i;
+        skip_string (i + 1)
+  in
+  let rec skip_comment i depth =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      skip_comment (i + 2) (depth + 1)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      skip_comment (skip_string (i + 1)) depth
+    end
+    else begin
+      blank i;
+      skip_comment (i + 1) depth
+    end
+  in
+  let is_char_literal i =
+    (* src.[i] = '\''; a character literal is 'x' or an escape. *)
+    (i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'')
+    || (i + 1 < n && src.[i + 1] = '\\')
+  in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      go (skip_comment (i + 2) 1)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      go (skip_string (i + 1))
+    end
+    else if src.[i] = '\'' && is_char_literal i then begin
+      (* Blank up to and including the closing quote. *)
+      let j = ref (i + 1) in
+      if !j < n && src.[!j] = '\\' then incr j;
+      while !j < n && src.[!j] <> '\'' do
+        incr j
+      done;
+      for k = i to min !j (n - 1) do
+        blank k
+      done;
+      go (!j + 1)
+    end
+    else go (i + 1)
+  in
+  go 0;
+  Bytes.to_string out
+
+let line_of src pos =
+  let line = ref 1 in
+  for i = 0 to min pos (String.length src - 1) - 1 do
+    if src.[i] = '\n' then incr line
+  done;
+  !line
+
+(* ------------------------------------------------------------------ *)
+(* Rule: forbidden identifiers (wall clock, ambient randomness)        *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Library code must live entirely in simulated time and seeded
+   randomness, or runs stop being replayable. *)
+let forbidden =
+  [
+    ("Unix.", "wall-clock/OS access; use Sim time instead");
+    ("open Unix", "wall-clock/OS access; use Sim time instead");
+    ("Sys.time", "wall clock; use Sim.now instead");
+    ("Random.self_init", "unseeded randomness breaks replay; use Rng with a seed");
+  ]
+
+let find_forbidden ~file stripped =
+  let vs = ref [] in
+  List.iter
+    (fun (pat, why) ->
+      let plen = String.length pat in
+      let limit = String.length stripped - plen in
+      let i = ref 0 in
+      while !i <= limit do
+        if
+          String.sub stripped !i plen = pat
+          && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+        then begin
+          vs :=
+            {
+              file;
+              line = line_of stripped !i;
+              rule = "no-wall-clock";
+              message = Printf.sprintf "%s: %s" (String.trim pat) why;
+            }
+            :: !vs;
+          i := !i + plen
+        end
+        else incr i
+      done)
+    forbidden;
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Rule: no catch-all try ... with _ ->                                *)
+(* ------------------------------------------------------------------ *)
+
+type marker = Block | Brace | Try | Match
+
+(* A light token scan distinguishing the [with] of a [try] from the
+   [with] of a [match] and from record update ([{ e with ... }]): a
+   stack tracks open [try]/[match]/brace/block constructs, and a
+   [with] resolves against the nearest one. A [try] whose first
+   handler pattern is [_] is a catch-all: it swallows [Sim.Killed],
+   [Assert_failure] and friends indiscriminately. *)
+let find_catch_alls ~file stripped =
+  let n = String.length stripped in
+  let vs = ref [] in
+  let stack = ref [] in
+  let pop_until pred =
+    let rec go = function
+      | [] -> []
+      | m :: rest -> if pred m then rest else go rest
+    in
+    stack := go !stack
+  in
+  (* Tokenize: identifiers/keywords and single chars. *)
+  let i = ref 0 in
+  let next_token () =
+    while
+      !i < n
+      && (stripped.[!i] = ' ' || stripped.[!i] = '\n' || stripped.[!i] = '\t'
+        || stripped.[!i] = '\r')
+    do
+      incr i
+    done;
+    if !i >= n then None
+    else if is_ident_char stripped.[!i] then begin
+      let start = !i in
+      while !i < n && is_ident_char stripped.[!i] do
+        incr i
+      done;
+      Some (`Ident (String.sub stripped start (!i - start), start))
+    end
+    else begin
+      let c = stripped.[!i] in
+      incr i;
+      Some (`Char (c, !i - 1))
+    end
+  in
+  let peek_handler_is_catch_all () =
+    (* After a try's [with]: optional [|], then the pattern; flag when
+       it is a lone [_]. *)
+    let saved = !i in
+    let tok = next_token () in
+    let tok =
+      match tok with Some (`Char ('|', _)) -> next_token () | t -> t
+    in
+    let result =
+      match tok with
+      | Some (`Ident ("_", _)) -> (
+        match next_token () with
+        | Some (`Char ('-', _)) when !i < n && stripped.[!i] = '>' -> true
+        | Some (`Ident ("when", _)) -> true
+        | _ -> false)
+      | _ -> false
+    in
+    i := saved;
+    result
+  in
+  let rec loop () =
+    match next_token () with
+    | None -> ()
+    | Some tok ->
+      (match tok with
+      | `Ident (("begin" | "struct" | "sig" | "object"), _) ->
+        stack := Block :: !stack
+      | `Ident ("end", _) -> pop_until (fun m -> m = Block)
+      | `Char ('(', _) -> stack := Block :: !stack
+      | `Char (')', _) -> pop_until (fun m -> m = Block)
+      | `Char ('{', _) -> stack := Brace :: !stack
+      | `Char ('}', _) -> pop_until (fun m -> m = Brace)
+      | `Ident ("try", _) -> stack := Try :: !stack
+      | `Ident ("match", _) -> stack := Match :: !stack
+      | `Ident ("with", pos) -> (
+        match !stack with
+        | Brace :: _ -> () (* record update: { e with ... } *)
+        | _ ->
+          let was_try =
+            let rec find = function
+              | [] -> None
+              | Try :: _ -> Some true
+              | Match :: _ -> Some false
+              | (Block | Brace) :: rest -> find rest
+            in
+            find !stack
+          in
+          pop_until (fun m -> m = Try || m = Match);
+          if was_try = Some true && peek_handler_is_catch_all () then
+            vs :=
+              {
+                file;
+                line = line_of stripped pos;
+                rule = "no-catch-all";
+                message =
+                  "catch-all `try ... with _ ->` swallows Sim.Killed and \
+                   unexpected errors; match the expected exceptions";
+              }
+              :: !vs)
+      | _ -> ());
+      loop ()
+  in
+  loop ();
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Rule: acquire/release pairing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* File-granularity pairing: a module that acquires must also contain
+   a release path. Coarse, but catches the classic leak where a new
+   call site takes a lock and no code can ever give it back. *)
+let pairing_rules =
+  [
+    ("Semaphore.acquire", [ "Semaphore.release" ]);
+    ("Mutex.lock", [ "Mutex.unlock" ]);
+    ("Lock_manager.acquire", [ "Lock_manager.release_all"; "with_lock" ]);
+    ("Lock_manager.try_acquire", [ "Lock_manager.release_all"; "with_lock" ]);
+  ]
+
+let find_unpaired ~file stripped =
+  List.filter_map
+    (fun (acq, rels) ->
+      if contains stripped acq && not (List.exists (contains stripped) rels)
+      then
+        Some
+          {
+            file;
+            line = 1;
+            rule = "paired-release";
+            message =
+              Printf.sprintf "%s with no %s on any path" acq
+                (String.concat " / " rels);
+          }
+      else None)
+    pairing_rules
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lint_source ~file src =
+  let stripped = strip_comments_and_strings src in
+  find_forbidden ~file stripped
+  @ find_catch_alls ~file stripped
+  @ find_unpaired ~file stripped
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then
+          if entry = "_build" || String.length entry > 0 && entry.[0] = '.'
+          then acc
+          else acc @ ml_files path
+        else if Filename.check_suffix entry ".ml" then acc @ [ path ]
+        else acc)
+      [] entries
+  | exception Sys_error _ -> []
+
+let missing_mli path =
+  let mli = path ^ "i" in
+  if Sys.file_exists mli then []
+  else
+    [
+      {
+        file = path;
+        line = 1;
+        rule = "missing-mli";
+        message = "library module has no .mli interface";
+      };
+    ]
+
+let lint_dir dir =
+  List.concat_map
+    (fun path -> missing_mli path @ lint_source ~file:path (read_file path))
+    (ml_files dir)
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s:%d: [%s] %s" v.file v.line v.rule v.message

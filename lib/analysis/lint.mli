@@ -1,0 +1,35 @@
+(** Static lint pass over the repository's library code.
+
+    Structured text analysis (comments, string and character literals
+    are stripped first, so rule patterns never fire inside them) with
+    a light token scan for the syntactic rules. Enforced rules:
+
+    - {b no-wall-clock}: no [Unix.*], [Sys.time] or
+      [Random.self_init] in library code — everything must run on
+      simulated time and seeded randomness or runs stop being
+      replayable;
+    - {b no-catch-all}: no [try ... with _ ->] whose first handler
+      pattern is the wildcard — it swallows [Sim.Killed] and
+      unexpected errors ([match ... with _ ->] and record update
+      [{ e with ... }] are not flagged);
+    - {b missing-mli}: every [.ml] under the linted tree has a
+      matching [.mli];
+    - {b paired-release}: a file that acquires ([Semaphore.acquire],
+      [Mutex.lock], [Lock_manager.acquire]/[try_acquire]) must also
+      contain a matching release path (file-granularity pairing). *)
+
+type violation = { file : string; line : int; rule : string; message : string }
+
+val strip_comments_and_strings : string -> string
+(** Blank out comments (nested), strings and character literals,
+    preserving newlines (line numbers survive). *)
+
+val lint_source : file:string -> string -> violation list
+(** Text rules over one compilation unit's source. *)
+
+val lint_dir : string -> violation list
+(** Recursively lint every [.ml] under a directory (skipping [_build]
+    and dot-directories), including the missing-mli check. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** [file:line: [rule] message] — compiler-style, clickable. *)

@@ -1,0 +1,90 @@
+module Sim = Rhodos_sim.Sim
+module Lm = Rhodos_txn.Lock_manager
+
+type deadlock_outcome = {
+  true_deadlocks : int;
+  false_aborts : int;
+  cycle : int list option;
+  aborted : int list;
+}
+
+(* A lock manager whose suspect callback aborts the transaction the
+   way the transaction service does: cancel its waits, release its
+   grants, remember who died. *)
+let lm_with_aborts ?(config = Lm.default_config) sim =
+  let aborted = ref [] in
+  let holder = ref None in
+  let on_suspect ~txn =
+    match !holder with
+    | None -> ()
+    | Some lm ->
+      if not (List.mem txn !aborted) then begin
+        aborted := txn :: !aborted;
+        Lm.cancel_waits lm ~txn;
+        Lm.release_all lm ~txn
+      end
+  in
+  let lm = Lm.create ~config ~sim ~on_suspect () in
+  holder := Some lm;
+  (lm, aborted)
+
+let outcome det aborted =
+  {
+    true_deadlocks = Deadlock_detector.true_deadlocks det;
+    false_aborts = Deadlock_detector.false_aborts det;
+    cycle = Deadlock_detector.last_cycle det;
+    aborted = List.sort compare !aborted;
+  }
+
+(* T1 takes A, T2 takes B; then T1 wants B and T2 wants A. Neither
+   can proceed: a genuine 2-cycle. The section 6.4 lease break fires
+   on the contested locks, the detector sees the cycle, and the abort
+   of either victim unblocks the other. *)
+let two_cycle () =
+  let sim = Sim.create ~track:true () in
+  let lm, aborted = lm_with_aborts sim in
+  let det = Deadlock_detector.attach lm in
+  let a = Lm.File_item 1 and b = Lm.File_item 2 in
+  ignore
+    (Sim.spawn ~name:"T1" sim (fun () ->
+         Lm.acquire lm ~txn:1 a Lm.Iwrite;
+         Sim.sleep sim 10.;
+         (match Lm.acquire lm ~txn:1 b Lm.Iwrite with
+         | () -> ()
+         | exception Lm.Wait_cancelled _ -> ());
+         Lm.release_all lm ~txn:1));
+  ignore
+    (Sim.spawn ~name:"T2" sim (fun () ->
+         Lm.acquire lm ~txn:2 b Lm.Iwrite;
+         Sim.sleep sim 10.;
+         (match Lm.acquire lm ~txn:2 a Lm.Iwrite with
+         | () -> ()
+         | exception Lm.Wait_cancelled _ -> ());
+         Lm.release_all lm ~txn:2));
+  Sim.run sim;
+  outcome det aborted
+
+(* T1 holds the lock and simply runs long — it waits for nobody. T2
+   queues behind it, the lease break suspects T1, and the detector
+   finds no cycle: one of the paper's admitted false aborts of a
+   long-running transaction. *)
+let long_transaction_false_abort () =
+  let sim = Sim.create ~track:true () in
+  let lm, aborted = lm_with_aborts sim in
+  let det = Deadlock_detector.attach lm in
+  let a = Lm.File_item 1 in
+  ignore
+    (Sim.spawn ~name:"long-T1" sim (fun () ->
+         Lm.acquire lm ~txn:1 a Lm.Iwrite;
+         (* Far longer than the LT lease; the transaction is healthy,
+            just slow. *)
+         Sim.sleep sim (Lm.default_config.Lm.lt_ms *. 20.);
+         Lm.release_all lm ~txn:1));
+  ignore
+    (Sim.spawn_at ~name:"T2" sim ~at:10. (fun () ->
+         (match Lm.acquire lm ~txn:2 a Lm.Iwrite with
+         | () -> ()
+         | exception Lm.Wait_cancelled _ -> ());
+         Lm.release_all lm ~txn:2));
+  Sim.run sim;
+  outcome det aborted

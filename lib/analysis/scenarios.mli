@@ -1,0 +1,21 @@
+(** Seeded lock-manager scenarios with a known ground truth, used by
+    the [@analyze] alias and the test suite to validate the deadlock
+    detector's true-deadlock / false-abort classification. *)
+
+type deadlock_outcome = {
+  true_deadlocks : int;   (** detector count after the run *)
+  false_aborts : int;     (** detector count after the run *)
+  cycle : int list option;  (** last cycle the detector reported *)
+  aborted : int list;     (** transactions the suspect callback aborted *)
+}
+
+val two_cycle : unit -> deadlock_outcome
+(** T1 and T2 acquire two items in opposite orders: a genuine
+    deadlock. Expected: at least one suspicion classified as a true
+    deadlock, a reported 2-cycle, and the run terminates (the abort
+    unblocks the survivor). *)
+
+val long_transaction_false_abort : unit -> deadlock_outcome
+(** A long-running holder with a queued competitor and no cycle.
+    Expected: the lease break aborts the holder and the detector
+    classifies it as a false abort ([true_deadlocks = 0]). *)

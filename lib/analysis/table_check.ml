@@ -1,0 +1,283 @@
+module Sim = Rhodos_sim.Sim
+module Lm = Rhodos_txn.Lock_manager
+
+type check = { name : string; ok : bool; detail : string }
+
+let modes = [ Lm.Read_only; Lm.Iread; Lm.Iwrite ]
+
+let levels =
+  [
+    ("file", Lm.File_item 7);
+    ("page", Lm.Page_item (7, 3));
+    ("record", Lm.Record_item (7, 0, 64));
+  ]
+
+(* Zero search cost keeps every operation at t=0, so scenarios are
+   not interleaved with simulated table-scan sleeps. *)
+let quiet_config = { Lm.default_config with Lm.search_cost_ms = 0. }
+
+let fresh_lm sim = Lm.create ~config:quiet_config ~sim ~on_suspect:(fun ~txn:_ -> ()) ()
+
+(* Run one scenario to completion inside its own simulated world. *)
+let in_sim f =
+  let sim = Sim.create () in
+  let out = ref None in
+  ignore (Sim.spawn ~name:"model-check" sim (fun () -> out := Some (f sim)));
+  Sim.run sim;
+  match !out with
+  | Some v -> v
+  | None -> failwith "model check scenario did not finish"
+
+let mode_name = Lm.mode_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: held (by T1) x requested (by T2)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's compatibility matrix for two distinct transactions:
+   a free item admits everything; read-only admits further readers and
+   one Iread but no Iwrite; Iread and Iwrite admit nothing (the
+   "no new RO after IR" rule closes the writer-starvation window). *)
+let expected_grant ~held ~req =
+  match (held, req) with
+  | None, _ -> true
+  | Some Lm.Read_only, (Lm.Read_only | Lm.Iread) -> true
+  | Some Lm.Read_only, Lm.Iwrite -> false
+  | Some Lm.Iread, _ | Some Lm.Iwrite, _ -> false
+
+let matrix_checks () =
+  List.concat_map
+    (fun (lname, item) ->
+      List.concat_map
+        (fun held ->
+          List.map
+            (fun req ->
+              let got =
+                in_sim (fun sim ->
+                    let lm = fresh_lm sim in
+                    (match held with
+                    | Some h ->
+                      if not (Lm.try_acquire lm ~txn:1 item h) then
+                        failwith "setup grant refused"
+                    | None -> ());
+                    Lm.try_acquire lm ~txn:2 item req)
+              in
+              let want = expected_grant ~held ~req in
+              {
+                name =
+                  Printf.sprintf "matrix %s held=%s req=%s" lname
+                    (match held with None -> "free" | Some h -> mode_name h)
+                    (mode_name req);
+                ok = got = want;
+                detail = Printf.sprintf "expected %b, lock manager said %b" want got;
+              })
+            modes)
+        (None :: List.map Option.some modes))
+    levels
+
+(* ------------------------------------------------------------------ *)
+(* Conversion sequences by a single transaction                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec sequences n =
+  if n = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun m -> List.map (fun s -> m :: s) (sequences (n - 1)))
+      modes
+
+(* With no other transaction present, every re-acquisition by the
+   holder is granted and the held mode only ever strengthens (to the
+   max rank seen so far) — downgrades are no-ops. *)
+let conversion_checks () =
+  List.concat_map
+    (fun (lname, item) ->
+      List.map
+        (fun seq ->
+          let got =
+            in_sim (fun sim ->
+                let lm = fresh_lm sim in
+                let all_granted =
+                  List.for_all (fun m -> Lm.try_acquire lm ~txn:1 item m) seq
+                in
+                (all_granted, Lm.holds lm ~txn:1 item))
+          in
+          let strongest =
+            List.fold_left
+              (fun acc m -> if Lm.mode_rank m > Lm.mode_rank acc then m else acc)
+              Lm.Read_only seq
+          in
+          let want = (true, Some strongest) in
+          {
+            name =
+              Printf.sprintf "convert %s seq=%s" lname
+                (String.concat "->" (List.map mode_name seq));
+            ok = got = want;
+            detail =
+              Printf.sprintf "expected (granted, held %s)"
+                (mode_name strongest);
+          })
+        (sequences 1 @ sequences 2 @ sequences 3))
+    levels
+
+(* Conversions with a co-holder present. The only reachable two-holder
+   states are (RO, RO) and (RO, IR); T1 may strengthen only while the
+   matrix admits the target mode against the co-holder. *)
+let coholder_checks () =
+  let item = Lm.File_item 9 in
+  let expected ~h1 ~h2 ~req =
+    if Lm.mode_rank req <= Lm.mode_rank h1 then true
+    else
+      match req with
+      | Lm.Read_only -> true
+      | Lm.Iread -> h2 = Lm.Read_only
+      | Lm.Iwrite -> false
+  in
+  List.concat_map
+    (fun (h1, h2) ->
+      List.map
+        (fun req ->
+          let got =
+            in_sim (fun sim ->
+                let lm = fresh_lm sim in
+                if not (Lm.try_acquire lm ~txn:1 item h1) then
+                  failwith "setup grant refused";
+                if not (Lm.try_acquire lm ~txn:2 item h2) then
+                  failwith "setup co-grant refused";
+                Lm.try_acquire lm ~txn:1 item req)
+          in
+          let want = expected ~h1 ~h2 ~req in
+          {
+            name =
+              Printf.sprintf "convert-with-coholder T1=%s T2=%s req=%s"
+                (mode_name h1) (mode_name h2) (mode_name req);
+            ok = got = want;
+            detail = Printf.sprintf "expected %b, lock manager said %b" want got;
+          })
+        modes)
+    [ (Lm.Read_only, Lm.Read_only); (Lm.Read_only, Lm.Iread) ]
+
+(* ------------------------------------------------------------------ *)
+(* Queue discipline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scenario name ~detail f = { name; ok = in_sim f; detail }
+
+let fifo_wake_order () =
+  scenario "fifo wake order"
+    ~detail:"three queued Iwrite waiters must be granted in arrival order"
+    (fun sim ->
+      let lm = fresh_lm sim in
+      let item = Lm.File_item 1 in
+      ignore (Lm.try_acquire lm ~txn:1 item Lm.Iwrite);
+      let woken = ref [] in
+      List.iter
+        (fun id ->
+          ignore
+            (Sim.spawn ~name:"waiter" sim (fun () ->
+                 Lm.acquire lm ~txn:id item Lm.Iwrite;
+                 woken := !woken @ [ id ];
+                 Lm.release_all lm ~txn:id)))
+        [ 2; 3; 4 ];
+      Sim.sleep sim 1.;
+      Lm.release_all lm ~txn:1;
+      Sim.sleep sim 1.;
+      !woken = [ 2; 3; 4 ])
+
+let no_overtaking () =
+  scenario "strict fifo (no overtaking)"
+    ~detail:
+      "a read-only waiter queued behind an Iwrite waiter must not be \
+       granted ahead of it"
+    (fun sim ->
+      let lm = fresh_lm sim in
+      let item = Lm.File_item 2 in
+      ignore (Lm.try_acquire lm ~txn:1 item Lm.Iwrite);
+      let woken = ref [] in
+      ignore
+        (Sim.spawn ~name:"writer" sim (fun () ->
+             Lm.acquire lm ~txn:2 item Lm.Iwrite;
+             woken := !woken @ [ 2 ]));
+      ignore
+        (Sim.spawn ~name:"reader" sim (fun () ->
+             match Lm.acquire lm ~txn:3 item Lm.Read_only with
+             | () -> woken := !woken @ [ 3 ]
+             | exception Lm.Wait_cancelled _ -> ()));
+      Sim.sleep sim 1.;
+      Lm.release_all lm ~txn:1;
+      Sim.sleep sim 1.;
+      let ok = !woken = [ 2 ] && Lm.holds lm ~txn:3 item = None in
+      (* Unblock the parked reader so the scenario ends clean. *)
+      Lm.cancel_waits lm ~txn:3;
+      Lm.release_all lm ~txn:2;
+      ok)
+
+let upgrade_priority () =
+  scenario "upgrader queues ahead"
+    ~detail:
+      "a blocked RO->IW conversion must be granted before a fresh Iwrite \
+       request that arrived later"
+    (fun sim ->
+      let lm = fresh_lm sim in
+      let item = Lm.File_item 3 in
+      ignore (Lm.try_acquire lm ~txn:1 item Lm.Read_only);
+      ignore (Lm.try_acquire lm ~txn:2 item Lm.Read_only);
+      let woken = ref [] in
+      ignore
+        (Sim.spawn ~name:"upgrader" sim (fun () ->
+             Lm.acquire lm ~txn:2 item Lm.Iwrite;
+             woken := !woken @ [ 2 ]));
+      ignore
+        (Sim.spawn ~name:"fresh-writer" sim (fun () ->
+             match Lm.acquire lm ~txn:3 item Lm.Iwrite with
+             | () -> woken := !woken @ [ 3 ]
+             | exception Lm.Wait_cancelled _ -> ()));
+      Sim.sleep sim 1.;
+      Lm.release_all lm ~txn:1;
+      Sim.sleep sim 1.;
+      let ok =
+        !woken = [ 2 ]
+        && Lm.holds lm ~txn:2 item = Some Lm.Iwrite
+        && Lm.holds lm ~txn:3 item = None
+      in
+      Lm.cancel_waits lm ~txn:3;
+      Lm.release_all lm ~txn:2;
+      ok)
+
+let no_new_ro_after_ir () =
+  scenario "no new RO after IR"
+    ~detail:
+      "once an Iread is in place no new read-only lock is admitted, a \
+       second Iread is refused, and releasing the Iread readmits readers"
+    (fun sim ->
+      let lm = fresh_lm sim in
+      let item = Lm.File_item 4 in
+      let ro1 = Lm.try_acquire lm ~txn:1 item Lm.Read_only in
+      let ir = Lm.try_acquire lm ~txn:2 item Lm.Iread in
+      let ro_refused = not (Lm.try_acquire lm ~txn:3 item Lm.Read_only) in
+      let ir_refused = not (Lm.try_acquire lm ~txn:4 item Lm.Iread) in
+      Lm.release_all lm ~txn:2;
+      let ro_readmitted = Lm.try_acquire lm ~txn:3 item Lm.Read_only in
+      ro1 && ir && ro_refused && ir_refused && ro_readmitted)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  matrix_checks () @ conversion_checks () @ coholder_checks ()
+  @ [ fifo_wake_order (); no_overtaking (); upgrade_priority ();
+      no_new_ro_after_ir () ]
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let failures checks = List.filter (fun c -> not c.ok) checks
+
+let pp_report fmt checks =
+  let failed = failures checks in
+  Format.fprintf fmt "@[<v>%d checks, %d failed@ " (List.length checks)
+    (List.length failed);
+  List.iter
+    (fun c -> Format.fprintf fmt "FAIL %s: %s@ " c.name c.detail)
+    failed;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,25 @@
+(** Model checker for the paper's Table 1 lock-compatibility matrix.
+
+    Exhaustively exercises a real [Lock_manager] (not a model of it)
+    against the paper's stated rules, each case in its own simulated
+    world:
+
+    - every held x requested mode pair, for two distinct transactions,
+      at all three locking levels (36 cases);
+    - every conversion sequence of length <= 3 by a single
+      uncontended transaction: all granted, held mode is the
+      strongest requested (117 cases);
+    - conversions with a co-holder present, for both reachable
+      two-holder states (RO,RO) and (RO,IR);
+    - queue discipline: FIFO wake order, strict FIFO (no overtaking),
+      upgrader priority, and the "no new RO after IR" rule. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+val run : unit -> check list
+
+val all_ok : check list -> bool
+
+val failures : check list -> check list
+
+val pp_report : Format.formatter -> check list -> unit

@@ -1,0 +1,73 @@
+type t = { succs : (int, int list) Hashtbl.t }
+
+let create () = { succs = Hashtbl.create 16 }
+
+let successors t n = Option.value ~default:[] (Hashtbl.find_opt t.succs n)
+
+let add_edge t ~waiter ~blocker =
+  let cur = successors t waiter in
+  if not (List.mem blocker cur) then
+    Hashtbl.replace t.succs waiter (blocker :: cur);
+  (* Register the blocker as a node even when it has no out-edges. *)
+  if not (Hashtbl.mem t.succs blocker) then Hashtbl.replace t.succs blocker []
+
+let of_edges edges =
+  let t = create () in
+  List.iter (fun (waiter, blocker) -> add_edge t ~waiter ~blocker) edges;
+  t
+
+let remove_node t n =
+  Hashtbl.remove t.succs n;
+  Hashtbl.iter
+    (fun k succs ->
+      if List.mem n succs then
+        Hashtbl.replace t.succs k (List.filter (fun s -> s <> n) succs))
+    t.succs
+
+let nodes t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.succs [] |> List.sort compare
+
+let edges t =
+  Hashtbl.fold
+    (fun n succs acc -> List.map (fun s -> (n, s)) succs @ acc)
+    t.succs []
+  |> List.sort compare
+
+(* DFS from [start] looking for a path back to [start]; returns the
+   cycle as the node sequence starting (and implicitly ending) at
+   [start]. *)
+let cycle_through t start =
+  let visited = Hashtbl.create 16 in
+  let rec dfs node path =
+    (* [path] is start..node inclusive, reversed. *)
+    let rec try_succs = function
+      | [] -> None
+      | s :: rest ->
+        if s = start then Some (List.rev path)
+        else if Hashtbl.mem visited s then try_succs rest
+        else begin
+          Hashtbl.replace visited s ();
+          match dfs s (s :: path) with
+          | Some _ as cycle -> cycle
+          | None -> try_succs rest
+        end
+    in
+    try_succs (successors t node)
+  in
+  Hashtbl.replace visited start ();
+  dfs start [ start ]
+
+let find_cycle t =
+  let rec first = function
+    | [] -> None
+    | n :: rest -> (
+      match cycle_through t n with Some _ as c -> c | None -> first rest)
+  in
+  first (nodes t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (w, b) -> Format.fprintf fmt "T%d -> T%d@ " w b)
+    (edges t);
+  Format.fprintf fmt "@]"

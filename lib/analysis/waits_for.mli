@@ -1,0 +1,40 @@
+(** Transaction waits-for graph.
+
+    Nodes are transaction ids; an edge [waiter -> blocker] means the
+    waiter cannot proceed until the blocker releases a lock (or
+    drains ahead of it in a FIFO queue). A cycle is a true deadlock;
+    the paper's section 6.4 timeout scheme only {e suspects} deadlock,
+    so a timeout abort whose transaction lies on no cycle is a false
+    abort. *)
+
+type t
+
+val create : unit -> t
+
+val of_edges : (int * int) list -> t
+(** Graph from [(waiter, blocker)] pairs, e.g. the snapshot returned
+    by [Lock_manager.waits_for_edges]. *)
+
+val add_edge : t -> waiter:int -> blocker:int -> unit
+
+val remove_node : t -> int -> unit
+(** Delete a transaction and every edge touching it (commit/abort). *)
+
+val nodes : t -> int list
+(** Sorted. *)
+
+val edges : t -> (int * int) list
+(** Sorted [(waiter, blocker)] pairs. *)
+
+val successors : t -> int -> int list
+(** Who the given transaction waits for. *)
+
+val cycle_through : t -> int -> int list option
+(** A cycle passing through the given node, as the node sequence
+    beginning with it ([[1; 2]] encodes T1 -> T2 -> T1); [None] if the
+    node is on no cycle. *)
+
+val find_cycle : t -> int list option
+(** Any cycle in the graph. *)
+
+val pp : Format.formatter -> t -> unit

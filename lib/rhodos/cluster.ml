@@ -601,7 +601,15 @@ let with_transaction c f =
     Transaction_agent.tend c.c_txn td;
     result
   | exception e ->
-    (try Transaction_agent.tabort c.c_txn td with _ -> ());
+    (* Best-effort abort: the service may already have aborted the
+       transaction (lock timeout), lost the handle, or be unreachable.
+       Anything else — Sim.Killed above all — must propagate. *)
+    (try Transaction_agent.tabort c.c_txn td
+     with
+    | Txn.Aborted _ | Txn.No_such_transaction _
+    | Transaction_agent.Bad_transaction _
+    | Remote_failure _ | Net.Rpc.Timeout _ ->
+      ());
     raise e
 
 (* ------------------------------------------------------------------ *)

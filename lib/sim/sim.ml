@@ -20,8 +20,11 @@ type proc = {
 type pid = proc
 
 (* [live] lets a cancelled timer (say, the sleep of a killed process)
-   be skipped without advancing the clock to its deadline. *)
-type event = { live : unit -> bool; thunk : unit -> unit }
+   be skipped without advancing the clock to its deadline. [id] is the
+   creation sequence number, folded into the run digest at dispatch so
+   two runs produce the same digest iff they dispatched the same
+   events in the same order at the same times. *)
+type event = { id : int; live : unit -> bool; thunk : unit -> unit }
 
 type t = {
   mutable clock : float;
@@ -29,7 +32,14 @@ type t = {
   mutable failure : exn option;
   mutable next_pid : int;
   mutable current : proc option;
+  mutable next_event_id : int;
+  mutable digest : int;
+  mutable dispatched : int;
+  track : bool;
+  mutable procs : proc list; (* every spawn, only when [track] *)
 }
+
+exception Blocking_outside_process
 
 (* The registration callback receives the waker plus a liveness
    predicate ([false] once the process has been woken or killed), used
@@ -37,9 +47,10 @@ type t = {
 type _ Effect.t +=
   | Block : (('a -> bool) -> (unit -> bool) -> unit) -> 'a Effect.t
 
-let create () =
-  { clock = 0.; events = Prio_queue.create (); failure = None; next_pid = 0;
-    current = None }
+let create ?(tie_break = Prio_queue.Fifo) ?(track = false) () =
+  { clock = 0.; events = Prio_queue.create ~tie:tie_break (); failure = None;
+    next_pid = 0; current = None; next_event_id = 0; digest = 0; dispatched = 0;
+    track; procs = [] }
 
 let now t = t.clock
 
@@ -47,7 +58,9 @@ let always_live () = true
 
 let schedule_event t ~at ~live thunk =
   let at = if at < t.clock then t.clock else at in
-  Prio_queue.add t.events ~prio:at { live; thunk }
+  let id = t.next_event_id in
+  t.next_event_id <- t.next_event_id + 1;
+  Prio_queue.add t.events ~prio:at { id; live; thunk }
 
 let schedule t ~at thunk = schedule_event t ~at ~live:always_live thunk
 
@@ -100,6 +113,7 @@ let run_process t proc f =
 let spawn_at ?(name = "proc") t ~at f =
   let proc = { id = t.next_pid; name; state = Ready; kill_pending = false } in
   t.next_pid <- t.next_pid + 1;
+  if t.track then t.procs <- proc :: t.procs;
   schedule t ~at (fun () ->
       if proc.state = Ready && not proc.kill_pending then begin
         let saved = t.current in
@@ -118,6 +132,8 @@ let step t =
   | Some (time, ev) ->
     if ev.live () then begin
       if time > t.clock then t.clock <- time;
+      t.dispatched <- t.dispatched + 1;
+      t.digest <- Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time);
       ev.thunk ();
       match t.failure with
       | Some e ->
@@ -139,9 +155,19 @@ let run ?until t =
   done;
   match until with Some u -> if u > t.clock then t.clock <- u | None -> ()
 
-let suspend _t register = perform (Block (fun waker _live -> register waker))
+(* Sanitizer check: performing Block outside a process would surface
+   as a cryptic [Effect.Unhandled]; fail with a diagnosable error
+   instead. *)
+let check_in_process t =
+  if t.current = None then raise Blocking_outside_process
 
-let suspend_full _t register = perform (Block register)
+let suspend t register =
+  check_in_process t;
+  perform (Block (fun waker _live -> register waker))
+
+let suspend_full t register =
+  check_in_process t;
+  perform (Block register)
 
 let sleep t d =
   suspend_full t (fun waker live ->
@@ -165,6 +191,31 @@ let kill t proc =
 let is_alive _t proc = proc.state <> Dead
 
 let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
+
+(* ------------------------------------------------------------------ *)
+(* Determinism sanitizer hooks                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_digest t = t.digest
+
+let events_dispatched t = t.dispatched
+
+type audit = { parked : string list; undelivered_kills : string list }
+
+let audit t =
+  let name p = Printf.sprintf "%s#%d" p.name p.id in
+  let parked =
+    List.filter_map
+      (fun p -> match p.state with Parked_st _ -> Some (name p) | _ -> None)
+      t.procs
+  in
+  let undelivered_kills =
+    List.filter_map
+      (fun p ->
+        if p.kill_pending && p.state <> Dead then Some (name p) else None)
+      t.procs
+  in
+  { parked = List.rev parked; undelivered_kills = List.rev undelivered_kills }
 
 module Mailbox = struct
   type 'a mb = {

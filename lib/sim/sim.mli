@@ -20,7 +20,19 @@ type pid
 exception Killed
 (** Raised inside a process that is killed (e.g. its node crashed). *)
 
-val create : unit -> t
+exception Blocking_outside_process
+(** Raised when a blocking operation ([sleep], [Mailbox.recv], ...) is
+    called from outside a [spawn]ed process — e.g. straight from a
+    [schedule] callback or from top level. Without this check the
+    failure would surface as a cryptic [Effect.Unhandled]. *)
+
+val create :
+  ?tie_break:Rhodos_util.Prio_queue.tie -> ?track:bool -> unit -> t
+(** [tie_break] (default [Fifo]) orders same-time events; [Lifo] is
+    the determinism sanitizer's perturbed mode — a correct program
+    must compute the same observable results under either. [track]
+    (default [false]) records every spawned process so {!audit} can
+    report leaks at end of run. *)
 
 val now : t -> float
 (** Current simulated time (ms). *)
@@ -57,6 +69,33 @@ val kill : t -> pid -> unit
 val is_alive : t -> pid -> bool
 
 val pid_name : t -> pid -> string
+
+(** {2 Determinism sanitizer hooks}
+
+    Used by [Rhodos_analysis.Determinism]. *)
+
+val run_digest : t -> int
+(** Hash of the event trace so far: every dispatched event's creation
+    sequence number and dispatch time, folded in dispatch order. Two
+    runs of the same program yield the same digest iff they executed
+    the same schedule — a digest mismatch between two identically
+    configured runs means nondeterminism (wall-clock, [Random], ...)
+    leaked into the simulation. *)
+
+val events_dispatched : t -> int
+
+type audit = {
+  parked : string list;
+      (** processes still blocked when the event queue drained:
+          never-resumed waiters *)
+  undelivered_kills : string list;
+      (** processes killed while ready whose [Killed] was never
+          delivered — the kill leaked *)
+}
+
+val audit : t -> audit
+(** End-of-run leak report. Empty unless the world was created with
+    [~track:true]. *)
 
 (** First-class suspension, used to build new blocking primitives.
     [suspend t register] parks the calling process and hands

@@ -72,6 +72,17 @@ type waiter = {
 
 type table = { mutable grants : grant list; mutable waiters : waiter list }
 
+(* Instrumentation events, consumed by the analysis layer (waits-for
+   deadlock detection). Emitted synchronously at the state change, so
+   a consumer reading [waits_for_edges] from inside its callback sees
+   the lock tables in the state the event describes. *)
+type event =
+  | Ev_blocked of { txn : int; item : item; mode : mode }
+  | Ev_granted of { txn : int; item : item }
+  | Ev_cancelled of { txn : int }
+  | Ev_released of { txn : int }
+  | Ev_suspected of { txn : int }
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -81,6 +92,7 @@ type t = {
   file_table : table;
   released : (int, unit) Hashtbl.t; (* transactions past their shrink phase *)
   counters : Counter.t;
+  mutable tracer : (event -> unit) option;
 }
 
 let create ?(config = default_config) ~sim ~on_suspect () =
@@ -93,7 +105,12 @@ let create ?(config = default_config) ~sim ~on_suspect () =
     file_table = { grants = []; waiters = [] };
     released = Hashtbl.create 32;
     counters = Counter.create ();
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let emit t ev = match t.tracer with Some f -> f ev | None -> ()
 
 let table_of t = function
   | Record_item _ -> t.record_table
@@ -144,6 +161,37 @@ let self_grant table ~txn ~item =
     (fun g -> g.g_active && g.g_txn = txn && g.g_item = item)
     table.grants
 
+(* The current waits-for relation, one edge per (waiter, blocker)
+   pair. A waiter waits for (a) every other transaction holding a
+   conflicting grant and (b) every transaction queued ahead of it in
+   the same table — [pump] wakes strictly in FIFO order, so a waiter
+   cannot be granted while any earlier waiter is still queued
+   (head-of-line blocking is real waiting). *)
+let waits_for_edges t =
+  let edges_of_table table =
+    let rec walk ahead acc = function
+      | [] -> acc
+      | w :: rest ->
+        let holders =
+          List.concat_map
+            (fun tbl ->
+              List.filter_map
+                (fun g ->
+                  if g.g_active && g.g_txn <> w.w_txn && conflicts t g.g_item w.w_item
+                  then Some g.g_txn
+                  else None)
+                tbl.grants)
+            (relevant_tables t w.w_item)
+        in
+        let blockers = List.sort_uniq compare (holders @ ahead) in
+        let acc = List.rev_append (List.map (fun b -> (w.w_txn, b)) blockers) acc in
+        let ahead = if List.mem w.w_txn ahead then ahead else w.w_txn :: ahead in
+        walk ahead acc rest
+    in
+    walk [] [] table.waiters
+  in
+  List.concat_map edges_of_table (all_tables t) |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Lease timers (section 6.4)                                          *)
 (* ------------------------------------------------------------------ *)
@@ -178,7 +226,11 @@ let rec arm_lease t table g =
 and suspect t g =
   (* The holder is suspected deadlocked; the callback aborts the
      transaction, which releases its locks and wakes the queue. Run it
-     in its own process: it may block (logging the abort). *)
+     in its own process: it may block (logging the abort). The tracer
+     sees the event first, while the waiters that triggered the break
+     are still queued — a deadlock detector can classify the suspicion
+     as true deadlock vs false abort from the waits-for graph. *)
+  emit t (Ev_suspected { txn = g.g_txn });
   ignore
     (Sim.spawn ~name:"lock-suspect" t.sim (fun () -> t.on_suspect ~txn:g.g_txn))
 
@@ -207,6 +259,7 @@ let rec pump t table =
         Counter.incr t.counters "conversions"
       | Some _ -> ()
       | None -> add_grant t table ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode);
+      emit t (Ev_granted { txn = w.w_txn; item = w.w_item });
       ignore (w.w_waker Granted);
       pump t table
     end
@@ -254,7 +307,8 @@ let acquire t ~txn item mode =
               in
               table.waiters <- upgrades @ [ w ] @ rest
             end
-            else table.waiters <- table.waiters @ [ w ])
+            else table.waiters <- table.waiters @ [ w ];
+            emit t (Ev_blocked { txn; item; mode }))
       in
       match outcome with
       | Granted -> ()
@@ -292,6 +346,7 @@ let release_all t ~txn =
         pump t table
       end)
     (all_tables t);
+  if !released_any then emit t (Ev_released { txn });
   (* Under the cross-level relaxation, a release in one table can
      unblock waiters queued in another. *)
   if !released_any && t.config.cross_level then List.iter (pump t) (all_tables t)
@@ -301,7 +356,11 @@ let cancel_waits t ~txn =
     (fun table ->
       let mine, rest = List.partition (fun w -> w.w_txn = txn) table.waiters in
       table.waiters <- rest;
-      List.iter (fun w -> ignore (w.w_waker Cancelled)) mine;
+      List.iter
+        (fun w ->
+          emit t (Ev_cancelled { txn = w.w_txn });
+          ignore (w.w_waker Cancelled))
+        mine;
       (* Removing a waiter may unblock the queue behind it. *)
       if mine <> [] then pump t table)
     (all_tables t)

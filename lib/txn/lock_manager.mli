@@ -48,6 +48,10 @@ type item =
 
 val mode_to_string : mode -> string
 
+val mode_rank : mode -> int
+(** Strength order: read-only < Iread < Iwrite. Conversions only ever
+    increase rank. *)
+
 val items_conflict : item -> item -> bool
 (** Same-table conflict: equality for file/page items, range overlap
     for record items. Items from different tables never conflict
@@ -127,3 +131,36 @@ val stats : t -> Rhodos_util.Stats.Counter.t
 (** Counters: ["acquires"], ["grants"], ["waits"], ["conversions"],
     ["renewals"], ["breaks_contested"], ["breaks_expired"],
     ["2pl_violations"]. *)
+
+(** {2 Instrumentation}
+
+    Hooks for the analysis layer ([Rhodos_analysis]); zero cost when
+    no tracer is installed. *)
+
+type event =
+  | Ev_blocked of { txn : int; item : item; mode : mode }
+      (** the transaction enqueued as a waiter *)
+  | Ev_granted of { txn : int; item : item }
+      (** a queued waiter was granted (or converted) *)
+  | Ev_cancelled of { txn : int }  (** a queued waiter was cancelled *)
+  | Ev_released of { txn : int }   (** [release_all] dropped its grants *)
+  | Ev_suspected of { txn : int }
+      (** a section 6.4 lease break suspected the holder deadlocked;
+          emitted synchronously {e before} the abort callback runs, so
+          the waits-for graph still shows the contention that caused
+          the break *)
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Install (or clear) the single event tracer. Tracer callbacks run
+    synchronously inside lock-manager operations and must not
+    block. *)
+
+val waits_for_edges : t -> (int * int) list
+(** Snapshot of the waits-for relation as [(waiter, blocker)] pairs:
+    a waiter waits for every other transaction holding a conflicting
+    grant and for every transaction queued ahead of it in the same
+    table (wakeups are strictly FIFO, so head-of-line blocking is real
+    waiting). Sorted, duplicate-free. A cycle in this relation is a
+    true deadlock; a section 6.4 break with no cycle through the
+    suspected transaction is one of the paper's admitted false
+    aborts. *)

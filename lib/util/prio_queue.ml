@@ -1,20 +1,27 @@
 type 'a entry = { prio : float; seq : int; value : 'a }
 
+type tie = Fifo | Lifo
+
 type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  tie : tie;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create ?(tie = Fifo) () = { heap = [||]; size = 0; next_seq = 0; tie }
 
 let length q = q.size
 
 let is_empty q = q.size = 0
 
-(* [e1] sorts before [e2]: smaller priority first, then insertion order. *)
-let before e1 e2 =
-  e1.prio < e2.prio || (e1.prio = e2.prio && e1.seq < e2.seq)
+(* [e1] sorts before [e2]: smaller priority first, then insertion order
+   (or reverse insertion order under [Lifo], the perturbed tie-breaking
+   used by the determinism sanitizer). *)
+let before q e1 e2 =
+  e1.prio < e2.prio
+  || e1.prio = e2.prio
+     && (match q.tie with Fifo -> e1.seq < e2.seq | Lifo -> e1.seq > e2.seq)
 
 let ensure_capacity q =
   let cap = Array.length q.heap in
@@ -28,7 +35,7 @@ let ensure_capacity q =
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before q.heap.(i) q.heap.(parent) then begin
+    if before q q.heap.(i) q.heap.(parent) then begin
       let tmp = q.heap.(i) in
       q.heap.(i) <- q.heap.(parent);
       q.heap.(parent) <- tmp;
@@ -39,8 +46,8 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if l < q.size && before q q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q q.heap.(r) q.heap.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = q.heap.(i) in
     q.heap.(i) <- q.heap.(!smallest);

@@ -1,12 +1,19 @@
 (** Mutable min-priority queue keyed by [float] priority.
 
-    Ties are broken by insertion order (FIFO), which makes event
-    processing in the simulator deterministic. Implemented as a binary
-    heap over a growable array. *)
+    Ties are broken by insertion order (FIFO) by default, which makes
+    event processing in the simulator deterministic; see {!tie} for
+    the perturbed alternative. Implemented as a binary heap over a
+    growable array. *)
 
 type 'a t
 
-val create : unit -> 'a t
+type tie = Fifo | Lifo
+(** Policy for elements with equal priority: [Fifo] (the default) pops
+    them in insertion order; [Lifo] pops newest-first. [Lifo] exists
+    for the determinism sanitizer, which re-runs a simulation with
+    perturbed tie-breaking to expose schedule-order dependence. *)
+
+val create : ?tie:tie -> unit -> 'a t
 (** [create ()] is an empty queue. *)
 
 val length : 'a t -> int

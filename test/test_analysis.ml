@@ -1,0 +1,418 @@
+(* Tests for the correctness-analysis suite: items_conflict
+   properties, the waits-for graph and deadlock classification, the
+   Table 1 model checker, the determinism sanitizer, the Sim audit
+   hooks and the repo lint pass. *)
+
+open Alcotest
+module Sim = Rhodos_sim.Sim
+module Lm = Rhodos_txn.Lock_manager
+module Pq = Rhodos_util.Prio_queue
+module Waits_for = Rhodos_analysis.Waits_for
+module Scenarios = Rhodos_analysis.Scenarios
+module Table_check = Rhodos_analysis.Table_check
+module Determinism = Rhodos_analysis.Determinism
+module Lint = Rhodos_analysis.Lint
+
+(* ------------------------------------------------------------------ *)
+(* items_conflict: unit edge cases                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec_item o l = Lm.Record_item (9, o, l)
+
+let test_record_edges () =
+  let conflict a b = Lm.items_conflict a b in
+  check bool "adjacent ranges do not conflict" false
+    (conflict (rec_item 0 10) (rec_item 10 5));
+  check bool "adjacent (reversed)" false
+    (conflict (rec_item 10 5) (rec_item 0 10));
+  check bool "one-byte overlap conflicts" true
+    (conflict (rec_item 0 10) (rec_item 9 1));
+  check bool "containment conflicts" true
+    (conflict (rec_item 0 100) (rec_item 10 5));
+  check bool "containment (reversed)" true
+    (conflict (rec_item 10 5) (rec_item 0 100));
+  (* Zero-length ranges: a point probe strictly inside a locked range
+     conflicts; at either boundary it does not; two empty ranges never
+     conflict, even at the same offset. *)
+  check bool "zero-length inside conflicts" true
+    (conflict (rec_item 5 0) (rec_item 0 10));
+  check bool "zero-length at right boundary" false
+    (conflict (rec_item 10 0) (rec_item 0 10));
+  check bool "zero-length at left boundary" false
+    (conflict (rec_item 0 0) (rec_item 0 10));
+  check bool "two zero-length at same offset" false
+    (conflict (rec_item 5 0) (rec_item 5 0));
+  check bool "different files never conflict" false
+    (conflict (Lm.Record_item (1, 0, 10)) (Lm.Record_item (2, 0, 10)))
+
+(* ------------------------------------------------------------------ *)
+(* items_conflict: properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let item_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun f -> Lm.File_item f) (int_bound 3);
+        map2 (fun f p -> Lm.Page_item (f, p)) (int_bound 3) (int_bound 4);
+        map3
+          (fun f o l -> Lm.Record_item (f, o, l))
+          (int_bound 3) (int_bound 30) (int_bound 12);
+      ])
+
+let item_print = function
+  | Lm.File_item f -> Printf.sprintf "File(%d)" f
+  | Lm.Page_item (f, p) -> Printf.sprintf "Page(%d,%d)" f p
+  | Lm.Record_item (f, o, l) -> Printf.sprintf "Record(%d,%d,%d)" f o l
+
+let arb_item = QCheck.make ~print:item_print item_gen
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"items_conflict symmetric" ~count:2000
+    (QCheck.pair arb_item arb_item)
+    (fun (a, b) -> Lm.items_conflict a b = Lm.items_conflict b a)
+
+let prop_cross_symmetry =
+  QCheck.Test.make ~name:"items_conflict_cross symmetric" ~count:2000
+    (QCheck.pair arb_item arb_item)
+    (fun (a, b) -> Lm.items_conflict_cross a b = Lm.items_conflict_cross b a)
+
+let prop_reflexivity =
+  QCheck.Test.make ~name:"items_conflict reflexive (nonempty items)"
+    ~count:1000 arb_item (fun a ->
+      match a with
+      | Lm.Record_item (_, _, 0) ->
+        (* An empty range does not even conflict with itself. *)
+        not (Lm.items_conflict a a)
+      | _ -> Lm.items_conflict a a)
+
+let prop_record_interval =
+  QCheck.Test.make
+    ~name:"record conflict = nonempty interval intersection" ~count:2000
+    QCheck.(
+      pair
+        (pair (int_bound 30) (int_range 1 12))
+        (pair (int_bound 30) (int_range 1 12)))
+    (fun ((o1, l1), (o2, l2)) ->
+      let expected = max o1 o2 < min (o1 + l1) (o2 + l2) in
+      Lm.items_conflict (rec_item o1 l1) (rec_item o2 l2) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Waits-for graph                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_waits_for_cycle () =
+  let g = Waits_for.of_edges [ (1, 2); (2, 1); (3, 1) ] in
+  check bool "finds the 2-cycle" true (Waits_for.find_cycle g <> None);
+  check (option (list int)) "cycle through T1" (Some [ 1; 2 ])
+    (Waits_for.cycle_through g 1);
+  check (option (list int)) "cycle through T2" (Some [ 2; 1 ])
+    (Waits_for.cycle_through g 2);
+  check (option (list int)) "T3 is on no cycle" None
+    (Waits_for.cycle_through g 3)
+
+let test_waits_for_acyclic () =
+  let g = Waits_for.of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  check (option (list int)) "chain has no cycle" None (Waits_for.find_cycle g);
+  Waits_for.add_edge g ~waiter:3 ~blocker:1;
+  check bool "closing the chain creates one" true
+    (Waits_for.find_cycle g <> None);
+  Waits_for.remove_node g 2;
+  (* 1 -> 3 -> 1 remains via the direct edge. *)
+  check (option (list int)) "cycle survives removing T2" (Some [ 1; 3 ])
+    (Waits_for.cycle_through g 1);
+  Waits_for.remove_node g 3;
+  check (option (list int)) "gone after removing T3" None
+    (Waits_for.find_cycle g)
+
+let test_waits_for_edges_snapshot () =
+  let sim = Sim.create () in
+  let lm =
+    Lm.create
+      ~config:{ Lm.default_config with Lm.search_cost_ms = 0. }
+      ~sim ~on_suspect:(fun ~txn:_ -> ()) ()
+  in
+  let item = Lm.File_item 1 in
+  ignore
+    (Sim.spawn sim (fun () ->
+         ignore (Lm.try_acquire lm ~txn:1 item Lm.Iwrite);
+         let waiter txn mode =
+           ignore
+             (Sim.spawn sim (fun () ->
+                  match Lm.acquire lm ~txn item mode with
+                  | () -> ()
+                  | exception Lm.Wait_cancelled _ -> ()))
+         in
+         waiter 2 Lm.Iread;
+         waiter 3 Lm.Read_only;
+         Sim.sleep sim 1.;
+         (* T2 waits for the holder T1; T3 additionally waits for the
+            queued T2 (head-of-line). *)
+         check
+           (list (pair int int))
+           "waits-for edges"
+           [ (2, 1); (3, 1); (3, 2) ]
+           (Lm.waits_for_edges lm);
+         Lm.cancel_waits lm ~txn:2;
+         Lm.cancel_waits lm ~txn:3;
+         Lm.release_all lm ~txn:1));
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock detector scenarios                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_cycle_detected () =
+  let o = Scenarios.two_cycle () in
+  check bool "at least one true deadlock" true (o.true_deadlocks >= 1);
+  (match o.cycle with
+  | Some cycle ->
+    check bool "reported cycle has two transactions" true
+      (List.sort compare cycle = [ 1; 2 ])
+  | None -> fail "no cycle reported");
+  check bool "a victim was aborted" true (o.aborted <> [])
+
+let test_false_abort_classified () =
+  let o = Scenarios.long_transaction_false_abort () in
+  check int "no true deadlock" 0 o.true_deadlocks;
+  check bool "timeout abort counted as false abort" true (o.false_aborts >= 1);
+  check (list int) "the long transaction was the victim" [ 1 ] o.aborted;
+  check (option (list int)) "no cycle reported" None o.cycle
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 model check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_check () =
+  let checks = Table_check.run () in
+  check bool "covers all held x requested pairs at 3 levels" true
+    (List.length checks >= 36);
+  match Table_check.failures checks with
+  | [] -> ()
+  | f :: _ ->
+    fail (Printf.sprintf "model check failed: %s (%s)" f.Table_check.name
+            f.Table_check.detail)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism sanitizer                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism_clean_scenario () =
+  let results = Array.make 4 0 in
+  let setup sim =
+    Array.fill results 0 4 0;
+    for i = 0 to 3 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             Sim.sleep sim 1.;
+             results.(i) <- i * 10))
+    done
+  in
+  let observe _ =
+    String.concat "," (Array.to_list (Array.map string_of_int results))
+  in
+  let r = Determinism.run_twice_compare ~setup ~observe () in
+  check bool "digest repeatable" true r.Determinism.digest_repeatable;
+  check bool "order independent" true r.Determinism.order_independent;
+  check (list string) "no leaks" [] r.Determinism.leaked
+
+let test_determinism_flags_order_dependence () =
+  (* Same-time processes appending to a shared list: the result
+     depends on tie-breaking, which the sanitizer must flag. *)
+  let order = ref [] in
+  let setup sim =
+    order := [];
+    for i = 0 to 3 do
+      ignore (Sim.spawn sim (fun () -> order := !order @ [ i ]))
+    done
+  in
+  let observe _ = String.concat "," (List.map string_of_int !order) in
+  let r = Determinism.run_twice_compare ~setup ~observe () in
+  check bool "each run individually repeatable" true
+    r.Determinism.digest_repeatable;
+  check bool "schedule-order dependence flagged" false
+    r.Determinism.order_independent
+
+let test_determinism_flags_leaked_waiter () =
+  let setup sim =
+    let mb = Sim.Mailbox.create sim in
+    ignore (Sim.spawn ~name:"stuck" sim (fun () -> ignore (Sim.Mailbox.recv mb)))
+  in
+  let r = Determinism.run_twice_compare ~setup ~observe:(fun _ -> "") () in
+  check bool "leaked waiter reported" true
+    (List.exists
+       (fun name -> String.length name >= 5 && String.sub name 0 5 = "stuck")
+       r.Determinism.leaked)
+
+(* ------------------------------------------------------------------ *)
+(* Sim runtime checks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_blocking_outside_process () =
+  let sim = Sim.create () in
+  check_raises "sleep outside a process" Sim.Blocking_outside_process
+    (fun () -> Sim.sleep sim 1.);
+  let mb = Sim.Mailbox.create sim in
+  check_raises "recv outside a process" Sim.Blocking_outside_process
+    (fun () -> ignore (Sim.Mailbox.recv mb))
+
+let test_audit_clean_run () =
+  let sim = Sim.create ~track:true () in
+  ignore (Sim.spawn sim (fun () -> Sim.sleep sim 5.));
+  Sim.run sim;
+  let audit = Sim.audit sim in
+  check (list string) "nothing parked" [] audit.Sim.parked;
+  check (list string) "no undelivered kills" [] audit.Sim.undelivered_kills
+
+let test_run_digest_repeatable () =
+  let build () =
+    let sim = Sim.create () in
+    for i = 1 to 5 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             Sim.sleep sim (float_of_int i);
+             Sim.yield sim))
+    done;
+    Sim.run sim;
+    Sim.run_digest sim
+  in
+  check int "identical runs, identical digests" (build ()) (build ())
+
+let test_lifo_tie_break () =
+  let q = Pq.create ~tie:Pq.Lifo () in
+  Pq.add q ~prio:1. "a";
+  Pq.add q ~prio:1. "b";
+  Pq.add q ~prio:0.5 "c";
+  check (option (pair (float 0.) string)) "lower prio first" (Some (0.5, "c"))
+    (Pq.pop q);
+  check (option (pair (float 0.) string)) "newest of equals first"
+    (Some (1., "b")) (Pq.pop q);
+  check (option (pair (float 0.) string)) "oldest last" (Some (1., "a"))
+    (Pq.pop q)
+
+(* ------------------------------------------------------------------ *)
+(* Lint engine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rules vs = List.map (fun v -> v.Lint.rule) vs
+
+let test_lint_catch_all () =
+  check (list string) "try with _ flagged" [ "no-catch-all" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let f x = try g x with _ -> 0"));
+  check (list string) "multiline try with | _ flagged" [ "no-catch-all" ]
+    (rules
+       (Lint.lint_source ~file:"t.ml" "let f x =\n  try\n    g x\n  with\n  | _ -> 0"));
+  check int "line number points at the with" 4
+    (match
+       Lint.lint_source ~file:"t.ml" "let f x =\n  try\n    g x\n  with\n  | _ -> 0"
+     with
+    | [ v ] -> v.Lint.line
+    | _ -> -1);
+  check (list string) "wildcard with guard flagged" [ "no-catch-all" ]
+    (rules
+       (Lint.lint_source ~file:"t.ml" "let f x = try g x with _ when p x -> 0"))
+
+let test_lint_catch_all_negatives () =
+  check (list string) "match wildcard allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let f x = match x with _ -> 0"));
+  check (list string) "record update allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let f g = { g with a = 1 }"));
+  check (list string) "named handler allowed" []
+    (rules
+       (Lint.lint_source ~file:"t.ml" "let f x = try g x with Not_found -> 0"));
+  check (list string) "catch-all in comment allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "(* try f with _ -> 0 *) let x = 1"));
+  check (list string) "nested match inside try allowed" []
+    (rules
+       (Lint.lint_source ~file:"t.ml"
+          "let f x = try (match x with _ -> 1) with Failure _ -> 0"))
+
+let test_lint_forbidden () =
+  check (list string) "Unix. flagged" [ "no-wall-clock" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let t = Unix.gettimeofday ()"));
+  check (list string) "Random.self_init flagged" [ "no-wall-clock" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let () = Random.self_init ()"));
+  check (list string) "Sys.time flagged" [ "no-wall-clock" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let t = Sys.time ()"));
+  check (list string) "in a string literal, allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let s = \"Unix.stat\""));
+  check (list string) "in a comment, allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "(* Unix.stat *) let x = 1"));
+  check (list string) "prefix of another ident, allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let t = My_unix.now ()"))
+
+let test_lint_pairing () =
+  check (list string) "acquire without release flagged" [ "paired-release" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let f s = Semaphore.acquire s"));
+  check (list string) "acquire with release allowed" []
+    (rules
+       (Lint.lint_source ~file:"t.ml"
+          "let f s = Semaphore.acquire s; g (); Semaphore.release s"))
+
+let test_lint_repo_clean () =
+  (* The tree under test is copied into _build, so ../lib is the
+     library source seen by the build. *)
+  let dir = Filename.concat Filename.parent_dir_name "lib" in
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let vs = Lint.lint_dir dir in
+    List.iter
+      (fun v -> Printf.printf "%s:%d: %s %s\n" v.Lint.file v.Lint.line
+          v.Lint.rule v.Lint.message)
+      vs;
+    check int "lib/ lints clean" 0 (List.length vs)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  run "rhodos_analysis"
+    [
+      ( "items_conflict",
+        [
+          test_case "record range edge cases" `Quick test_record_edges;
+          QCheck_alcotest.to_alcotest prop_symmetry;
+          QCheck_alcotest.to_alcotest prop_cross_symmetry;
+          QCheck_alcotest.to_alcotest prop_reflexivity;
+          QCheck_alcotest.to_alcotest prop_record_interval;
+        ] );
+      ( "waits_for",
+        [
+          test_case "two-cycle" `Quick test_waits_for_cycle;
+          test_case "acyclic / incremental" `Quick test_waits_for_acyclic;
+          test_case "lock-manager snapshot" `Quick test_waits_for_edges_snapshot;
+        ] );
+      ( "deadlock detector",
+        [
+          test_case "seeded 2-cycle is a true deadlock" `Quick
+            test_two_cycle_detected;
+          test_case "timeout without cycle is a false abort" `Quick
+            test_false_abort_classified;
+        ] );
+      ( "table 1 model check",
+        [ test_case "exhaustive matrix + conversions" `Quick test_table_check ] );
+      ( "determinism",
+        [
+          test_case "clean scenario passes" `Quick
+            test_determinism_clean_scenario;
+          test_case "order dependence flagged" `Quick
+            test_determinism_flags_order_dependence;
+          test_case "leaked waiter flagged" `Quick
+            test_determinism_flags_leaked_waiter;
+        ] );
+      ( "sim sanitizers",
+        [
+          test_case "blocking outside a process" `Quick
+            test_blocking_outside_process;
+          test_case "clean audit" `Quick test_audit_clean_run;
+          test_case "repeatable digest" `Quick test_run_digest_repeatable;
+          test_case "lifo tie-break" `Quick test_lifo_tie_break;
+        ] );
+      ( "lint",
+        [
+          test_case "catch-all try" `Quick test_lint_catch_all;
+          test_case "catch-all negatives" `Quick test_lint_catch_all_negatives;
+          test_case "forbidden identifiers" `Quick test_lint_forbidden;
+          test_case "acquire/release pairing" `Quick test_lint_pairing;
+          test_case "repo lib/ is clean" `Quick test_lint_repo_clean;
+        ] );
+    ]
