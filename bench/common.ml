@@ -14,6 +14,9 @@ module Stats = Rhodos_util.Stats
 module Rng = Rhodos_util.Rng
 module Text_table = Rhodos_util.Text_table
 module Workload = Rhodos_workload.Workload
+module Trace = Rhodos_obs.Trace
+module Metrics = Rhodos_obs.Metrics
+module Export = Rhodos_obs.Export
 
 let mib n = n * 1024 * 1024
 let kib n = n * 1024
@@ -77,6 +80,22 @@ let pattern n = Bytes.init n (fun i -> Char.chr (i mod 251))
    fragmentation) by bouncing single-block stripes between disks. *)
 let fragmented_config =
   { Fs.default_config with Fs.placement = Fs.Striped { stripe_blocks = 1 } }
+
+let print_table table = print_string (Text_table.render table)
+
+(* Record every span finished while [f] runs; returns (result, spans). *)
+let with_trace tracer f =
+  let c = Trace.collect tracer in
+  Fun.protect
+    ~finally:(fun () -> Trace.stop tracer c)
+    (fun () ->
+      let result = f () in
+      (result, Trace.spans c))
+
+let print_span_tree spans = print_string (Export.span_tree spans)
+
+let print_latency_breakdown ?title spans =
+  print_string (Export.latency_breakdown ?title spans)
 
 let header title =
   Printf.printf "\n==============================================================\n";

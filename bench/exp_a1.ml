@@ -56,7 +56,7 @@ let run () =
           Printf.sprintf "%.1f" p99;
         ])
     [ ("FCFS", Disk.Fcfs); ("SSTF", Disk.Sstf); ("SCAN (elevator)", Disk.Scan) ];
-  Text_table.print table;
+  print_table table;
   note "SSTF and SCAN reorder the queue to shorten arm travel: lower total";
   note "seek time and elapsed time than FCFS; SCAN bounds the unfairness SSTF";
   note "shows in the p99 wait."

@@ -71,7 +71,7 @@ let run () =
           Printf.sprintf "%.2f" ratio;
         ])
     [ 0; 8; 16; 32; 64 ];
-  Text_table.print table;
+  print_table table;
   note "The knee sits exactly at the working-set size (32 blocks): the";
   note "right-sized cache eliminates the network; bigger buys nothing more.";
   note "Undersized caches are WORSE than none: LRU thrashes on the cyclic";

@@ -25,7 +25,10 @@ let run () =
       let bs_refs_before = Counter.get (Block.stats bs) "foreground_refs" in
       let disk_refs_before = (Disk.stats (Cluster.disks t).(0)).Disk.references in
 
-      let data = Cluster.pread ws d ~off:0 ~len:(kib 64) in
+      let data, spans =
+        with_trace (Cluster.tracer t) (fun () ->
+            Cluster.pread ws d ~off:0 ~len:(kib 64))
+      in
       assert (Bytes.equal data (pattern (kib 64)));
 
       let table =
@@ -69,7 +72,12 @@ let run () =
           Printf.sprintf "%d physical reference(s)"
             ((Disk.stats (Cluster.disks t).(0)).Disk.references - disk_refs_before);
         ];
-      Text_table.print table;
+      print_table table;
+      note "";
+      note "span tree of the same read (simulated-time durations):";
+      note "";
+      print_span_tree spans;
+      print_latency_breakdown ~title:"per-layer latency breakdown" spans;
       note
         "Each layer only called the one below it; the transaction service and";
       note

@@ -30,7 +30,7 @@ let run () =
         (held_name held
         :: List.map (fun req -> outcome ~held ~req ~same_txn:false) modes))
     (None :: List.map Option.some modes);
-  Text_table.print table;
+  print_table table;
 
   let table2 =
     Text_table.create
@@ -43,6 +43,6 @@ let run () =
         (held_name (Some held)
         :: List.map (fun req -> outcome ~held:(Some held) ~req ~same_txn:true) modes))
     modes;
-  Text_table.print table2;
+  print_table table2;
   note "Paper row 'Iread, requested Iwrite': 'changed to Iwrite by the same";
   note "transaction' — reproduced as 'converted' above; all other cells match."

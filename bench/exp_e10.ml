@@ -114,7 +114,7 @@ let run () =
           string_of_int extents;
         ])
     [ 1; 2; 4; 8 ];
-  Text_table.print table;
+  print_table table;
   note "Scaling is sub-linear: each stripe still pays its own seek and";
   note "rotation, so wider arrays help until per-extent overheads dominate —";
   note "the classic striping curve.";
@@ -137,7 +137,7 @@ let run () =
           Printf.sprintf "%.2fx" (!base /. elapsed);
         ])
     [ 1; 2; 4 ];
-  Text_table.print table2;
+  print_table table2;
   note "Adding whole file SERVERS scales aggregate throughput nearly";
   note "linearly while the clients' working sets divide cleanly — 'there is";
   note "practically no limitation on the number of disks connected in the";

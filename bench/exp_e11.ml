@@ -106,7 +106,7 @@ let run () =
   Text_table.add_row table [ "crash mid-commit"; scenario_mid_commit () ];
   Text_table.add_row table [ "media decay under stable storage"; scenario_media_decay () ];
   Text_table.add_row table [ "duplicated/lost RPCs"; scenario_duplicated_messages () ];
-  Text_table.print table;
+  print_table table;
   note "Every vital structure (FITs, bitmap, intentions list) lives on the";
   note "mirrored stable store; recovery is idempotent; and the client-server";
   note "protocol deduplicates, so repetition 'does not produce any uncertain";

@@ -73,7 +73,7 @@ let run () =
       string_of_int w_remote;
       string_of_int w_lost;
     ];
-  Text_table.print table;
+  print_table table;
   note "Delayed-write coalesces the re-writes (near-zero remote traffic and";
   note "latency) at the price of a data-loss window on a crash; write-through";
   note "pays the network and the disk for every write but loses nothing.";

@@ -84,7 +84,7 @@ let run () =
       Text_table.add_row table
         [ string_of_int n; cell w; cell r; cell f; cell s ])
     [ 1; 2; 3; 5 ];
-  Text_table.print table;
+  print_table table;
   note "Writes pay for every replica (availability is not free); reads cost";
   note "one replica regardless, and keep costing that after the primary";
   note "fails. Resynchronising a stale replica costs roughly one file copy."

@@ -70,7 +70,7 @@ let run () =
   row "time-sharing (co-located services)" local;
   row "distributed, client cache on" remote_cached;
   row "distributed, no client cache" remote_uncached;
-  Text_table.print table;
+  print_table table;
   note "With the agent cache, moving the services across the LAN adds only a";
   note "modest overhead to an editing session — the paper's transparency goal.";
   note "Strip the client cache and the same distribution costs several times";

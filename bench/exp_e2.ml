@@ -60,7 +60,7 @@ let run () =
           claim;
         ])
     sizes;
-  Text_table.print table;
+  print_table table;
   note "Contiguous files read in exactly 2 references at every size (the";
   note "count field lets one get_block fetch the whole run; the paper's 0.5 MB";
   note "limit is the 64-descriptor direct table, i.e. the worst case where no";

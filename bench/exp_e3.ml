@@ -49,7 +49,7 @@ let run () =
           Printf.sprintf "%.1fx" (without_ms /. with_ms);
         ])
     run_lengths;
-  Text_table.print table;
+  print_table table;
   note "'with count' holds at 2 references (FIT + one streaming transfer)";
   note "while 'without count' pays one reference — seek plus rotation — per";
   note "block, exactly the paper's count-field argument."

@@ -79,7 +79,7 @@ let run () =
       "(data identical; +3 frags/file)";
       "-";
     ];
-  Text_table.print table;
+  print_table table;
   note "Structural information rides in 2 KiB fragments: 4x less metadata";
   note "space and a cheaper transfer per FIT; file data stays in 8 KiB blocks";
   note "so large transfers keep their low per-byte cost."

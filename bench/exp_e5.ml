@@ -118,7 +118,7 @@ let run () =
           Printf.sprintf "%.0fx" (bits /. Float.max entries 0.1);
         ])
     fill_levels;
-  Text_table.print table;
+  print_table table;
   note "The array answers from at most a few cached extent references while";
   note "the scan walks the bitmap from the start — hundreds to thousands of";
   note "bits once the disk fills up. ('bitmap fallbacks' counts the rare";

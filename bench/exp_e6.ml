@@ -112,7 +112,7 @@ let run () =
   row "RHODOS, client cache on" (r_cold, r_warm, r_remote);
   row "RHODOS, client cache off" (n_cold, n_warm, n_remote);
   row "Bullet (no client cache)" (b_cold, b_warm, b_remote);
-  Text_table.print table;
+  print_table table;
   note "With the agent cache the warm rounds never touch the network; the";
   note "uncached RHODOS client and the Bullet server keep shipping bytes on";
   note "every re-read — the bottleneck the paper pins on Bullet."

@@ -109,7 +109,7 @@ let run () =
       ("shadow pages (forced)", Some Txn.Shadow_page);
       ("hybrid (paper's rule)", None);
     ];
-  Text_table.print table;
+  print_table table;
   note "WAL keeps the file in one extent (fast rescans) but copies every";
   note "updated byte through the stable intentions list ('log bytes'). Shadow";
   note "pages log only tiny descriptor-swap records — the paper's 'lesser I/O";

@@ -92,7 +92,7 @@ let run () =
       ("page", Fit.Page_level);
       ("file", Fit.File_level);
     ];
-  Text_table.print table;
+  print_table table;
   note "The updates are disjoint, so record locking admits them all in";
   note "parallel (zero lock waits); page locking conflicts only when records";
   note "share an 8 KiB page; file locking serialises every transaction —";

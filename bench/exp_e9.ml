@@ -106,7 +106,7 @@ let run () =
       Text_table.add_row table
         [ Printf.sprintf "%.0f" lt; Printf.sprintf "%.0f" elapsed; string_of_int aborted ])
     [ 20.; 50.; 200.; 1000. ];
-  Text_table.print table;
+  print_table table;
 
   let table2 =
     Text_table.create
@@ -116,7 +116,7 @@ let run () =
   List.iter
     (fun lt -> Text_table.add_row table2 [ Printf.sprintf "%.0f" lt; long_txn_case lt ])
     [ 20.; 50.; 200.; 1000. ];
-  Text_table.print table2;
+  print_table table2;
   note "A: the deadlock always resolves within about one LT of forming;";
   note "symmetric timeouts abort both victims. B: the same small LT falsely";
   note "aborts a merely-slow transaction the moment someone contests its";

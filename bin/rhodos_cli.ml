@@ -179,6 +179,101 @@ let run_session ~ndisks ~remote ~latency ~seed ~commands =
       Printf.printf "done (simulated %.2f ms)\n" (Sim.now sim))
 
 (* ------------------------------------------------------------------ *)
+(* trace: export the E0 cold-read request as a span tree / Chrome JSON *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Rhodos_obs.Trace
+module Export = Rhodos_obs.Export
+
+(* One cold 64 KiB read (the E0 walk): create /walk, write it out,
+   drop every cache, then trace the re-read. Returns the finished
+   spans and the simulation digest. [traced = false] runs the same
+   workload with no subscriber attached (the zero-cost path). *)
+let cold_read_spans ~traced () =
+  Cluster.run (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let payload = Bytes.init (64 * 1024) (fun i -> Char.chr (i mod 251)) in
+      let d = Cluster.create_file ws "/walk" in
+      Cluster.pwrite ws d ~off:0 ~data:payload;
+      Fa.flush (Cluster.file_agent ws);
+      Fs.drop_caches (Cluster.file_service t);
+      ignore (Fa.crash (Cluster.file_agent ws));
+      let d = Cluster.open_file ws "/walk" in
+      let tracer = Cluster.tracer t in
+      let collector = if traced then Some (Trace.collect tracer) else None in
+      let got = Cluster.pread ws d ~off:0 ~len:(64 * 1024) in
+      Option.iter (Trace.stop tracer) collector;
+      if not (Bytes.equal got payload) then failwith "trace: cold read corrupt";
+      Cluster.close ws d;
+      let spans =
+        match collector with Some c -> Trace.spans c | None -> []
+      in
+      (spans, Sim.run_digest sim))
+
+(* The E0 layering the paper's Fig. 1 promises: the client call goes
+   agent -> RPC -> file service -> block service, and the cold 64 KiB
+   contiguous file costs exactly two physical disk references. *)
+let check_layering spans =
+  let by_service s = List.filter (fun sp -> sp.Trace.service = s) spans in
+  let find_span id = List.find_opt (fun sp -> sp.Trace.id = id) spans in
+  let rec ancestors sp =
+    match sp.Trace.parent with
+    | None -> []
+    | Some p -> (
+      match find_span p with
+      | None -> []
+      | Some parent -> parent.Trace.service :: ancestors parent)
+  in
+  let expect cond msg = if not cond then failwith ("trace check: " ^ msg) in
+  let roots = List.filter (fun sp -> sp.Trace.parent = None) spans in
+  expect
+    (List.length roots = 1
+    && (List.hd roots).Trace.service = "client"
+    && (List.hd roots).Trace.op = "pread")
+    "expected a single client.pread root span";
+  expect (by_service "file_agent" <> []) "no file_agent span";
+  expect (by_service "net" <> []) "no net span";
+  expect (by_service "file_service" <> []) "no file_service span";
+  expect (by_service "block_service" <> []) "no block_service span";
+  let disks = by_service "disk" in
+  expect
+    (List.length disks = 2)
+    (Printf.sprintf "expected 2 physical disk references, got %d"
+       (List.length disks));
+  List.iter
+    (fun sp ->
+      expect
+        (ancestors sp
+        = [ "block_service"; "file_service"; "net"; "file_agent"; "client" ])
+        "disk span not under block_service -> file_service -> net -> \
+         file_agent -> client")
+    disks
+
+let trace_action tree check =
+  Rhodos_util.Logging.setup_from_env ();
+  let spans, digest = cold_read_spans ~traced:true () in
+  if check then begin
+    check_layering spans;
+    let spans2, digest2 = cold_read_spans ~traced:true () in
+    let _, untraced_digest = cold_read_spans ~traced:false () in
+    if Export.chrome_json spans <> Export.chrome_json spans2 then
+      failwith "trace check: two traced runs exported different JSON";
+    if digest <> digest2 then
+      failwith "trace check: two traced runs diverged (digest)";
+    if digest <> untraced_digest then
+      failwith "trace check: tracing perturbed the simulation digest";
+    Printf.printf
+      "trace check passed: %d spans, 2 disk references, deterministic export, \
+       digest unchanged by tracing\n"
+      (List.length spans)
+  end
+  else if tree then begin
+    print_string (Export.span_tree spans);
+    print_string (Export.latency_breakdown ~title:"per-layer breakdown" spans)
+  end
+  else print_string (Export.chrome_json spans)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,6 +345,29 @@ let info_cmd =
   in
   Cmd.v (Cmd.info "info" ~doc) Term.(const action $ const ())
 
+let trace_cmd =
+  let doc =
+    "trace one cold 64 KiB read across every layer; emits Chrome trace_event \
+     JSON (default), a plain-text span tree (--tree), or self-checks the \
+     layering and determinism (--check)"
+  in
+  let tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Print the span tree instead of JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the E0 layering (client through agent, RPC, file \
+             service, block service, to exactly 2 disk references), that two \
+             traced runs export byte-identical JSON, and that tracing leaves \
+             the simulation digest unchanged.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_action $ tree $ check)
+
 let () =
   let doc = "drive a simulated RHODOS distributed file facility" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rhodos_cli" ~doc) [ run_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rhodos_cli" ~doc) [ run_cmd; info_cmd; trace_cmd ]))

@@ -71,4 +71,4 @@ let () =
           String.concat "+" (List.map string_of_int refs);
         ])
     [ 1; 2; 4 ];
-  Text_table.print table
+  print_string (Text_table.render table)

@@ -2,6 +2,7 @@ module Sim = Rhodos_sim.Sim
 module Cache = Rhodos_cache.Buffer_cache
 module Fit = Rhodos_file.Fit
 module Counter = Rhodos_util.Stats.Counter
+module Trace = Rhodos_obs.Trace
 
 let block_size = 8192
 
@@ -31,6 +32,7 @@ type t = {
   mutable next_desc : desc;
   counters : Counter.t;
   name_counters : Counter.t;
+  tracer : Trace.t option;
 }
 
 (* Reserved redirection descriptors (paper section 3). *)
@@ -49,7 +51,8 @@ let size_ref t file =
     Hashtbl.replace t.sizes file r;
     r
 
-let create ?(config = default_config) ~sim ~(conn : Service_conn.fs_conn) () =
+let create ?(config = default_config) ?tracer ~sim
+    ~(conn : Service_conn.fs_conn) () =
   let sizes = Hashtbl.create 16 in
   let counters = Counter.create () in
   (* Write back one dirty block: trim to the file's logical size so a
@@ -80,6 +83,7 @@ let create ?(config = default_config) ~sim ~(conn : Service_conn.fs_conn) () =
     next_desc = first_dynamic_desc;
     counters;
     name_counters = Counter.create ();
+    tracer;
   }
 
 let stats t = t.counters
@@ -117,19 +121,27 @@ let fresh_desc t =
   d
 
 let open_file t ~path =
-  let file = resolve_path t path in
-  let attrs = t.conn.Service_conn.open_file file in
-  let d = fresh_desc t in
-  install t ~desc:d file attrs;
-  d
+  Trace.maybe t.tracer ~service:"file_agent" ~op:"open"
+    ~attrs:(fun () -> [ ("path", Trace.Str path) ])
+    (fun () ->
+      let file = resolve_path t path in
+      let attrs = t.conn.Service_conn.open_file file in
+      let d = fresh_desc t in
+      install t ~desc:d file attrs;
+      d)
 
-let create_file t ~path =
+let create_file_impl t ~path =
   let file = t.conn.Service_conn.create_file () in
   t.conn.Service_conn.bind ~path ~file_id:file;
   let attrs = t.conn.Service_conn.open_file file in
   let d = fresh_desc t in
   install t ~desc:d file attrs;
   d
+
+let create_file t ~path =
+  Trace.maybe t.tracer ~service:"file_agent" ~op:"create"
+    ~attrs:(fun () -> [ ("path", Trace.Str path) ])
+    (fun () -> create_file_impl t ~path)
 
 let open_redirect t ~path ~slot =
   let d =
@@ -179,7 +191,7 @@ let load_block t file bi =
     Cache.insert_clean t.cache (file, bi) block;
     block
 
-let pread_file t file ~off ~len =
+let pread_file_impl t file ~off ~len =
   Counter.incr t.counters "reads";
   let size = !(size_ref t file) in
   let len = max 0 (min len (size - off)) in
@@ -200,7 +212,14 @@ let pread_file t file ~off ~len =
     out
   end
 
-let pwrite_file t file ~off ~data =
+let pread_file t file ~off ~len =
+  Trace.maybe t.tracer ~service:"file_agent" ~op:"pread"
+    ~attrs:(fun () ->
+      [ ("file", Trace.Int file); ("off", Trace.Int off);
+        ("len", Trace.Int len) ])
+    (fun () -> pread_file_impl t file ~off ~len)
+
+let pwrite_file_impl t file ~off ~data =
   Counter.incr t.counters "writes";
   let len = Bytes.length data in
   if len > 0 then begin
@@ -233,6 +252,13 @@ let pwrite_file t file ~off ~data =
     end;
     if off + len > !size then size := off + len
   end
+
+let pwrite_file t file ~off ~data =
+  Trace.maybe t.tracer ~service:"file_agent" ~op:"pwrite"
+    ~attrs:(fun () ->
+      [ ("file", Trace.Int file); ("off", Trace.Int off);
+        ("len", Trace.Int (Bytes.length data)) ])
+    (fun () -> pwrite_file_impl t file ~off ~data)
 
 (* ------------------------------------------------------------------ *)
 (* Descriptor operations                                               *)

@@ -40,10 +40,13 @@ val default_config : config
 
 val create :
   ?config:config ->
+  ?tracer:Rhodos_obs.Trace.t ->
   sim:Rhodos_sim.Sim.t ->
   conn:Service_conn.fs_conn ->
   unit ->
   t
+(** [tracer] wraps open/create and the data-path operations in
+    ["file_agent"] spans; free when no subscriber is attached. *)
 
 (** {1 The paper's file operations} *)
 

@@ -1,5 +1,6 @@
 module Sim = Rhodos_sim.Sim
 module Fit = Rhodos_file.Fit
+module Trace = Rhodos_obs.Trace
 
 type tdesc = int
 type desc = int
@@ -29,9 +30,10 @@ type t = {
   mutable agent_pid : Sim.pid option;
   agent_exit : Sim.Condition.cond;
   mutable spawn_count : int;
+  tracer : Trace.t option;
 }
 
-let create ?(on_commit = fun ~file:_ -> ()) ~sim ~fs_conn ~txn_conn () =
+let create ?(on_commit = fun ~file:_ -> ()) ?tracer ~sim ~fs_conn ~txn_conn () =
   {
     sim;
     fs_conn;
@@ -43,6 +45,7 @@ let create ?(on_commit = fun ~file:_ -> ()) ~sim ~fs_conn ~txn_conn () =
     agent_pid = None;
     agent_exit = Sim.Condition.create sim;
     spawn_count = 0;
+    tracer;
   }
 
 let is_running t =
@@ -79,7 +82,7 @@ let state t td d =
   | Some s -> s
   | None -> raise (Bad_descriptor d)
 
-let tbegin t =
+let tbegin_impl t =
   let handle = t.txn_conn.Service_conn.tbegin () in
   let td = t.next_tdesc in
   t.next_tdesc <- td + 1;
@@ -89,6 +92,10 @@ let tbegin t =
      scheduling point would let it observe an empty table and exit. *)
   ensure_agent t;
   td
+
+let tbegin t =
+  Trace.maybe t.tracer ~service:"txn_agent" ~op:"tbegin" (fun () ->
+      tbegin_impl t)
 
 let fresh_desc t =
   let d = t.next_desc in
@@ -127,9 +134,13 @@ let tdelete t td ~path =
   s.unbound_paths <- (path, file) :: s.unbound_paths
 
 let tpread t td d ~off ~len =
-  let s = txn t td in
-  let st = state t td d in
-  t.txn_conn.Service_conn.tread s.handle st.file ~off ~len ~intent_update:true
+  Trace.maybe t.tracer ~service:"txn_agent" ~op:"tpread"
+    ~attrs:(fun () -> [ ("off", Trace.Int off); ("len", Trace.Int len) ])
+    (fun () ->
+      let s = txn t td in
+      let st = state t td d in
+      t.txn_conn.Service_conn.tread s.handle st.file ~off ~len
+        ~intent_update:true)
 
 let tread t td d len =
   let st = state t td d in
@@ -138,9 +149,13 @@ let tread t td d len =
   out
 
 let tpwrite t td d ~off ~data =
-  let s = txn t td in
-  let st = state t td d in
-  t.txn_conn.Service_conn.twrite s.handle st.file ~off ~data
+  Trace.maybe t.tracer ~service:"txn_agent" ~op:"tpwrite"
+    ~attrs:(fun () ->
+      [ ("off", Trace.Int off); ("len", Trace.Int (Bytes.length data)) ])
+    (fun () ->
+      let s = txn t td in
+      let st = state t td d in
+      t.txn_conn.Service_conn.twrite s.handle st.file ~off ~data)
 
 let twrite t td d data =
   let st = state t td d in
@@ -187,7 +202,7 @@ let cleanup_names t s =
       with Rhodos_naming.Name_service.Already_bound _ -> ())
     s.unbound_paths
 
-let tend t td =
+let tend_impl t td =
   let s = txn t td in
   (* The files this transaction touched: their blocks may be stale in
      the machine's file-agent cache once the commit lands. *)
@@ -201,6 +216,10 @@ let tend t td =
     (* The service aborted the transaction (e.g. a lock timeout). *)
     cleanup_names t s;
     raise e
+
+let tend t td =
+  Trace.maybe t.tracer ~service:"txn_agent" ~op:"tend" (fun () ->
+      tend_impl t td)
 
 let tabort t td =
   let s = txn t td in

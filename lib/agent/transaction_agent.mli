@@ -30,6 +30,7 @@ exception Bad_transaction of int
 
 val create :
   ?on_commit:(file:int -> unit) ->
+  ?tracer:Rhodos_obs.Trace.t ->
   sim:Rhodos_sim.Sim.t ->
   fs_conn:Service_conn.fs_conn ->
   txn_conn:Service_conn.txn_conn ->

@@ -5,6 +5,7 @@ type t = {
   lm : Lm.t;
   counters : Counter.t;
   mutable last_cycle : int list option;
+  mutable token : Rhodos_obs.Event_bus.token option;
 }
 
 let classify_suspect t txn =
@@ -17,18 +18,24 @@ let classify_suspect t txn =
   | None -> Counter.incr t.counters "false_aborts"
 
 let attach lm =
-  let t = { lm; counters = Counter.create (); last_cycle = None } in
-  Lm.set_tracer lm
-    (Some
-       (function
-       | Lm.Ev_blocked _ -> Counter.incr t.counters "blocks_observed"
-       | Lm.Ev_granted _ -> Counter.incr t.counters "grants_observed"
-       | Lm.Ev_cancelled _ -> Counter.incr t.counters "cancels_observed"
-       | Lm.Ev_released _ -> ()
-       | Lm.Ev_suspected { txn } -> classify_suspect t txn));
+  let t = { lm; counters = Counter.create (); last_cycle = None; token = None } in
+  let token =
+    Lm.subscribe lm (function
+      | Lm.Ev_blocked _ -> Counter.incr t.counters "blocks_observed"
+      | Lm.Ev_granted _ -> Counter.incr t.counters "grants_observed"
+      | Lm.Ev_cancelled _ -> Counter.incr t.counters "cancels_observed"
+      | Lm.Ev_released _ -> ()
+      | Lm.Ev_suspected { txn } -> classify_suspect t txn)
+  in
+  t.token <- Some token;
   t
 
-let detach t = Rhodos_txn.Lock_manager.set_tracer t.lm None
+let detach t =
+  match t.token with
+  | Some token ->
+    Lm.unsubscribe t.lm token;
+    t.token <- None
+  | None -> ()
 
 let stats t = t.counters
 

@@ -12,12 +12,14 @@
 type t
 
 val attach : Rhodos_txn.Lock_manager.t -> t
-(** Install the detector as the lock manager's tracer (replacing any
-    previous tracer). The lock manager's behaviour is unchanged —
-    the detector only observes. *)
+(** Subscribe the detector to the lock manager's event bus. Other
+    subscribers (e.g. a request tracer) are unaffected — the detector
+    holds its own unsubscribe token. The lock manager's behaviour is
+    unchanged: the detector only observes. *)
 
 val detach : t -> unit
-(** Remove the tracer. *)
+(** Unsubscribe this detector (idempotent); other subscribers keep
+    receiving events. *)
 
 val snapshot : t -> Waits_for.t
 (** The current waits-for graph. *)

@@ -138,6 +138,58 @@ let find_forbidden ~file stripped =
   List.rev !vs
 
 (* ------------------------------------------------------------------ *)
+(* Rule: no direct printing from library code                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Libraries must not write to stdout/stderr directly: output belongs
+   to the [Logging] facade or an observability exporter, where the
+   harness can capture, rate or silence it. [logging.ml] itself is the
+   one sanctioned sink. *)
+let print_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "Printf.printf"; "Printf.eprintf";
+    "Format.printf"; "Format.eprintf"; "prerr_string"; "prerr_endline";
+    "prerr_newline";
+  ]
+
+let find_direct_prints ~file stripped =
+  if Filename.basename file = "logging.ml" then []
+  else begin
+    let vs = ref [] in
+    List.iter
+      (fun pat ->
+        let plen = String.length pat in
+        let limit = String.length stripped - plen in
+        let i = ref 0 in
+        while !i <= limit do
+          if
+            String.sub stripped !i plen = pat
+            && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+            && (!i + plen >= String.length stripped
+               || not (is_ident_char stripped.[!i + plen]))
+          then begin
+            vs :=
+              {
+                file;
+                line = line_of stripped !i;
+                rule = "no-direct-print";
+                message =
+                  Printf.sprintf
+                    "%s: library code must not print directly; go through \
+                     Logging or an obs exporter"
+                    pat;
+              }
+              :: !vs;
+            i := !i + plen
+          end
+          else incr i
+        done)
+      print_idents;
+    List.rev !vs
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Rule: no catch-all try ... with _ ->                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -293,6 +345,7 @@ let find_unpaired ~file stripped =
 let lint_source ~file src =
   let stripped = strip_comments_and_strings src in
   find_forbidden ~file stripped
+  @ find_direct_prints ~file stripped
   @ find_catch_alls ~file stripped
   @ find_unpaired ~file stripped
 

@@ -8,6 +8,10 @@
       [Random.self_init] in library code — everything must run on
       simulated time and seeded randomness or runs stop being
       replayable;
+    - {b no-direct-print}: library code never writes to stdout/stderr
+      directly ([print_string], [Printf.printf], [prerr_endline], ...)
+      — output goes through [Logging] or an observability exporter
+      ([logging.ml] itself is the sanctioned sink);
     - {b no-catch-all}: no [try ... with _ ->] whose first handler
       pattern is the wildcard — it swallows [Sim.Killed] and
       unexpected errors ([match ... with _ ->] and record update

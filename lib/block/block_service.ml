@@ -3,6 +3,7 @@ module Disk = Rhodos_disk.Disk
 module Stable = Rhodos_stable.Stable_store
 module Bitset = Rhodos_util.Bitset
 module Counter = Rhodos_util.Stats.Counter
+module Trace = Rhodos_obs.Trace
 
 module L = (val Logs.src_log (Rhodos_util.Logging.src "block") : Logs.LOG)
 
@@ -40,6 +41,7 @@ type t = {
   sim : Sim.t;
   disk : Disk.t;
   stable : Stable.t option;
+  tracer : Trace.t option;
   config : config;
   sectors_per_fragment : int;
   total_fragments : int;
@@ -63,7 +65,7 @@ let superblock_magic = 0x524B4C42l (* "BLKR" *)
 
 let bits_per_fragment = fragment_bytes * 8
 
-let create ?(name = "blocksrv") ?(config = default_config) ~disk ?stable () =
+let create ?(name = "blocksrv") ?(config = default_config) ?tracer ~disk ?stable () =
   let g = Disk.geometry disk in
   if fragment_bytes mod g.sector_bytes <> 0 then
     invalid_arg "Block_service: sector size must divide the fragment size";
@@ -85,6 +87,7 @@ let create ?(name = "blocksrv") ?(config = default_config) ~disk ?stable () =
     sim;
     disk;
     stable;
+    tracer;
     config;
     sectors_per_fragment;
     total_fragments;
@@ -276,7 +279,7 @@ let stable_exn t =
   | Some s -> s
   | None -> invalid_arg (t.name ^ ": no stable storage configured")
 
-let get_block ?(source = Main) t ~pos ~fragments =
+let get_block_impl ~source t ~pos ~fragments =
   check_run t ~pos ~fragments;
   match source with
   | Stable ->
@@ -328,6 +331,13 @@ let get_block ?(source = Main) t ~pos ~fragments =
         data
       end)
 
+let get_block ?(source = Main) t ~pos ~fragments =
+  Trace.maybe t.tracer ~service:"block_service" ~op:"get_block"
+    ~attrs:(fun () ->
+      [ ("server", Trace.Str t.name); ("pos", Trace.Int pos);
+        ("fragments", Trace.Int fragments) ])
+    (fun () -> get_block_impl ~source t ~pos ~fragments)
+
 let write_stable_pages t ~pos data nfrags =
   let s = stable_exn t in
   for i = 0 to nfrags - 1 do
@@ -335,7 +345,7 @@ let write_stable_pages t ~pos data nfrags =
   done;
   Counter.add t.counters "stable_writes" nfrags
 
-let put_block ?(dest = Original) ?(wait = Wait_stable) t ~pos data =
+let put_block_impl ~dest ~wait t ~pos data =
   let len = Bytes.length data in
   if len = 0 || len mod fragment_bytes <> 0 then
     invalid_arg "put_block: data must be a positive multiple of the fragment size";
@@ -363,6 +373,13 @@ let put_block ?(dest = Original) ?(wait = Wait_stable) t ~pos data =
   | Original_and_stable ->
     write_main ();
     write_stable ()
+
+let put_block ?(dest = Original) ?(wait = Wait_stable) t ~pos data =
+  Trace.maybe t.tracer ~service:"block_service" ~op:"put_block"
+    ~attrs:(fun () ->
+      [ ("server", Trace.Str t.name); ("pos", Trace.Int pos);
+        ("fragments", Trace.Int (Bytes.length data / fragment_bytes)) ])
+    (fun () -> put_block_impl ~dest ~wait t ~pos data)
 
 let flush_block t ~pos ~fragments =
   check_run t ~pos ~fragments;

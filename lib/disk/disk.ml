@@ -1,5 +1,6 @@
 module Sim = Rhodos_sim.Sim
 module Stats = Rhodos_util.Stats
+module Trace = Rhodos_obs.Trace
 
 type geometry = {
   cylinders : int;
@@ -62,6 +63,7 @@ type stats = {
 type t = {
   name : string;
   sim : Sim.t;
+  tracer : Trace.t option;
   geometry : geometry;
   image : bytes;
   faults : (int, unit) Hashtbl.t;
@@ -88,11 +90,12 @@ type t = {
 
 let capacity_sectors_of g = g.cylinders * g.heads * g.sectors_per_track
 
-let create ?(name = "disk") ?(scheduler = Fcfs) sim geometry =
+let create ?(name = "disk") ?(scheduler = Fcfs) ?tracer sim geometry =
   let sectors = capacity_sectors_of geometry in
   {
     name;
     sim;
+    tracer;
     geometry;
     image = Bytes.make (sectors * geometry.sector_bytes) '\000';
     faults = Hashtbl.create 16;
@@ -278,19 +281,29 @@ let rec pump t =
             pump t)
       end
 
+(* One span per physical disk reference, covering queueing plus
+   service time; it runs in the submitting process, so it nests under
+   whatever request span fanned out this I/O. *)
 let submit t ~sector ~count ~payload =
-  check_range t ~sector ~count;
-  if t.failed then raise (Disk_failed t.name);
-  let result =
-    Sim.suspend t.sim (fun waker ->
-        let req =
-          { sector; count; payload; enqueued_at = Sim.now t.sim; seq = t.next_seq; waker }
-        in
-        t.next_seq <- t.next_seq + 1;
-        t.queue <- t.queue @ [ req ];
-        pump t)
-  in
-  match result with Done data -> data | Failed e -> raise e
+  Trace.maybe t.tracer ~service:"disk"
+    ~op:(match payload with None -> "read" | Some _ -> "write")
+    ~attrs:(fun () ->
+      [ ("disk", Trace.Str t.name); ("sector", Trace.Int sector);
+        ("sectors", Trace.Int count) ])
+    (fun () ->
+      check_range t ~sector ~count;
+      if t.failed then raise (Disk_failed t.name);
+      let result =
+        Sim.suspend t.sim (fun waker ->
+            let req =
+              { sector; count; payload; enqueued_at = Sim.now t.sim;
+                seq = t.next_seq; waker }
+            in
+            t.next_seq <- t.next_seq + 1;
+            t.queue <- t.queue @ [ req ];
+            pump t)
+      in
+      match result with Done data -> data | Failed e -> raise e)
 
 let read t ~sector ~count = submit t ~sector ~count ~payload:None
 

@@ -45,7 +45,16 @@ exception Media_failure of { disk : string; sector : int }
 exception Disk_failed of string
 (** The whole unit is dead. *)
 
-val create : ?name:string -> ?scheduler:scheduler -> Rhodos_sim.Sim.t -> geometry -> t
+val create :
+  ?name:string ->
+  ?scheduler:scheduler ->
+  ?tracer:Rhodos_obs.Trace.t ->
+  Rhodos_sim.Sim.t ->
+  geometry ->
+  t
+(** [tracer] makes every physical reference emit a ["disk"] span
+    (covering queueing plus service time) under the caller's ambient
+    trace context; free when no subscriber is attached. *)
 
 val name : t -> string
 

@@ -2,6 +2,7 @@ module Sim = Rhodos_sim.Sim
 module Block = Rhodos_block.Block_service
 module Cache = Rhodos_cache.Buffer_cache
 module Counter = Rhodos_util.Stats.Counter
+module Trace = Rhodos_obs.Trace
 
 let block_size = Block.block_bytes (* 8192 *)
 let fpb = Block.fragments_per_block (* 4 *)
@@ -64,9 +65,10 @@ type t = {
   data_cache : (int * int) Cache.t; (* (disk index, fragment) -> 8 KiB block *)
   mutable rr_next : int;            (* round-robin cursor *)
   counters : Counter.t;
+  tracer : Trace.t option;
 }
 
-let create ?(name = "filesrv") ?(config = default_config) ~disks () =
+let create ?(name = "filesrv") ?(config = default_config) ?tracer ~disks () =
   if Array.length disks = 0 then invalid_arg "File_service.create: no disks";
   let sim = Block.sim disks.(0) in
   let policy =
@@ -89,6 +91,7 @@ let create ?(name = "filesrv") ?(config = default_config) ~disks () =
         ~policy ~writeback ();
     rr_next = 0;
     counters = Counter.create ();
+    tracer;
   }
 
 let name t = t.name
@@ -141,27 +144,30 @@ let load_fit t id =
     touch_fit t ofit;
     ofit
   | None ->
-    Counter.incr t.counters "fit_loads";
-    let bs = t.disks.(id_disk id) in
-    let raw = Block.get_block bs ~pos:(id_frag id) ~fragments:1 in
-    let fit = match Fit.decode raw with
-      | fit -> fit
-      | exception Fit.Corrupt _ -> raise (File_not_found id)
-    in
-    (* Pull overflow runs in from the indirect blocks. *)
-    List.iter
-      (fun (disk, frag) ->
-        let raw = Block.get_block t.disks.(disk) ~pos:frag ~fragments:fpb in
-        fit.Fit.runs <- fit.Fit.runs @ Fit.decode_indirect raw)
-      fit.Fit.indirect;
-    let ofit = { fit; runs_dirty = false; last_use = 0; pins = 1 } in
-    touch_fit t ofit;
-    Hashtbl.replace t.fits id ofit;
-    (* The fresh entry is pinned across the eviction pass so it cannot
-       reclaim itself before the caller gets to use it. *)
-    evict_fits_if_needed t;
-    ofit.pins <- 0;
-    ofit
+    Trace.maybe t.tracer ~service:"file_service" ~op:"fit_load"
+      ~attrs:(fun () -> [ ("file", Trace.Int (id_to_int id)) ])
+      (fun () ->
+        Counter.incr t.counters "fit_loads";
+        let bs = t.disks.(id_disk id) in
+        let raw = Block.get_block bs ~pos:(id_frag id) ~fragments:1 in
+        let fit = match Fit.decode raw with
+          | fit -> fit
+          | exception Fit.Corrupt _ -> raise (File_not_found id)
+        in
+        (* Pull overflow runs in from the indirect blocks. *)
+        List.iter
+          (fun (disk, frag) ->
+            let raw = Block.get_block t.disks.(disk) ~pos:frag ~fragments:fpb in
+            fit.Fit.runs <- fit.Fit.runs @ Fit.decode_indirect raw)
+          fit.Fit.indirect;
+        let ofit = { fit; runs_dirty = false; last_use = 0; pins = 1 } in
+        touch_fit t ofit;
+        Hashtbl.replace t.fits id ofit;
+        (* The fresh entry is pinned across the eviction pass so it
+           cannot reclaim itself before the caller gets to use it. *)
+        evict_fits_if_needed t;
+        ofit.pins <- 0;
+        ofit)
 
 (* Run [f] on the file's cached FIT with the entry pinned, so a
    blocking operation cannot have its entry evicted under it. *)
@@ -438,7 +444,7 @@ let extents_of fit ~b0 ~b1 ~max_run =
 (* pread                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let pread t id ~off ~len =
+let pread_impl t id ~off ~len =
   if off < 0 || len < 0 then invalid_arg "pread: negative offset or length";
   with_fit t id (fun ofit ->
   let fit = ofit.fit in
@@ -494,6 +500,13 @@ let pread t id ~off ~len =
     fit.Fit.last_read <- now t;
     out
   end)
+
+let pread t id ~off ~len =
+  Trace.maybe t.tracer ~service:"file_service" ~op:"pread"
+    ~attrs:(fun () ->
+      [ ("server", Trace.Str t.name); ("file", Trace.Int (id_to_int id));
+        ("off", Trace.Int off); ("len", Trace.Int len) ])
+    (fun () -> pread_impl t id ~off ~len)
 
 (* ------------------------------------------------------------------ *)
 (* pwrite                                                              *)
@@ -563,7 +576,7 @@ let write_range t _id ofit ~old_blocks ~range_off data =
     run_jobs t (List.rev !jobs)
   end
 
-let pwrite t id ~off data =
+let pwrite_impl t id ~off data =
   if off < 0 then invalid_arg "pwrite: negative offset";
   let len = Bytes.length data in
   if len > 0 then
@@ -581,6 +594,13 @@ let pwrite t id ~off data =
     if off + len > fit.Fit.size then fit.Fit.size <- off + len;
     fit.Fit.last_write <- now t;
     store_fit t id ofit)
+
+let pwrite t id ~off data =
+  Trace.maybe t.tracer ~service:"file_service" ~op:"pwrite"
+    ~attrs:(fun () ->
+      [ ("server", Trace.Str t.name); ("file", Trace.Int (id_to_int id));
+        ("off", Trace.Int off); ("len", Trace.Int (Bytes.length data)) ])
+    (fun () -> pwrite_impl t id ~off data)
 
 (* ------------------------------------------------------------------ *)
 (* truncate                                                            *)

@@ -1,5 +1,7 @@
 module Sim = Rhodos_sim.Sim
 module Rng = Rhodos_util.Rng
+module Counter = Rhodos_util.Stats.Counter
+module Trace = Rhodos_obs.Trace
 
 type node = {
   name : string;
@@ -16,9 +18,12 @@ type t = {
   mutable duplicate_rate : float;
   mutable node_list : node list;
   mutable next_call_id : int;
+  counters : Counter.t;
+  tracer : Trace.t option;
 }
 
-let create ?(seed = 1) ?(latency_ms = 0.5) ?(bandwidth_bytes_per_ms = 1000.) sim =
+let create ?(seed = 1) ?(latency_ms = 0.5) ?(bandwidth_bytes_per_ms = 1000.)
+    ?tracer sim =
   {
     sim;
     rng = Rng.create seed;
@@ -28,9 +33,12 @@ let create ?(seed = 1) ?(latency_ms = 0.5) ?(bandwidth_bytes_per_ms = 1000.) sim
     duplicate_rate = 0.;
     node_list = [];
     next_call_id = 0;
+    counters = Counter.create ();
+    tracer;
   }
 
 let sim t = t.sim
+let stats t = t.counters
 
 let add_node t name =
   let node = { name; partitioned = false; procs = [] } in
@@ -64,16 +72,21 @@ let transfer_ms t ~size_bytes =
 
 let send ?(size_bytes = 256) t ~from ep v =
   if from == ep.owner then Sim.Mailbox.send ep.mb v
-  else if from.partitioned || ep.owner.partitioned then ()
+  else if from.partitioned || ep.owner.partitioned then
+    Counter.incr t.counters "drops"
   else begin
     let deliver delay =
       Sim.schedule t.sim ~at:(Sim.now t.sim +. delay) (fun () ->
           Sim.Mailbox.send ep.mb v)
     in
     let delay = transfer_ms t ~size_bytes in
-    if Rng.float t.rng 1.0 >= t.loss_rate then deliver delay;
-    if t.duplicate_rate > 0. && Rng.float t.rng 1.0 < t.duplicate_rate then
+    Counter.incr t.counters "sends";
+    if Rng.float t.rng 1.0 >= t.loss_rate then deliver delay
+    else Counter.incr t.counters "drops";
+    if t.duplicate_rate > 0. && Rng.float t.rng 1.0 < t.duplicate_rate then begin
+      Counter.incr t.counters "dups";
       deliver (delay *. 1.5)
+    end
   end
 
 let recv ep = Sim.Mailbox.recv ep.mb
@@ -85,6 +98,9 @@ module Rpc = struct
     req : 'req;
     reply_to : (int * 'resp) endpoint;
     resp_size : int;
+    ctx : Trace.context option;
+        (* trace context captured at [call], re-installed around the
+           server-side handler so the whole hop is one causal tree *)
   }
 
   type 'resp request_state = In_progress | Completed of 'resp
@@ -113,6 +129,7 @@ module Rpc = struct
       | Some (Completed resp) ->
         (* Duplicate of a finished request: replay the recorded reply
            without re-executing — the idempotency guarantee. *)
+        Counter.incr port.net.counters "rpc_replays";
         reply port env resp
       | Some In_progress ->
         (* Still executing; the client will retry and hit the cache. *)
@@ -120,9 +137,13 @@ module Rpc = struct
       | None ->
         Hashtbl.replace port.seen env.id In_progress;
         port.execs <- port.execs + 1;
+        Counter.incr port.net.counters "handler_execs";
         ignore
           (spawn_on ~name:(port.srv_name ^ "-handler") port.net port.node (fun () ->
-               let resp = handler env.req in
+               let resp =
+                 Trace.with_restored port.net.tracer env.ctx (fun () ->
+                     handler env.req)
+               in
                Hashtbl.replace port.seen env.id (Completed resp);
                reply port env resp)));
       serve_loop port handler ()
@@ -153,29 +174,46 @@ module Rpc = struct
     | None -> ()
 
   let call ?(timeout_ms = 50.) ?(max_retries = 5) ?(size_bytes = 256)
-      ?(resp_size_bytes = 256) t ~from port req =
-    let id = t.next_call_id in
-    t.next_call_id <- t.next_call_id + 1;
-    let reply_to = endpoint t from in
-    let env = { id; req; reply_to; resp_size = resp_size_bytes } in
-    let rec attempt n =
-      if n > max_retries then
-        raise (Timeout (Printf.sprintf "%s: rpc to %s" from.name port.srv_name));
-      send ~size_bytes t ~from port.inbox env;
-      match await_reply (Sim.now t.sim +. timeout_ms) with
-      | Some resp -> resp
-      | None -> attempt (n + 1)
-    (* Late replies from earlier attempts carry the same id; replies
-       to other calls cannot arrive here since the endpoint is ours. *)
-    and await_reply deadline =
-      let remaining = deadline -. Sim.now t.sim in
-      if remaining <= 0. then None
-      else
-        match recv_timeout reply_to remaining with
-        | None -> None
-        | Some (rid, resp) -> if rid = id then Some resp else await_reply deadline
-    in
-    attempt 0
+      ?(resp_size_bytes = 256) ?op t ~from port req =
+    Trace.maybe t.tracer ~service:"net"
+      ~op:(match op with Some op -> op | None -> "rpc:" ^ port.srv_name)
+      ~attrs:(fun () ->
+        [ ("client", Trace.Str from.name);
+          ("server", Trace.Str port.node.name);
+          ("size_bytes", Trace.Int size_bytes);
+          ("resp_size_bytes", Trace.Int resp_size_bytes) ])
+      (fun () ->
+        Counter.incr t.counters "rpc_calls";
+        let id = t.next_call_id in
+        t.next_call_id <- t.next_call_id + 1;
+        let reply_to = endpoint t from in
+        let env =
+          { id; req; reply_to; resp_size = resp_size_bytes;
+            ctx = Trace.current_opt t.tracer }
+        in
+        let rec attempt n =
+          if n > max_retries then begin
+            Counter.incr t.counters "rpc_timeouts";
+            raise
+              (Timeout (Printf.sprintf "%s: rpc to %s" from.name port.srv_name))
+          end;
+          if n > 0 then Counter.incr t.counters "rpc_retries";
+          send ~size_bytes t ~from port.inbox env;
+          match await_reply (Sim.now t.sim +. timeout_ms) with
+          | Some resp -> resp
+          | None -> attempt (n + 1)
+        (* Late replies from earlier attempts carry the same id; replies
+           to other calls cannot arrive here since the endpoint is ours. *)
+        and await_reply deadline =
+          let remaining = deadline -. Sim.now t.sim in
+          if remaining <= 0. then None
+          else
+            match recv_timeout reply_to remaining with
+            | None -> None
+            | Some (rid, resp) ->
+              if rid = id then Some resp else await_reply deadline
+        in
+        attempt 0)
 
   let handler_executions port = port.execs
 end

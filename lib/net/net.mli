@@ -21,12 +21,21 @@ val create :
   ?seed:int ->
   ?latency_ms:float ->
   ?bandwidth_bytes_per_ms:float ->
+  ?tracer:Rhodos_obs.Trace.t ->
   Rhodos_sim.Sim.t ->
   t
 (** Defaults: 0.5 ms latency (a 1994 LAN round trip is ~1 ms),
-    1000 bytes/ms (~ 8 Mbit/s effective). *)
+    1000 bytes/ms (~ 8 Mbit/s effective). [tracer] wraps each
+    [Rpc.call] in a ["net"] span and carries the caller's trace
+    context to the server-side handler, so one request renders as one
+    causal tree across the hop. *)
 
 val sim : t -> Rhodos_sim.Sim.t
+
+val stats : t -> Rhodos_util.Stats.Counter.t
+(** Counters: ["sends"], ["drops"] (loss + partitions), ["dups"],
+    ["rpc_calls"], ["rpc_retries"], ["rpc_replays"] (deduplicated
+    reply replays), ["rpc_timeouts"], ["handler_execs"]. *)
 
 val add_node : t -> string -> node
 
@@ -100,6 +109,7 @@ module Rpc : sig
     ?max_retries:int ->
     ?size_bytes:int ->
     ?resp_size_bytes:int ->
+    ?op:string ->
     t ->
     from:node ->
     ('req, 'resp) port ->
@@ -107,7 +117,8 @@ module Rpc : sig
     'resp
   (** At-most-once RPC with retries (defaults: 50 ms timeout, 5
       retries). [size_bytes]/[resp_size_bytes] (default 256) model the
-      payload sizes for transfer-time purposes.
+      payload sizes for transfer-time purposes. [op] labels the RPC's
+      trace span (default ["rpc:<server name>"]).
       @raise Timeout when every attempt is lost. *)
 
   val handler_executions : ('req, 'resp) port -> int

@@ -1,0 +1,39 @@
+(* Multi-subscriber event bus.
+
+   Generalises the old single-slot [Lock_manager.set_tracer] hook: any
+   number of subscribers can listen to a stream of events, each holding
+   an unsubscribe token, so attaching one observer (say, a deadlock
+   detector) no longer silently evicts another (say, a tracer).
+
+   Publishing with no subscribers must be as close to free as possible:
+   the hot paths in the services guard their instrumentation with
+   [has_subscribers] and skip event construction entirely when nobody is
+   listening. *)
+
+type token = int
+
+type 'a t = {
+  mutable subs : (token * ('a -> unit)) list;
+  (* Newest-first; [publish] iterates oldest-first so subscribers see
+     events in subscription order. *)
+  mutable next : token;
+}
+
+let create () = { subs = []; next = 1 }
+
+let subscribe t f =
+  let tok = t.next in
+  t.next <- tok + 1;
+  t.subs <- (tok, f) :: t.subs;
+  tok
+
+let unsubscribe t tok = t.subs <- List.filter (fun (k, _) -> k <> tok) t.subs
+
+let has_subscribers t = t.subs <> []
+let subscriber_count t = List.length t.subs
+
+let publish t ev =
+  match t.subs with
+  | [] -> ()
+  | [ (_, f) ] -> f ev
+  | subs -> List.iter (fun (_, f) -> f ev) (List.rev subs)

@@ -1,0 +1,129 @@
+(* Unified metrics registry.
+
+   Two kinds of entries:
+
+   - owned instruments (counter / gauge / histogram) created through
+     this registry, for new measurements;
+
+   - registered sources: closures that read the pre-existing per-service
+     [Stats.Counter] tables (disk, buffer cache, block service, file
+     service, net, lock manager, ...) at snapshot time, so the scattered
+     ad-hoc counters appear behind one registry without rewriting every
+     service's internals.
+
+   Every entry carries a node label (e.g. "server0", "clientA", "" for
+   cluster-global), which is how [Cluster] snapshots per node. *)
+
+module Stats = Rhodos_util.Stats
+
+type instrument =
+  | I_counter of int ref
+  | I_gauge of float ref
+  | I_histogram of Stats.t
+
+type counter = int ref
+type gauge = float ref
+type histogram = Stats.t
+
+type t = {
+  owned : (string * string, instrument) Hashtbl.t; (* (node, name) *)
+  mutable sources :
+    (string * string * (unit -> (string * float) list)) list;
+    (* (node, name-prefix, read) — newest-first *)
+}
+
+type sample = { node : string; name : string; value : float }
+
+let create () = { owned = Hashtbl.create 64; sources = [] }
+
+let find_or_make t ~node ~name ~make ~cast ~kind =
+  match Hashtbl.find_opt t.owned (node, name) with
+  | Some i -> (
+    match cast i with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s/%s already registered with another kind"
+           node name))
+  | None ->
+    let v = make () in
+    Hashtbl.add t.owned (node, name) (kind v);
+    v
+
+let counter t ?(node = "") name =
+  find_or_make t ~node ~name
+    ~make:(fun () -> ref 0)
+    ~cast:(function I_counter r -> Some r | _ -> None)
+    ~kind:(fun r -> I_counter r)
+
+let incr ?(by = 1) c = c := !c + by
+let counter_value c = !c
+
+let gauge t ?(node = "") name =
+  find_or_make t ~node ~name
+    ~make:(fun () -> ref 0.)
+    ~cast:(function I_gauge r -> Some r | _ -> None)
+    ~kind:(fun r -> I_gauge r)
+
+let set g v = g := v
+let gauge_value g = !g
+
+let histogram t ?(node = "") ?max_samples ?seed name =
+  find_or_make t ~node ~name
+    ~make:(fun () -> Stats.create ?max_samples ?seed ())
+    ~cast:(function I_histogram s -> Some s | _ -> None)
+    ~kind:(fun s -> I_histogram s)
+
+let observe h v = Stats.add h v
+let histogram_stats h = h
+
+let register_source t ?(node = "") ~name read =
+  t.sources <- (node, name, read) :: t.sources
+
+(* A histogram expands into a handful of derived samples so a plain
+   (name, value) dump still carries its shape. *)
+let histogram_samples name (s : Stats.t) =
+  if Stats.count s = 0 then [ (name ^ ".count", 0.) ]
+  else
+    [
+      (name ^ ".count", float_of_int (Stats.count s));
+      (name ^ ".mean", Stats.mean s);
+      (name ^ ".p50", Stats.percentile s 50.);
+      (name ^ ".p95", Stats.percentile s 95.);
+      (name ^ ".max", Stats.max_value s);
+    ]
+
+let snapshot t =
+  let owned =
+    Hashtbl.fold
+      (fun (node, name) inst acc ->
+        match inst with
+        | I_counter r -> { node; name; value = float_of_int !r } :: acc
+        | I_gauge r -> { node; name; value = !r } :: acc
+        | I_histogram s ->
+          List.fold_left
+            (fun acc (name, value) -> { node; name; value } :: acc)
+            acc (histogram_samples name s))
+      t.owned []
+  in
+  let from_sources =
+    List.concat_map
+      (fun (node, prefix, read) ->
+        List.map
+          (fun (k, value) ->
+            let name = if k = "" then prefix else prefix ^ "." ^ k in
+            { node; name; value })
+          (read ()))
+      t.sources
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.node b.node with
+      | 0 -> String.compare a.name b.name
+      | c -> c)
+    (owned @ from_sources)
+
+let of_counter_table table () =
+  List.map
+    (fun (k, v) -> (k, float_of_int v))
+    (Rhodos_util.Stats.Counter.to_list table)

@@ -1,0 +1,56 @@
+(** Unified metrics registry with per-node labels.
+
+    One registry per cluster holds (a) instruments created through it —
+    counters, gauges, histograms (histograms are
+    {!Rhodos_util.Stats.t}, so they inherit reservoir percentiles) —
+    and (b) {e sources}: closures registered with {!register_source}
+    that read the services' existing [Stats.Counter] tables at snapshot
+    time. {!snapshot} flattens both into a sorted list of
+    [(node, name, value)] samples, which [Cluster] exposes per node and
+    the exporters render. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+type sample = { node : string; name : string; value : float }
+
+val create : unit -> t
+
+val counter : t -> ?node:string -> string -> counter
+(** Find-or-create the named counter under the given node label
+    (default [""] = cluster-global). Raises [Invalid_argument] if the
+    name is already registered as a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ?node:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  t -> ?node:string -> ?max_samples:int -> ?seed:int -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val histogram_stats : histogram -> Rhodos_util.Stats.t
+
+val register_source :
+  t -> ?node:string -> name:string -> (unit -> (string * float) list) -> unit
+(** [register_source t ~node ~name read] adopts an external metric
+    family: at every {!snapshot}, [read ()] is called and each returned
+    [(key, value)] appears as [name ^ "." ^ key] under [node]. This is
+    how the pre-existing per-service counter tables join the registry
+    without being rewritten. *)
+
+val of_counter_table :
+  Rhodos_util.Stats.Counter.t -> unit -> (string * float) list
+(** Ready-made source reader for a [Stats.Counter] table. *)
+
+val snapshot : t -> sample list
+(** All current samples — owned instruments (histograms expand to
+    [.count]/[.mean]/[.p50]/[.p95]/[.max]) plus registered sources —
+    sorted by node then name. *)

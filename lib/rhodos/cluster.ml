@@ -12,6 +12,8 @@ module File_agent = Rhodos_agent.File_agent
 module Device_agent = Rhodos_agent.Device_agent
 module Transaction_agent = Rhodos_agent.Transaction_agent
 module Process_env = Rhodos_agent.Process_env
+module Trace = Rhodos_obs.Trace
+module Metrics = Rhodos_obs.Metrics
 
 module L = (val Logs.src_log (Rhodos_util.Logging.src "cluster") : Logs.LOG)
 
@@ -159,6 +161,7 @@ type client = {
   c_devices : Device_agent.t;
   c_txn : Transaction_agent.t;
   c_fs_conn : Conn.fs_conn;
+  c_tracer : Trace.t;
 }
 
 type t = {
@@ -170,10 +173,14 @@ type t = {
   t_naming_file : Fs.file_id; (* on server 0 *)
   mutable t_rr : int;         (* round-robin cursor for creations *)
   mutable t_clients : client list;
+  t_tracer : Trace.t;
+  t_metrics : Metrics.t;
 }
 
 let sim t = t.t_sim
 let net t = t.t_net
+let tracer t = t.t_tracer
+let metrics t = t.t_metrics
 let server_count t = Array.length t.t_servers
 let server_node t = t.t_servers.(0).s_node
 let server_node_of t i = t.t_servers.(i).s_node
@@ -252,23 +259,59 @@ let txn_of server handle =
   | Some txn -> txn
   | None -> raise (Txn.No_such_transaction handle)
 
+(* Short op labels for the RPC trace spans. *)
+let request_name = function
+  | R_resolve _ -> "resolve"
+  | R_bind _ -> "bind"
+  | R_unbind _ -> "unbind"
+  | R_mkdir _ -> "mkdir"
+  | R_create -> "create"
+  | R_open _ -> "open"
+  | R_close _ -> "close"
+  | R_delete _ -> "delete"
+  | R_pread _ -> "pread"
+  | R_pwrite _ -> "pwrite"
+  | R_getattr _ -> "getattr"
+  | R_truncate _ -> "truncate"
+  | R_tbegin -> "tbegin"
+  | R_tcreate _ -> "tcreate"
+  | R_topen _ -> "topen"
+  | R_tclose _ -> "tclose"
+  | R_tdelete _ -> "tdelete"
+  | R_tread _ -> "tread"
+  | R_twrite _ -> "twrite"
+  | R_tgetattr _ -> "tgetattr"
+  | R_tend _ -> "tend"
+  | R_tabort _ -> "tabort"
+
+let naming_span t op path f =
+  Trace.maybe (Some t.t_tracer) ~service:"naming" ~op
+    ~attrs:(fun () -> [ ("path", Trace.Str path) ])
+    f
+
 let handle_request t server request =
   try
     match request with
-    | R_resolve aname -> Ok_int (Ns.resolve t.t_ns aname).Ns.id
+    | R_resolve aname ->
+      naming_span t "resolve"
+        (try List.assoc "path" aname with Not_found -> "?")
+        (fun () -> Ok_int (Ns.resolve t.t_ns aname).Ns.id)
     | R_bind (path, id) ->
-      Ns.bind t.t_ns ~path ~kind:Ns.File
-        { Ns.service = Printf.sprintf "fs%d" (gid_server id); id };
-      persist_namespace t;
-      Ok_unit
+      naming_span t "bind" path (fun () ->
+          Ns.bind t.t_ns ~path ~kind:Ns.File
+            { Ns.service = Printf.sprintf "fs%d" (gid_server id); id };
+          persist_namespace t;
+          Ok_unit)
     | R_unbind path ->
-      Ns.unbind t.t_ns path;
-      persist_namespace t;
-      Ok_unit
+      naming_span t "unbind" path (fun () ->
+          Ns.unbind t.t_ns path;
+          persist_namespace t;
+          Ok_unit)
     | R_mkdir path ->
-      Ns.mkdir_p t.t_ns path;
-      persist_namespace t;
-      Ok_unit
+      naming_span t "mkdir" path (fun () ->
+          Ns.mkdir_p t.t_ns path;
+          persist_namespace t;
+          Ok_unit)
     | R_create -> Ok_int (global_fid server (Fs.create_file server.s_fs))
     | R_open id ->
       let f = local_fid server id in
@@ -382,8 +425,8 @@ let call t ~from request =
       let timeout_ms =
         200. +. (4. *. float_of_int payload /. t.cfg.net_bandwidth_bytes_per_ms)
       in
-      Net.Rpc.call ~timeout_ms ~max_retries:8 ~size_bytes ~resp_size_bytes t.t_net
-        ~from port request
+      Net.Rpc.call ~timeout_ms ~max_retries:8 ~size_bytes ~resp_size_bytes
+        ~op:("rpc:" ^ request_name request) t.t_net ~from port request
     end
   in
   match response with Err e -> raise_remote e | ok -> ok
@@ -431,11 +474,12 @@ let make_txn_conn t ~from : Conn.txn_conn =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build_block_services ~cfg ~sidx ~disks ~stable_disks =
+let build_block_services ~cfg ~sidx ~tracer ~disks ~stable_disks =
   Array.mapi
     (fun i disk ->
       let stable = if cfg.with_stable then Some stable_disks.(i) else None in
-      Block.create ~name:(Printf.sprintf "bs%d-%d" sidx i) ~disk ?stable ())
+      Block.create ~name:(Printf.sprintf "bs%d-%d" sidx i) ~tracer ~disk
+        ?stable ())
     disks
 
 let fs_config cfg =
@@ -445,14 +489,14 @@ let fs_config cfg =
     data_policy = cfg.fs_data_policy;
   }
 
-let build_server ~cfg ~sim ~net sidx =
+let build_server ~cfg ~sim ~net ~tracer sidx =
   let node =
     Net.add_node net (if sidx = 0 then "server" else Printf.sprintf "server%d" sidx)
   in
   let geometry = Disk.geometry_with_capacity cfg.disk_capacity_bytes in
   let disks =
     Array.init cfg.ndisks (fun i ->
-        Disk.create ~name:(Printf.sprintf "d%d-%d" sidx i) sim geometry)
+        Disk.create ~name:(Printf.sprintf "d%d-%d" sidx i) ~tracer sim geometry)
   in
   let stable_geometry = Disk.geometry_with_capacity (cfg.disk_capacity_bytes * 2) in
   let stable_disks =
@@ -462,16 +506,16 @@ let build_server ~cfg ~sim ~net sidx =
             Disk.create ~name:(Printf.sprintf "st%d-%db" sidx i) sim stable_geometry ))
     else [||]
   in
-  let bss = build_block_services ~cfg ~sidx ~disks ~stable_disks in
+  let bss = build_block_services ~cfg ~sidx ~tracer ~disks ~stable_disks in
   Array.iter Block.format bss;
-  let fs = Fs.create ~config:(fs_config cfg) ~disks:bss () in
+  let fs = Fs.create ~config:(fs_config cfg) ~tracer ~disks:bss () in
   (* The reserved namespace file must be the very first file created on
      server 0, so its id is deterministic across restarts. *)
   let naming_file = if sidx = 0 then Some (Fs.create_file fs) else None in
   let ts =
     Txn.create
       ~config:{ Txn.default_config with Txn.lock_config = cfg.lock_config }
-      ~fs ()
+      ~tracer ~fs ()
   in
   ( {
       s_index = sidx;
@@ -487,18 +531,60 @@ let build_server ~cfg ~sim ~net sidx =
     },
     naming_file )
 
+(* Adopt the per-service counter tables into the unified registry.
+   Sources close over the mutable [server] record (not the service
+   values), so they keep reading the live services after
+   [recover_server] replaces them. *)
+let disk_source d () =
+  let s = Disk.stats d in
+  [
+    ("references", float_of_int s.Disk.references);
+    ("reads", float_of_int s.Disk.reads);
+    ("writes", float_of_int s.Disk.writes);
+    ("sectors_read", float_of_int s.Disk.sectors_read);
+    ("sectors_written", float_of_int s.Disk.sectors_written);
+    ("seeks", float_of_int s.Disk.seeks);
+    ("busy_ms", s.Disk.busy_ms);
+  ]
+
+let register_server_metrics metrics server =
+  let node = Net.node_name server.s_node in
+  Array.iter
+    (fun d ->
+      Metrics.register_source metrics ~node ~name:("disk." ^ Disk.name d)
+        (disk_source d))
+    server.s_disks;
+  Array.iteri
+    (fun i _ ->
+      Metrics.register_source metrics ~node ~name:(Printf.sprintf "block.%d" i)
+        (fun () -> Metrics.of_counter_table (Block.stats server.s_bss.(i)) ()))
+    server.s_bss;
+  Metrics.register_source metrics ~node ~name:"fs" (fun () ->
+      Metrics.of_counter_table (Fs.stats server.s_fs) ());
+  Metrics.register_source metrics ~node ~name:"fs.cache" (fun () ->
+      Metrics.of_counter_table (Fs.cache_stats server.s_fs) ());
+  Metrics.register_source metrics ~node ~name:"txn" (fun () ->
+      Metrics.of_counter_table (Txn.stats server.s_ts) ());
+  Metrics.register_source metrics ~node ~name:"locks" (fun () ->
+      Metrics.of_counter_table (Lm.stats (Txn.lock_manager server.s_ts)) ())
+
 let create ?(config = default_config) sim =
   let cfg = config in
   if cfg.nservers < 1 then invalid_arg "Cluster.create: nservers";
+  let tracer = Trace.create sim in
+  let metrics = Metrics.create () in
   let net =
     Net.create ~seed:cfg.seed ~latency_ms:cfg.net_latency_ms
-      ~bandwidth_bytes_per_ms:cfg.net_bandwidth_bytes_per_ms sim
+      ~bandwidth_bytes_per_ms:cfg.net_bandwidth_bytes_per_ms ~tracer sim
   in
+  Metrics.register_source metrics ~name:"net" (fun () ->
+      Metrics.of_counter_table (Net.stats net) ());
   let naming_file = ref None in
   let servers =
     Array.init cfg.nservers (fun sidx ->
-        let server, nf = build_server ~cfg ~sim ~net sidx in
+        let server, nf = build_server ~cfg ~sim ~net ~tracer sidx in
         if sidx = 0 then naming_file := nf;
+        register_server_metrics metrics server;
         server)
   in
   let t =
@@ -511,6 +597,8 @@ let create ?(config = default_config) sim =
       t_naming_file = Option.get !naming_file;
       t_rr = 0;
       t_clients = [];
+      t_tracer = tracer;
+      t_metrics = metrics;
     }
   in
   if cfg.remote then Array.iter (serve_rpc t) t.t_servers;
@@ -550,14 +638,20 @@ let add_client t ~name =
           File_agent.cache_blocks = t.cfg.client_cache_blocks;
           flush_interval_ms = t.cfg.client_flush_interval_ms;
         }
-      ~sim:t.t_sim ~conn:fs_conn ()
+      ~tracer:t.t_tracer ~sim:t.t_sim ~conn:fs_conn ()
   in
   let devices = Device_agent.create t.t_sim in
   let txn_agent =
     Transaction_agent.create
       ~on_commit:(fun ~file -> File_agent.invalidate_file files ~file)
-      ~sim:t.t_sim ~fs_conn ~txn_conn ()
+      ~tracer:t.t_tracer ~sim:t.t_sim ~fs_conn ~txn_conn ()
   in
+  Metrics.register_source t.t_metrics ~node:name ~name:"agent" (fun () ->
+      Metrics.of_counter_table (File_agent.stats files) ());
+  Metrics.register_source t.t_metrics ~node:name ~name:"agent.cache" (fun () ->
+      Metrics.of_counter_table (File_agent.cache_stats files) ());
+  Metrics.register_source t.t_metrics ~node:name ~name:"agent.names" (fun () ->
+      Metrics.of_counter_table (File_agent.name_cache_stats files) ());
   let env = Process_env.create ~devices ~files ~transactions:txn_agent () in
   let client =
     {
@@ -568,6 +662,7 @@ let add_client t ~name =
       c_devices = devices;
       c_txn = txn_agent;
       c_fs_conn = fs_conn;
+      c_tracer = t.t_tracer;
     }
   in
   t.t_clients <- client :: t.t_clients;
@@ -581,20 +676,62 @@ let device_agent c = c.c_devices
 let transaction_agent c = c.c_txn
 let fs_conn c = c.c_fs_conn
 
-(* Convenience wrappers *)
+(* Convenience wrappers. Each opens a root ["client"] span, so a whole
+   user-level operation renders as one causal tree: client -> agent ->
+   net -> service -> block service -> disk. *)
 
-let mkdir c path = c.c_fs_conn.Conn.mkdir path
-let create_file c path = File_agent.create_file c.c_files ~path
-let open_file c path = File_agent.open_file c.c_files ~path
-let write c d data = File_agent.write c.c_files d data
-let read c d n = File_agent.read c.c_files d n
-let pwrite c d ~off ~data = File_agent.pwrite c.c_files d ~off ~data
-let pread c d ~off ~len = File_agent.pread c.c_files d ~off ~len
+let client_span c op attrs f =
+  Trace.maybe (Some c.c_tracer) ~service:"client" ~op
+    ~attrs:(fun () -> ("client", Trace.Str c.c_name) :: attrs ())
+    f
+
+let path_attr path () = [ ("path", Trace.Str path) ]
+let desc_attr d () = [ ("desc", Trace.Int d) ]
+
+let mkdir c path =
+  client_span c "mkdir" (path_attr path) (fun () -> c.c_fs_conn.Conn.mkdir path)
+
+let create_file c path =
+  client_span c "create" (path_attr path) (fun () ->
+      File_agent.create_file c.c_files ~path)
+
+let open_file c path =
+  client_span c "open" (path_attr path) (fun () ->
+      File_agent.open_file c.c_files ~path)
+
+let write c d data =
+  client_span c "write"
+    (fun () -> [ ("desc", Trace.Int d); ("len", Trace.Int (Bytes.length data)) ])
+    (fun () -> File_agent.write c.c_files d data)
+
+let read c d n =
+  client_span c "read"
+    (fun () -> [ ("desc", Trace.Int d); ("len", Trace.Int n) ])
+    (fun () -> File_agent.read c.c_files d n)
+
+let pwrite c d ~off ~data =
+  client_span c "pwrite"
+    (fun () ->
+      [ ("desc", Trace.Int d); ("off", Trace.Int off);
+        ("len", Trace.Int (Bytes.length data)) ])
+    (fun () -> File_agent.pwrite c.c_files d ~off ~data)
+
+let pread c d ~off ~len =
+  client_span c "pread"
+    (fun () ->
+      [ ("desc", Trace.Int d); ("off", Trace.Int off); ("len", Trace.Int len) ])
+    (fun () -> File_agent.pread c.c_files d ~off ~len)
+
 let lseek c d whence = File_agent.lseek c.c_files d whence
-let close c d = File_agent.close c.c_files d
-let delete c path = File_agent.delete c.c_files ~path
 
-let with_transaction c f =
+let close c d =
+  client_span c "close" (desc_attr d) (fun () -> File_agent.close c.c_files d)
+
+let delete c path =
+  client_span c "delete" (path_attr path) (fun () ->
+      File_agent.delete c.c_files ~path)
+
+let with_transaction_impl c f =
   let td = Transaction_agent.tbegin c.c_txn in
   match f c.c_txn td with
   | result ->
@@ -611,6 +748,11 @@ let with_transaction c f =
     | Remote_failure _ | Net.Rpc.Timeout _ ->
       ());
     raise e
+
+let with_transaction c f =
+  client_span c "transaction"
+    (fun () -> [])
+    (fun () -> with_transaction_impl c f)
 
 (* ------------------------------------------------------------------ *)
 (* Faults and recovery                                                 *)
@@ -640,14 +782,16 @@ let recover_server t =
     Array.map
       (fun server ->
         server.s_bss <-
-          build_block_services ~cfg:t.cfg ~sidx:server.s_index ~disks:server.s_disks
-            ~stable_disks:server.s_stable_disks;
+          build_block_services ~cfg:t.cfg ~sidx:server.s_index ~tracer:t.t_tracer
+            ~disks:server.s_disks ~stable_disks:server.s_stable_disks;
         Array.iter Block.attach server.s_bss;
-        server.s_fs <- Fs.create ~config:(fs_config t.cfg) ~disks:server.s_bss ();
+        server.s_fs <-
+          Fs.create ~config:(fs_config t.cfg) ~tracer:t.t_tracer
+            ~disks:server.s_bss ();
         let ts, report =
           Txn.recover_service
             ~config:{ Txn.default_config with Txn.lock_config = t.cfg.lock_config }
-            ~fs:server.s_fs ~log_region:server.s_log_region ()
+            ~tracer:t.t_tracer ~fs:server.s_fs ~log_region:server.s_log_region ()
         in
         server.s_ts <- ts;
         report)

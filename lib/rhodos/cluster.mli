@@ -57,6 +57,19 @@ val run : ?config:config -> (Rhodos_sim.Sim.t -> t -> 'a) -> 'a
 val sim : t -> Rhodos_sim.Sim.t
 val net : t -> Rhodos_net.Net.t
 
+val tracer : t -> Rhodos_obs.Trace.t
+(** The cluster-wide span tracer. Every layer (agents, RPC, services,
+    block services, disks) is wired to it; attach a subscriber — e.g.
+    [Rhodos_obs.Trace.collect] — to record spans. With no subscriber
+    tracing costs nothing and the simulation is bit-identical to an
+    untraced run. *)
+
+val metrics : t -> Rhodos_obs.Metrics.t
+(** The unified metrics registry. Per-node sources for every disk,
+    block service, file service, transaction service, lock manager,
+    the network and each client's agent caches are pre-registered;
+    [Rhodos_obs.Metrics.snapshot] flattens them all. *)
+
 val server_count : t -> int
 
 val server_node : t -> Rhodos_net.Net.node

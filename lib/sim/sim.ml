@@ -10,11 +10,17 @@ type parked = Parked : ('a, unit) continuation * bool ref -> parked
 
 type proc_state = Ready | Parked_st of parked | Dead
 
+(* Process-local bindings are heterogeneous: each [Local.key] carries
+   its own constructor of this extensible type, so no [Obj] tricks are
+   needed to store values of different types in one list. *)
+type binding = ..
+
 type proc = {
   id : int;
   name : string;
   mutable state : proc_state;
   mutable kill_pending : bool;
+  mutable locals : (int * binding) list;
 }
 
 type pid = proc
@@ -111,7 +117,16 @@ let run_process t proc f =
     }
 
 let spawn_at ?(name = "proc") t ~at f =
-  let proc = { id = t.next_pid; name; state = Ready; kill_pending = false } in
+  (* A child inherits the spawner's locals as they stand at the spawn
+     call (not at first dispatch): ambient context such as a trace
+     context must flow into work the current operation fans out. *)
+  let inherited =
+    match t.current with Some p -> p.locals | None -> []
+  in
+  let proc =
+    { id = t.next_pid; name; state = Ready; kill_pending = false;
+      locals = inherited }
+  in
   t.next_pid <- t.next_pid + 1;
   if t.track then t.procs <- proc :: t.procs;
   schedule t ~at (fun () ->
@@ -190,7 +205,48 @@ let kill t proc =
 
 let is_alive _t proc = proc.state <> Dead
 
+let in_process t = t.current <> None
+
 let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
+
+module Local = struct
+  type 'a key = {
+    kid : int;
+    inj : 'a -> binding;
+    prj : binding -> 'a option;
+  }
+
+  (* Key creation order is fixed by program structure, so this global
+     counter does not threaten run-to-run determinism. *)
+  let next_key = ref 0
+
+  let key (type a) () : a key =
+    let module M = struct
+      type binding += K of a
+    end in
+    incr next_key;
+    {
+      kid = !next_key;
+      inj = (fun v -> M.K v);
+      prj = (function M.K v -> Some v | _ -> None);
+    }
+
+  let get t k =
+    match t.current with
+    | None -> None
+    | Some p -> (
+      match List.assoc_opt k.kid p.locals with
+      | None -> None
+      | Some b -> k.prj b)
+
+  let set t k v =
+    match t.current with
+    | None -> ()
+    | Some p ->
+      let rest = List.filter (fun (id, _) -> id <> k.kid) p.locals in
+      p.locals <-
+        (match v with None -> rest | Some v -> (k.kid, k.inj v) :: rest)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Determinism sanitizer hooks                                         *)

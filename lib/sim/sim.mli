@@ -68,7 +68,35 @@ val kill : t -> pid -> unit
 
 val is_alive : t -> pid -> bool
 
+val in_process : t -> bool
+(** [true] while executing inside a [spawn]ed process (as opposed to a
+    bare [schedule] callback or top level). *)
+
 val pid_name : t -> pid -> string
+
+(** {2 Process-local storage}
+
+    A [Local.key] names one typed slot of per-process state. A child
+    process inherits a snapshot of its spawner's locals at the [spawn]
+    call, so ambient context (e.g. the trace context of the request
+    that fanned out the work) follows causality across [spawn]. Reads
+    and writes outside any process return [None] / are no-ops. *)
+module Local : sig
+  type 'a key
+
+  val key : unit -> 'a key
+  (** Create a fresh slot. Each key is independent; values set under
+      one key are invisible to every other key. *)
+
+  val get : t -> 'a key -> 'a option
+  (** Value bound in the calling process, or [None] if unbound or if
+      called outside any process. *)
+
+  val set : t -> 'a key -> 'a option -> unit
+  (** Bind ([Some]) or clear ([None]) the slot in the calling process.
+      No-op outside a process. Does not affect already-spawned
+      children. *)
+end
 
 (** {2 Determinism sanitizer hooks}
 

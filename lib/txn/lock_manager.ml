@@ -92,7 +92,7 @@ type t = {
   file_table : table;
   released : (int, unit) Hashtbl.t; (* transactions past their shrink phase *)
   counters : Counter.t;
-  mutable tracer : (event -> unit) option;
+  events : event Rhodos_obs.Event_bus.t;
 }
 
 let create ?(config = default_config) ~sim ~on_suspect () =
@@ -105,12 +105,14 @@ let create ?(config = default_config) ~sim ~on_suspect () =
     file_table = { grants = []; waiters = [] };
     released = Hashtbl.create 32;
     counters = Counter.create ();
-    tracer = None;
+    events = Rhodos_obs.Event_bus.create ();
   }
 
-let set_tracer t tracer = t.tracer <- tracer
+let subscribe t f = Rhodos_obs.Event_bus.subscribe t.events f
 
-let emit t ev = match t.tracer with Some f -> f ev | None -> ()
+let unsubscribe t tok = Rhodos_obs.Event_bus.unsubscribe t.events tok
+
+let emit t ev = Rhodos_obs.Event_bus.publish t.events ev
 
 let table_of t = function
   | Record_item _ -> t.record_table

@@ -134,8 +134,9 @@ val stats : t -> Rhodos_util.Stats.Counter.t
 
 (** {2 Instrumentation}
 
-    Hooks for the analysis layer ([Rhodos_analysis]); zero cost when
-    no tracer is installed. *)
+    Hooks for the analysis and observability layers
+    ([Rhodos_analysis], [Rhodos_obs]); publishing is a no-op when no
+    subscriber is attached. *)
 
 type event =
   | Ev_blocked of { txn : int; item : item; mode : mode }
@@ -150,10 +151,13 @@ type event =
           the waits-for graph still shows the contention that caused
           the break *)
 
-val set_tracer : t -> (event -> unit) option -> unit
-(** Install (or clear) the single event tracer. Tracer callbacks run
-    synchronously inside lock-manager operations and must not
-    block. *)
+val subscribe : t -> (event -> unit) -> Rhodos_obs.Event_bus.token
+(** Attach an event subscriber (any number may coexist — a deadlock
+    detector and a tracer no longer evict each other). Callbacks run
+    synchronously inside lock-manager operations and must not block.
+    Detach with {!unsubscribe}. *)
+
+val unsubscribe : t -> Rhodos_obs.Event_bus.token -> unit
 
 val waits_for_edges : t -> (int * int) list
 (** Snapshot of the waits-for relation as [(waiter, blocker)] pairs:

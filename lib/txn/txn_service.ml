@@ -3,6 +3,7 @@ module Block = Rhodos_block.Block_service
 module Fs = Rhodos_file.File_service
 module Fit = Rhodos_file.Fit
 module Counter = Rhodos_util.Stats.Counter
+module Trace = Rhodos_obs.Trace
 
 let log_src = Rhodos_util.Logging.src "txn"
 
@@ -52,6 +53,7 @@ type t = {
   (* (txn, when) touches per file, for the adaptive locking level *)
   usage : (int, (int * float) list ref) Hashtbl.t;
   counters : Counter.t;
+  tracer : Trace.t option;
   mutable dead : bool;
       (* set when the hosting server crashes: lingering lease timers
          and background work must not touch the disks any more *)
@@ -120,7 +122,7 @@ let suspect_abort t id =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build ?(config = default_config) ~fs ~log () =
+let build ?(config = default_config) ?tracer ~fs ~log () =
   let sim = Fs.sim fs in
   let holder = ref None in
   let on_suspect ~txn =
@@ -138,15 +140,16 @@ let build ?(config = default_config) ~fs ~log () =
       next_id = 1;
       usage = Hashtbl.create 32;
       counters = Counter.create ();
+      tracer;
       dead = false;
     }
   in
   holder := Some t;
   t
 
-let create ?(config = default_config) ~fs () =
+let create ?(config = default_config) ?tracer ~fs () =
   let log = Txn_log.create (Fs.block_service fs 0) ~fragments:config.log_fragments in
-  build ~config ~fs ~log ()
+  build ~config ?tracer ~fs ~log ()
 
 let log_region t = (Txn_log.region t.log, Txn_log.fragments t.log)
 
@@ -259,7 +262,7 @@ let tdelete t txn file =
   acquire_all t txn [ Lock_manager.File_item (Fs.id_to_int file) ] Lock_manager.Iwrite;
   txn.deleted <- file :: txn.deleted
 
-let tread ?(intent = `Query) t txn file ~off ~len =
+let tread_impl ~intent t txn file ~off ~len =
   check_active t txn;
   note_usage t txn file;
   let mode =
@@ -281,13 +284,27 @@ let tread ?(intent = `Query) t txn file ~off ~len =
     buf
   end
 
-let twrite t txn file ~off data =
+let tread ?(intent = `Query) t txn file ~off ~len =
+  Trace.maybe t.tracer ~service:"txn_service" ~op:"tread"
+    ~attrs:(fun () ->
+      [ ("txn", Trace.Int txn.id); ("file", Trace.Int (Fs.id_to_int file));
+        ("off", Trace.Int off); ("len", Trace.Int len) ])
+    (fun () -> tread_impl ~intent t txn file ~off ~len)
+
+let twrite_impl t txn file ~off data =
   check_active t txn;
   note_usage t txn file;
   if off < 0 then invalid_arg "twrite: negative offset";
   acquire_all t txn (items_for t file ~off ~len:(Bytes.length data)) Lock_manager.Iwrite;
   check_active t txn;
   txn.writes <- (Fs.id_to_int file, off, Bytes.copy data) :: txn.writes
+
+let twrite t txn file ~off data =
+  Trace.maybe t.tracer ~service:"txn_service" ~op:"twrite"
+    ~attrs:(fun () ->
+      [ ("txn", Trace.Int txn.id); ("file", Trace.Int (Fs.id_to_int file));
+        ("off", Trace.Int off); ("len", Trace.Int (Bytes.length data)) ])
+    (fun () -> twrite_impl t txn file ~off data)
 
 let tget_attribute t txn file =
   check_active t txn;
@@ -442,7 +459,7 @@ let maybe_checkpoint t =
     Txn_log.checkpoint t.log
   end
 
-let tend t txn =
+let tend_impl t txn =
   check_active t txn;
   txn.state <- Committing;
   (* A read-only transaction (no writes, no deletions) commits without
@@ -503,12 +520,20 @@ let tend t txn =
   maybe_checkpoint t
   end
 
+let tend t txn =
+  Trace.maybe t.tracer ~service:"txn_service" ~op:"tend"
+    ~attrs:(fun () -> [ ("txn", Trace.Int txn.id) ])
+    (fun () -> tend_impl t txn)
+
 let tabort t txn =
-  match txn.state with
-  | Active ->
-    abort_internal t txn ~reason:"aborted by client" ~log_it:true;
-    Hashtbl.remove t.txns txn.id
-  | Committing | Finished -> Hashtbl.remove t.txns txn.id
+  Trace.maybe t.tracer ~service:"txn_service" ~op:"tabort"
+    ~attrs:(fun () -> [ ("txn", Trace.Int txn.id) ])
+    (fun () ->
+      match txn.state with
+      | Active ->
+        abort_internal t txn ~reason:"aborted by client" ~log_it:true;
+        Hashtbl.remove t.txns txn.id
+      | Committing | Finished -> Hashtbl.remove t.txns txn.id)
 
 (* ------------------------------------------------------------------ *)
 (* Adaptive default locking level (paper conclusions)                  *)
@@ -534,9 +559,10 @@ type recovery_report = {
   discarded_transactions : int list;
 }
 
-let recover_service ?(config = default_config) ~fs ~log_region:(region, fragments) () =
+let recover_service ?(config = default_config) ?tracer ~fs
+    ~log_region:(region, fragments) () =
   let log = Txn_log.attach (Fs.block_service fs 0) ~region ~fragments in
-  let t = build ~config ~fs ~log () in
+  let t = build ~config ?tracer ~fs ~log () in
   let records = Txn_log.scan log in
   let committed = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
   let aborted = Hashtbl.create 8 and seen = Hashtbl.create 8 in

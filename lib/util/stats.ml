@@ -8,9 +8,12 @@ type t = {
   mutable samples : float array;
   mutable n_samples : int;
   max_samples : int;
+  rng : Rng.t;
 }
 
-let create ?(max_samples = 100_000) () =
+let default_seed = 0x5eed_0b5e
+
+let create ?(max_samples = 100_000) ?(seed = default_seed) () =
   {
     count = 0;
     mean = 0.;
@@ -21,6 +24,7 @@ let create ?(max_samples = 100_000) () =
     samples = [||];
     n_samples = 0;
     max_samples;
+    rng = Rng.create seed;
   }
 
 let add t x =
@@ -40,6 +44,15 @@ let add t x =
     end;
     t.samples.(t.n_samples) <- x;
     t.n_samples <- t.n_samples + 1
+  end
+  else begin
+    (* Reservoir sampling (Algorithm R): the i-th observation, with
+       i = t.count after the increment above, replaces a uniformly
+       chosen retained sample with probability max_samples / i, so the
+       reservoir stays a uniform sample of all observations instead of
+       freezing on the first [max_samples]. *)
+    let j = Rng.int t.rng t.count in
+    if j < t.max_samples then t.samples.(j) <- x
   end
 
 let count t = t.count
@@ -68,29 +81,54 @@ let percentile t p =
     sorted.(max 0 (min (t.n_samples - 1) rank))
   end
 
+(* [k] distinct uniform picks from the first [n] slots of [src], via a
+   partial Fisher-Yates pass over a scratch copy. *)
+let sample_without_replacement rng src n k =
+  let arr = Array.sub src 0 n in
+  for i = 0 to k - 1 do
+    let j = i + Rng.int rng (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.sub arr 0 k
+
 let merge a b =
-  let t = create ~max_samples:(max a.max_samples b.max_samples) () in
-  let feed src =
-    for i = 0 to src.n_samples - 1 do
-      add t src.samples.(i)
-    done
-  in
-  feed a;
-  feed b;
-  (* Summary fields must reflect all observations, including those whose
-     samples were dropped by the retention bound. *)
-  if a.count + b.count <> t.count then begin
-    let count = a.count + b.count in
-    let mean =
-      if count = 0 then 0.
-      else ((a.mean *. float_of_int a.count) +. (b.mean *. float_of_int b.count))
-           /. float_of_int count
-    in
+  let m = max a.max_samples b.max_samples in
+  let t = create ~max_samples:m () in
+  (* Exact summary combine (Chan's parallel variance formula): the
+     summary reflects every observation, including those whose samples
+     fell out of either reservoir. *)
+  let count = a.count + b.count in
+  if count > 0 then begin
+    let fa = float_of_int a.count and fb = float_of_int b.count in
+    let delta = b.mean -. a.mean in
     t.count <- count;
     t.sum <- a.sum +. b.sum;
-    t.mean <- mean;
+    t.mean <- ((a.mean *. fa) +. (b.mean *. fb)) /. float_of_int count;
+    t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int count);
     t.min_v <- Float.min a.min_v b.min_v;
     t.max_v <- Float.max a.max_v b.max_v
+  end;
+  (* Retained samples: keep everything when it fits, otherwise sample
+     each side without replacement, in proportion to how many
+     observations it summarises — not first-come-first-kept. *)
+  if a.n_samples + b.n_samples <= m then begin
+    t.samples <- Array.append (Array.sub a.samples 0 a.n_samples)
+                   (Array.sub b.samples 0 b.n_samples);
+    t.n_samples <- a.n_samples + b.n_samples
+  end
+  else begin
+    let ideal =
+      int_of_float (Float.round (float_of_int m *. float_of_int a.count
+                                 /. float_of_int count))
+    in
+    let ka = min a.n_samples (max (m - b.n_samples) ideal) in
+    let kb = m - ka in
+    let sa = sample_without_replacement t.rng a.samples a.n_samples ka in
+    let sb = sample_without_replacement t.rng b.samples b.n_samples kb in
+    t.samples <- Array.append sa sb;
+    t.n_samples <- ka + kb
   end;
   t
 

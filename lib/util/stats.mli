@@ -4,11 +4,15 @@ type t
 (** A running summary: count, mean, variance (Welford), min, max, sum.
     Samples are also retained (up to a bound) for percentiles. *)
 
-val create : ?max_samples:int -> unit -> t
+val create : ?max_samples:int -> ?seed:int -> unit -> t
 (** [max_samples] bounds retained samples for percentile queries
-    (default 100_000; older samples beyond the bound are dropped by
-    reservoir-free truncation — percentiles then reflect the first
-    [max_samples] observations). *)
+    (default 100_000). Beyond the bound the retained set is maintained
+    by reservoir sampling (Algorithm R), so it stays a uniform sample
+    of {e all} observations rather than freezing on the first
+    [max_samples]. The reservoir is driven by an explicitly seeded
+    {!Rng} ([seed], fixed default) — never wall-clock or global
+    [Random] state — so identically configured runs retain identical
+    samples. *)
 
 val add : t -> float -> unit
 
@@ -30,11 +34,14 @@ val max_value : t -> float
 (** [neg_infinity] when empty. *)
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0,100], by nearest-rank over retained
-    samples; 0. when empty. *)
+(** [percentile t p] with [p] in [0,100], by nearest-rank over the
+    retained (reservoir) samples; 0. when empty. *)
 
 val merge : t -> t -> t
-(** Combined summary (samples concatenated up to the bound). *)
+(** Combined summary. Count, sum, mean, variance, min and max are
+    combined exactly; retained samples are kept whole when they fit the
+    bound, otherwise drawn without replacement from each side in
+    proportion to the number of observations it summarises. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -14,6 +14,6 @@ val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
     cells. *)
 
 val render : t -> string
-
-val print : t -> unit
-(** [render] to stdout followed by a blank line. *)
+(** Library code never prints directly (enforced by the lint's
+    no-direct-print rule); callers in [bin]/[bench] print the rendered
+    string themselves. *)
