@@ -6,6 +6,8 @@
 
 open Common
 
+let () = Json_out.register "A1"
+
 let n_readers = 16
 let reads_each = 25
 
@@ -45,8 +47,10 @@ let run () =
         [ "scheduler"; "elapsed ms"; "total seek ms"; "mean wait ms"; "p99 wait ms" ]
   in
   List.iter
-    (fun (name, scheduler) ->
+    (fun (name, key, scheduler) ->
       let elapsed, seek, wait, p99 = measure scheduler in
+      Json_out.metric "A1" (key ^ "_elapsed_ms") elapsed;
+      Json_out.metric "A1" (key ^ "_p99_wait_ms") p99;
       Text_table.add_row table
         [
           name;
@@ -55,7 +59,11 @@ let run () =
           Printf.sprintf "%.1f" wait;
           Printf.sprintf "%.1f" p99;
         ])
-    [ ("FCFS", Disk.Fcfs); ("SSTF", Disk.Sstf); ("SCAN (elevator)", Disk.Scan) ];
+    [
+      ("FCFS", "fcfs", Disk.Fcfs);
+      ("SSTF", "sstf", Disk.Sstf);
+      ("SCAN (elevator)", "scan", Disk.Scan);
+    ];
   print_table table;
   note "SSTF and SCAN reorder the queue to shorten arm travel: lower total";
   note "seek time and elapsed time than FCFS; SCAN bounds the unfairness SSTF";

@@ -6,6 +6,8 @@
 open Common
 module Fa = Rhodos_agent.File_agent
 
+let () = Json_out.register "A2"
+
 let n_files = 8
 let file_blocks = 4 (* 32 KiB each -> 32-block working set *)
 let rounds = 4
@@ -63,6 +65,15 @@ let run () =
   List.iter
     (fun blocks ->
       let elapsed, remote, ratio = measure blocks in
+      if blocks = 0 || blocks = 32 then begin
+        Json_out.metric "A2"
+          (Printf.sprintf "cache%d_ms_per_round" blocks)
+          elapsed;
+        Json_out.metric "A2"
+          (Printf.sprintf "cache%d_remote_per_round" blocks)
+          (float_of_int remote)
+      end;
+      if blocks = 32 then Json_out.metric "A2" "cache32_hit_ratio" ratio;
       Text_table.add_row table
         [
           string_of_int blocks;

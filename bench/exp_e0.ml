@@ -4,10 +4,12 @@
 open Common
 module Fa = Rhodos_agent.File_agent
 
+let () = Json_out.register "E0"
+
 let run () =
   header
     "E0 (Fig. 1) — architecture walk: one client read crosses every layer";
-  Cluster.run (fun _sim t ->
+  Cluster.run (fun sim t ->
       let ws = Cluster.add_client t ~name:"ws" in
       let d = Cluster.create_file ws "/walk" in
       Cluster.pwrite ws d ~off:0 ~data:(pattern (kib 64));
@@ -25,11 +27,18 @@ let run () =
       let bs_refs_before = Counter.get (Block.stats bs) "foreground_refs" in
       let disk_refs_before = (Disk.stats (Cluster.disks t).(0)).Disk.references in
 
+      let t0 = Sim.now sim in
       let data, spans =
         with_trace (Cluster.tracer t) (fun () ->
             Cluster.pread ws d ~off:0 ~len:(kib 64))
       in
       assert (Bytes.equal data (pattern (kib 64)));
+      Json_out.metric "E0" "cold64k_ms" (Sim.now sim -. t0);
+      Json_out.metric "E0" "cold64k_data_rpcs"
+        (float_of_int (Counter.get (Fa.stats fa) "remote_reads" - agent_reads_before));
+      Json_out.metric "E0" "cold64k_disk_refs"
+        (float_of_int
+           ((Disk.stats (Cluster.disks t).(0)).Disk.references - disk_refs_before));
 
       let table =
         Text_table.create

@@ -3,10 +3,13 @@
 
 open Common
 
+let () = Json_out.register "E1"
+
 let run () =
   header "E1 (Table 1) — lock compatibility";
   let modes = [ Lm.Read_only; Lm.Iread; Lm.Iwrite ] in
   let item = Lm.Page_item (1, 0) in
+  let waits = ref 0 and grants = ref 0 in
   let outcome ~held ~req ~same_txn =
     run_sim (fun sim ->
         let lm = Lm.create ~sim ~on_suspect:(fun ~txn:_ -> ()) () in
@@ -14,9 +17,14 @@ let run () =
         | Some m -> assert (Lm.try_acquire lm ~txn:1 item m)
         | None -> ());
         let requester = if same_txn then 1 else 2 in
-        if Lm.try_acquire lm ~txn:requester item req then
+        if Lm.try_acquire lm ~txn:requester item req then begin
+          incr grants;
           if same_txn && held <> None && held <> Some req then "converted" else "ok"
-        else "wait")
+        end
+        else begin
+          incr waits;
+          "wait"
+        end)
   in
   let table =
     Text_table.create
@@ -44,5 +52,7 @@ let run () =
         :: List.map (fun req -> outcome ~held:(Some held) ~req ~same_txn:true) modes))
     modes;
   print_table table2;
+  Json_out.metric "E1" "cells_granted" (float_of_int !grants);
+  Json_out.metric "E1" "cells_wait" (float_of_int !waits);
   note "Paper row 'Iread, requested Iwrite': 'changed to Iwrite by the same";
   note "transaction' — reproduced as 'converted' above; all other cells match."

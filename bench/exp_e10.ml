@@ -5,6 +5,8 @@
 
 open Common
 
+let () = Json_out.register "E10"
+
 let file_bytes = mib 2
 
 let measure ~ndisks ~write =
@@ -103,6 +105,10 @@ let run () =
         base_read := read_ms;
         base_write := write_ms
       end;
+      if ndisks = 4 then begin
+        Json_out.metric "E10" "read_speedup_4disks" (!base_read /. read_ms);
+        Json_out.metric "E10" "write_speedup_4disks" (!base_write /. write_ms)
+      end;
       Text_table.add_row table
         [
           string_of_int ndisks;
@@ -129,6 +135,10 @@ let run () =
     (fun nservers ->
       let elapsed, mbps = measure_servers nservers in
       if nservers = 1 then base := elapsed;
+      if nservers = 4 then begin
+        Json_out.metric "E10" "server_speedup_4" (!base /. elapsed);
+        Json_out.metric "E10" "server4_aggregate_mbps" mbps
+      end;
       Text_table.add_row table2
         [
           string_of_int nservers;

@@ -9,6 +9,8 @@ module Ta = Rhodos_agent.Transaction_agent
 module Stable = Rhodos_stable.Stable_store
 module Log = Rhodos_txn.Txn_log
 
+let () = Json_out.register "E11"
+
 let scenario_server_crash () =
   Cluster.run (fun _sim t ->
       let ws = Cluster.add_client t ~name:"ws" in
@@ -93,6 +95,8 @@ let scenario_duplicated_messages () =
         | _ -> ()
         | exception Net.Rpc.Timeout _ -> ()
       done;
+      Json_out.metric "E11" "dup_calls_answered" (float_of_int !answered);
+      Json_out.metric "E11" "dup_handler_executions" (float_of_int !executions);
       Printf.sprintf
         "25 calls under 100%% duplication + 30%% loss: %d answered, handler ran %d times (exactly once per call)"
         !answered !executions)

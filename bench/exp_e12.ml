@@ -7,6 +7,8 @@
 open Common
 module Fa = Rhodos_agent.File_agent
 
+let () = Json_out.register "E12"
+
 let rewrites = 50
 let hot_blocks = 4
 
@@ -59,6 +61,10 @@ let run () =
   in
   let d_elapsed, d_remote, d_lost = measure ~delayed:true in
   let w_elapsed, w_remote, w_lost = measure ~delayed:false in
+  Json_out.metric "E12" "delayed_elapsed_ms" d_elapsed;
+  Json_out.metric "E12" "delayed_remote_writes" (float_of_int d_remote);
+  Json_out.metric "E12" "delayed_lost_blocks" (float_of_int d_lost);
+  Json_out.metric "E12" "writethrough_elapsed_ms" w_elapsed;
   Text_table.add_row table
     [
       "delayed-write (agent cache)";

@@ -7,6 +7,8 @@
 open Common
 module Rep = Rhodos_replication.Replication
 
+let () = Json_out.register "E13"
+
 let file_bytes = kib 256
 
 let make_replicas sim n =
@@ -80,6 +82,10 @@ let run () =
   List.iter
     (fun n ->
       let w, r, f, s = measure n in
+      if n = 3 then begin
+        Json_out.metric "E13" "replicas3_write_ms" w;
+        Json_out.metric "E13" "replicas3_read_ms" r
+      end;
       let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
       Text_table.add_row table
         [ string_of_int n; cell w; cell r; cell f; cell s ])

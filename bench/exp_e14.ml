@@ -11,6 +11,8 @@
 open Common
 module Fa = Rhodos_agent.File_agent
 
+let () = Json_out.register "E14"
+
 let n_files = 6
 let file_bytes = kib 24
 let rounds = 3
@@ -71,6 +73,11 @@ let run () =
   row "distributed, client cache on" remote_cached;
   row "distributed, no client cache" remote_uncached;
   print_table table;
+  Json_out.metric "E14" "timesharing_ms" local;
+  Json_out.metric "E14" "distributed_cached_ms" remote_cached;
+  Json_out.metric "E14" "distributed_uncached_ms" remote_uncached;
+  Json_out.metric "E14" "cached_overhead_pct"
+    ((remote_cached -. local) /. local *. 100.);
   note "With the agent cache, moving the services across the LAN adds only a";
   note "modest overhead to an editing session — the paper's transparency goal.";
   note "Strip the client cache and the same distribution costs several times";

@@ -10,6 +10,8 @@
 
 open Common
 
+let () = Json_out.register "E2"
+
 let sizes = [ kib 8; kib 64; kib 256; kib 512; mib 1; mib 4 ]
 
 let cold_read_refs ~fragmented size =
@@ -47,6 +49,15 @@ let run () =
     (fun size ->
       let c_refs, c_ext, _ = cold_read_refs ~fragmented:false size in
       let f_refs, _, f_runs = cold_read_refs ~fragmented:true size in
+      if size = kib 64 || size = kib 512 then begin
+        let kib_n = size / 1024 in
+        Json_out.metric "E2"
+          (Printf.sprintf "contiguous_refs_%dk" kib_n)
+          (float_of_int c_refs);
+        Json_out.metric "E2"
+          (Printf.sprintf "fragmented_refs_%dk" kib_n)
+          (float_of_int f_refs)
+      end;
       let claim =
         if size <= kib 512 then "<= 2 refs" else "may need indirect"
       in

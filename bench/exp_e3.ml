@@ -4,6 +4,8 @@
 
 open Common
 
+let () = Json_out.register "E3"
+
 let run_lengths = [ 1; 4; 16; 64 ]
 
 let measure ~exploit blocks =
@@ -39,6 +41,11 @@ let run () =
     (fun blocks ->
       let with_refs, with_ms = measure ~exploit:true blocks in
       let without_refs, without_ms = measure ~exploit:false blocks in
+      if blocks = 64 then begin
+        Json_out.metric "E3" "run64_with_count_refs" (float_of_int with_refs);
+        Json_out.metric "E3" "run64_without_count_refs" (float_of_int without_refs);
+        Json_out.metric "E3" "run64_speedup" (without_ms /. with_ms)
+      end;
       Text_table.add_row table
         [
           string_of_int blocks;

@@ -7,6 +7,8 @@
 
 open Common
 
+let () = Json_out.register "E4"
+
 let n_files = 200
 
 let run () =
@@ -80,6 +82,9 @@ let run () =
       "-";
     ];
   print_table table;
+  Json_out.metric "E4" "fit_fetch_fragment_ms" frag_time;
+  Json_out.metric "E4" "fit_fetch_block_ms" block_time;
+  Json_out.metric "E4" "fragments_consumed" (float_of_int frags_used);
   note "Structural information rides in 2 KiB fragments: 4x less metadata";
   note "space and a cheaper transfer per FIT; file data stays in 8 KiB blocks";
   note "so large transfers keep their low per-byte cost."

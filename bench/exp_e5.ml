@@ -10,6 +10,8 @@
 open Common
 module Ffa = Rhodos_baseline.First_fit_allocator
 
+let () = Json_out.register "E5"
+
 let fill_levels = [ 0.3; 0.6; 0.9 ]
 let fragments_total = 16 * 1024 (* a 32 MiB disk *)
 let probe_allocs = 500
@@ -107,6 +109,10 @@ let run () =
     (fun fill ->
       let entries, fallbacks, ok_a = measure_extent_array fill in
       let bits, ok_b = measure_first_fit fill in
+      if fill = 0.9 then begin
+        Json_out.metric "E5" "fill90_extent_entries_per_alloc" entries;
+        Json_out.metric "E5" "fill90_bitmap_bits_per_alloc" bits
+      end;
       Text_table.add_row table
         [
           Printf.sprintf "%.0f%%" (fill *. 100.);

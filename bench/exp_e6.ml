@@ -16,6 +16,8 @@ open Common
 module Fa = Rhodos_agent.File_agent
 module Bullet = Rhodos_baseline.Bullet_server
 
+let () = Json_out.register "E6"
+
 let n_files = 8
 let file_bytes = kib 32
 let rounds = 5
@@ -113,6 +115,10 @@ let run () =
   row "RHODOS, client cache off" (n_cold, n_warm, n_remote);
   row "Bullet (no client cache)" (b_cold, b_warm, b_remote);
   print_table table;
+  Json_out.metric "E6" "rhodos_cached_cold_ms" r_cold;
+  Json_out.metric "E6" "rhodos_cached_warm_ms" r_warm;
+  Json_out.metric "E6" "rhodos_uncached_warm_ms" n_warm;
+  Json_out.metric "E6" "bullet_warm_ms" b_warm;
   note "With the agent cache the warm rounds never touch the network; the";
   note "uncached RHODOS client and the Bullet server keep shipping bytes on";
   note "every re-read — the bottleneck the paper pins on Bullet."

@@ -11,6 +11,8 @@
 
 open Common
 
+let () = Json_out.register "E7"
+
 let file_blocks = 64
 let updates = 8
 
@@ -89,10 +91,12 @@ let run () =
         ]
   in
   List.iter
-    (fun (name, technique) ->
+    (fun (name, key, technique) ->
       let writes, cms, log_bytes, wal, shadow, extents, refs, rms =
         measure technique
       in
+      Json_out.metric "E7" (key ^ "_commit_ms") cms;
+      Json_out.metric "E7" (key ^ "_rescan_ms") rms;
       Text_table.add_row table
         [
           name;
@@ -105,9 +109,9 @@ let run () =
           Printf.sprintf "%.1f" rms;
         ])
     [
-      ("WAL (forced)", Some Txn.Wal);
-      ("shadow pages (forced)", Some Txn.Shadow_page);
-      ("hybrid (paper's rule)", None);
+      ("WAL (forced)", "wal", Some Txn.Wal);
+      ("shadow pages (forced)", "shadow", Some Txn.Shadow_page);
+      ("hybrid (paper's rule)", "hybrid", None);
     ];
   print_table table;
   note "WAL keeps the file in one extent (fast rescans) but copies every";

@@ -8,6 +8,8 @@
 open Common
 module Fit = Rhodos_file.Fit
 
+let () = Json_out.register "E8"
+
 let n_workers = 8
 let updates_per_worker = 5
 let record_bytes = 64
@@ -77,6 +79,8 @@ let run () =
   List.iter
     (fun (name, level) ->
       let committed, aborted, elapsed, acquires, waits = measure level in
+      Json_out.metric "E8" (name ^ "_elapsed_ms") elapsed;
+      Json_out.metric "E8" (name ^ "_lock_waits") (float_of_int waits);
       Text_table.add_row table
         [
           name;

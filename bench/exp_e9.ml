@@ -10,6 +10,8 @@
 open Common
 module Fit = Rhodos_file.Fit
 
+let () = Json_out.register "E9"
+
 let deadlock_case lt =
   run_sim (fun sim ->
       let fs = make_fs sim in
@@ -103,6 +105,10 @@ let run () =
   List.iter
     (fun lt ->
       let elapsed, aborted = deadlock_case lt in
+      if lt = 50. then begin
+        Json_out.metric "E9" "lt50_resolved_ms" elapsed;
+        Json_out.metric "E9" "lt50_aborted" (float_of_int aborted)
+      end;
       Text_table.add_row table
         [ Printf.sprintf "%.0f" lt; Printf.sprintf "%.0f" elapsed; string_of_int aborted ])
     [ 20.; 50.; 200.; 1000. ];

@@ -1,0 +1,77 @@
+(* Machine-readable bench results.
+
+   Every experiment module registers itself at load time
+   (`Json_out.register "E5"`) — a lint rule insists on it, so no
+   experiment can silently drop out of the perf record — and reports
+   its key numbers with `Json_out.metric` while it runs. `main.exe
+   --json <name>` runs the tracked experiments and writes the collected
+   metrics to BENCH_<name>.json; the committed BENCH_baseline.json is
+   the trajectory anchor the next PR diffs against.
+
+   Values are simulated-time measurements and counters, so the file is
+   deterministic: regenerating it on an unchanged tree must be a
+   no-op. *)
+
+let order : string list ref = ref []
+let metrics : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 16
+
+let register id =
+  if not (Hashtbl.mem metrics id) then begin
+    order := id :: !order;
+    Hashtbl.replace metrics id (ref [])
+  end
+
+let registered id = Hashtbl.mem metrics id
+
+let metric id key value =
+  match Hashtbl.find_opt metrics id with
+  | Some l -> l := (key, value) :: !l
+  | None -> invalid_arg (Printf.sprintf "Json_out.metric: %S not registered" id)
+
+(* Plain floats, trimmed: counters print as integers, times keep
+   microsecond-ish precision without float noise. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4f" v
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  let ids = List.rev !order in
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  %S: {" (escape id));
+      let kvs = List.rev !(Hashtbl.find metrics id) in
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\n    %S: %s" (escape k) (number v)))
+        kvs;
+      if kvs <> [] then Buffer.add_string buf "\n  ";
+      Buffer.add_char buf '}')
+    ids;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write ~name =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc (to_json ());
+  close_out oc;
+  path

@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only E5    # one experiment
      dune exec bench/main.exe -- --only micro # microbenchmarks only
-     dune exec bench/main.exe -- --list       # list experiments *)
+     dune exec bench/main.exe -- --list       # list experiments
+     dune exec bench/main.exe -- --json baseline
+       # run the tracked experiments, write BENCH_baseline.json *)
 
 let experiments =
   [
@@ -25,8 +27,10 @@ let experiments =
     ("E12", "delayed-write vs write-through", Exp_e12.run);
     ("E13", "the replication service", Exp_e13.run);
     ("E14", "distribution transparency (goal 1)", Exp_e14.run);
+    ("E15", "client data-path pipeline", Exp_e15.run);
     ("A1", "ablation: disk scheduling FCFS/SSTF/SCAN", Exp_a1.run);
     ("A2", "ablation: client cache size sweep", Exp_a2.run);
+    ("A3", "ablation: fetch window / coalescing / read-ahead", Exp_a3.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 
@@ -41,11 +45,20 @@ let () =
     | None ->
       Printf.eprintf "unknown experiment %S (try --list)\n" id;
       exit 1)
+  | "--json" :: rest ->
+    (* Run every experiment that registered a JSON emitter (micro is
+       wall-clock, so it stays out of the deterministic record) and
+       write the collected key metrics. *)
+    let name = match rest with [ name ] -> name | _ -> "run" in
+    List.iter
+      (fun (id, _, run) -> if Json_out.registered id then run ())
+      experiments;
+    Printf.printf "\nwrote %s\n" (Json_out.write ~name)
   | [] ->
     Printf.printf
       "RHODOS distributed file facility — evaluation harness\n\
        (Panadiwal & Goscinski, ICDCS 1994; see EXPERIMENTS.md)\n";
     List.iter (fun (_, _, run) -> run ()) experiments
   | _ ->
-    Printf.eprintf "usage: main.exe [--list | --only <id>]\n";
+    Printf.eprintf "usage: main.exe [--list | --only <id> | --json [name]]\n";
     exit 1

@@ -1,9 +1,15 @@
 (* Repo lint driver: [rhodos_lint DIR...] lints every .ml under the
    given directories (default: lib) and exits nonzero on any
-   violation. Wired to the @lint alias, which is part of the tier-1
-   runtest path. *)
+   violation. Directories named "bench" get the Bench profile (tables
+   print directly, executables carry no .mli, and every exp_*.ml must
+   register a JSON emitter); everything else is linted as Library.
+   Wired to the @lint alias, which is part of the tier-1 runtest
+   path. *)
 
 module Lint = Rhodos_analysis.Lint
+
+let profile_of dir =
+  if Filename.basename dir = "bench" then Lint.Bench else Lint.Library
 
 let () =
   let dirs =
@@ -16,7 +22,9 @@ let () =
         exit 2
       end)
     dirs;
-  let violations = List.concat_map Lint.lint_dir dirs in
+  let violations =
+    List.concat_map (fun d -> Lint.lint_dir ~profile:(profile_of d) d) dirs
+  in
   List.iter
     (fun v -> Format.printf "%a@." Lint.pp_violation v)
     violations;

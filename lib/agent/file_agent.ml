@@ -14,12 +14,31 @@ type config = {
   cache_blocks : int;
   flush_interval_ms : float;
   name_cache_entries : int;
+  fetch_window : int;
+  max_fetch_blocks : int;
+  read_ahead_blocks : int;
 }
 
 let default_config =
-  { cache_blocks = 64; flush_interval_ms = 1000.; name_cache_entries = 32 }
+  {
+    cache_blocks = 64;
+    flush_interval_ms = 1000.;
+    name_cache_entries = 32;
+    fetch_window = 4;
+    max_fetch_blocks = 64;
+    read_ahead_blocks = 16;
+  }
 
-type open_state = { file : int; mutable pos : int }
+type open_state = {
+  file : int;
+  mutable pos : int;
+  mutable seq_next : int; (* offset the next read must start at to count as sequential *)
+  mutable ra_window : int; (* current read-ahead width in blocks; 0 = cold *)
+}
+
+(* One in-flight block fetch; concurrent readers of the same block all
+   wait on the same cell (single-flight dedup). *)
+type fetch = (bytes, exn) result Sim.Ivar.ivar
 
 type t = {
   sim : Sim.t;
@@ -28,6 +47,9 @@ type t = {
   descs : (desc, open_state) Hashtbl.t;
   sizes : (int, int ref) Hashtbl.t; (* file -> cached size *)
   cache : (int * int) Cache.t;      (* (file, block index) -> 8 KiB *)
+  inflight : (int * int, fetch) Hashtbl.t;
+  prefetched : (int * int, unit) Hashtbl.t; (* read-ahead blocks not yet consumed *)
+  fetch_slots : Sim.Semaphore.sem;  (* bounds concurrent fetch RPCs *)
   name_cache : (string, int) Hashtbl.t;
   mutable next_desc : desc;
   counters : Counter.t;
@@ -51,19 +73,80 @@ let size_ref t file =
     Hashtbl.replace t.sizes file r;
     r
 
+(* Write one contiguous run of dirty blocks as a single range pwrite,
+   trimmed to the file's logical size so a partial tail block does not
+   extend the file with padding. [blocks] is ascending and contiguous. *)
+let flush_run ~sizes ~counters ~(conn : Service_conn.fs_conn) file blocks =
+  match blocks with
+  | [] -> ()
+  | (b0, _) :: _ ->
+    let size = match Hashtbl.find_opt sizes file with Some r -> !r | None -> 0 in
+    let bl = List.length blocks - 1 + b0 in
+    let start = b0 * block_size in
+    let stop = min ((bl + 1) * block_size) size in
+    if stop > start then begin
+      let out = Bytes.create (stop - start) in
+      List.iter
+        (fun (bi, data) ->
+          let s = bi * block_size in
+          let len = min block_size (stop - s) in
+          if len > 0 then Bytes.blit data 0 out (s - start) len)
+        blocks;
+      Counter.incr counters "remote_writes";
+      if List.length blocks > 1 then
+        Counter.add counters "coalesced_block_writes" (List.length blocks - 1);
+      conn.Service_conn.pwrite file ~off:start ~data:out
+    end
+
+(* Regroup the dirty set into per-file runs of contiguous blocks, one
+   range pwrite per run. Entries arrive oldest-dirty-first; files go
+   out in order of their oldest dirty block, each file's runs in block
+   order — so across flushes the oldest data still leaves first. *)
+let writeback_batch ~sizes ~counters ~conn entries =
+  let files = ref [] in
+  let by_file = Hashtbl.create 8 in
+  List.iter
+    (fun ((file, bi), data) ->
+      if not (Hashtbl.mem by_file file) then begin
+        files := file :: !files;
+        Hashtbl.replace by_file file []
+      end;
+      Hashtbl.replace by_file file ((bi, data) :: Hashtbl.find by_file file))
+    entries;
+  List.iter
+    (fun file ->
+      let blocks =
+        List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.find by_file file)
+      in
+      let rec runs acc cur = function
+        | [] -> List.rev (List.rev cur :: acc)
+        | (bi, data) :: rest -> (
+          match cur with
+          | (prev, _) :: _ when bi = prev + 1 -> runs acc ((bi, data) :: cur) rest
+          | [] -> runs acc [ (bi, data) ] rest
+          | _ -> runs (List.rev cur :: acc) [ (bi, data) ] rest)
+      in
+      List.iter (flush_run ~sizes ~counters ~conn file) (runs [] [] blocks))
+    (List.rev !files)
+
 let create ?(config = default_config) ?tracer ~sim
     ~(conn : Service_conn.fs_conn) () =
   let sizes = Hashtbl.create 16 in
   let counters = Counter.create () in
-  (* Write back one dirty block: trim to the file's logical size so a
-     partial tail block does not extend the file with padding. *)
+  let prefetched = Hashtbl.create 16 in
+  (* Write back one dirty block (eviction path), trimmed like a run. *)
   let writeback (file, bi) data =
-    let size = match Hashtbl.find_opt sizes file with Some r -> !r | None -> 0 in
-    let len = min block_size (size - (bi * block_size)) in
-    if len > 0 then begin
-      Counter.incr counters "remote_writes";
-      conn.Service_conn.pwrite file ~off:(bi * block_size)
-        ~data:(if len = block_size then data else Bytes.sub data 0 len)
+    flush_run ~sizes ~counters ~conn file [ (bi, data) ]
+  in
+  let writeback_batch entries =
+    Trace.maybe tracer ~service:"file_agent" ~op:"flush_batch"
+      ~attrs:(fun () -> [ ("dirty", Trace.Int (List.length entries)) ])
+      (fun () -> writeback_batch ~sizes ~counters ~conn entries)
+  in
+  let on_evict key =
+    if Hashtbl.mem prefetched key then begin
+      Hashtbl.remove prefetched key;
+      Counter.incr counters "prefetch_wasted"
     end
   in
   {
@@ -73,12 +156,15 @@ let create ?(config = default_config) ?tracer ~sim
     descs = Hashtbl.create 16;
     sizes;
     cache =
-      Cache.create ~name:"file-agent-cache" ~sim
+      Cache.create ~name:"file-agent-cache" ~writeback_batch ~on_evict ~sim
         ~capacity:(max 1 config.cache_blocks)
         ~policy:
           (if config.cache_blocks = 0 then Cache.Write_through
            else Cache.Delayed_write { flush_interval_ms = config.flush_interval_ms })
         ~writeback ();
+    inflight = Hashtbl.create 16;
+    prefetched;
+    fetch_slots = Sim.Semaphore.create sim (max 1 config.fetch_window);
     name_cache = Hashtbl.create 16;
     next_desc = first_dynamic_desc;
     counters;
@@ -113,7 +199,7 @@ let resolve_path t path =
 
 let install t ~desc file attrs =
   (size_ref t file) := attrs.Fit.size;
-  Hashtbl.replace t.descs desc { file; pos = 0 }
+  Hashtbl.replace t.descs desc { file; pos = 0; seq_next = 0; ra_window = 0 }
 
 let fresh_desc t =
   let d = t.next_desc in
@@ -167,31 +253,187 @@ let open_redirect t ~path ~slot =
   d
 
 (* ------------------------------------------------------------------ *)
-(* Cached data path                                                    *)
+(* Cached data path: coalesced, pipelined, single-flight fetches        *)
 (* ------------------------------------------------------------------ *)
 
-(* Fetch block [bi] of [file] into the cache (zero-padded to a full
-   block); returns its bytes. *)
-let load_block t file bi =
-  match Cache.find t.cache (file, bi) with
-  | Some data -> data
-  | None ->
-    Counter.incr t.counters "remote_reads";
-    let fetched =
-      t.conn.Service_conn.pread file ~off:(bi * block_size) ~len:block_size
-    in
-    let block =
-      if Bytes.length fetched = block_size then fetched
-      else begin
-        let b = Bytes.make block_size '\000' in
-        Bytes.blit fetched 0 b 0 (Bytes.length fetched);
-        b
-      end
-    in
-    Cache.insert_clean t.cache (file, bi) block;
-    block
+let pad_block fetched =
+  if Bytes.length fetched = block_size then fetched
+  else begin
+    let b = Bytes.make block_size '\000' in
+    Bytes.blit fetched 0 b 0 (Bytes.length fetched);
+    b
+  end
 
-let pread_file_impl t file ~off ~len =
+(* Publish a fetched block: insert into the cache and wake the waiters.
+   The inflight registration is re-checked by physical identity — a
+   crash or invalidation between issue and completion clears it, and a
+   superseded fetch must not resurrect stale data into the cache (its
+   waiters still get the bytes they asked for). *)
+let complete_block t iv file bi block =
+  (match Hashtbl.find_opt t.inflight (file, bi) with
+  | Some iv' when iv' == iv ->
+    Hashtbl.remove t.inflight (file, bi);
+    Cache.insert_clean t.cache (file, bi) block
+  | Some _ | None -> ());
+  Sim.Ivar.fill iv (Ok block)
+
+let fail_block t iv file bi e =
+  (match Hashtbl.find_opt t.inflight (file, bi) with
+  | Some iv' when iv' == iv -> Hashtbl.remove t.inflight (file, bi)
+  | Some _ | None -> ());
+  if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv (Error e)
+
+(* Fetch one contiguous run [c0..c1] whose cells are already registered
+   in [t.inflight]. One remote read per run: streamed when the
+   connection supports it and the run spans several blocks (the server
+   pushes chunks as it reads, overlapping disk and wire), a plain range
+   pread otherwise. Lost stream chunks are re-fetched individually.
+   Failures are delivered through the cells, never raised: this runs in
+   detached fetcher processes. *)
+let run_fetch t file ivars c0 c1 =
+  let nblocks = c1 - c0 + 1 in
+  let deliver_range ~off data =
+    if off mod block_size = 0 then begin
+      let nb = (Bytes.length data + block_size - 1) / block_size in
+      for k = 0 to nb - 1 do
+        let bi = (off / block_size) + k in
+        match List.assoc_opt bi ivars with
+        | Some iv when not (Sim.Ivar.is_filled iv) ->
+          let boff = k * block_size in
+          let avail = min block_size (Bytes.length data - boff) in
+          complete_block t iv file bi (pad_block (Bytes.sub data boff avail))
+        | Some _ | None -> ()
+      done
+    end
+  in
+  try
+    (match t.conn.Service_conn.pread_stream with
+    | Some stream when nblocks > 1 ->
+      Counter.incr t.counters "remote_reads";
+      stream file ~off:(c0 * block_size) ~len:(nblocks * block_size)
+        ~on_chunk:deliver_range;
+      (* Holes (lost chunks) fall back to plain per-block preads. *)
+      List.iter
+        (fun (bi, iv) ->
+          if not (Sim.Ivar.is_filled iv) then begin
+            Counter.incr t.counters "remote_reads";
+            let data =
+              t.conn.Service_conn.pread file ~off:(bi * block_size)
+                ~len:block_size
+            in
+            if not (Sim.Ivar.is_filled iv) then
+              complete_block t iv file bi (pad_block data)
+          end)
+        ivars
+    | Some _ | None ->
+      Counter.incr t.counters "remote_reads";
+      let data =
+        t.conn.Service_conn.pread file ~off:(c0 * block_size)
+          ~len:(nblocks * block_size)
+      in
+      deliver_range ~off:(c0 * block_size) data;
+      (* A short read (range beyond EOF) leaves tail cells unfilled:
+         publish them as zero blocks, as the per-block path did. *)
+      List.iter
+        (fun (bi, iv) ->
+          if not (Sim.Ivar.is_filled iv) then
+            complete_block t iv file bi (Bytes.make block_size '\000'))
+        ivars);
+    if nblocks > 1 then Counter.add t.counters "coalesced_block_reads" (nblocks - 1)
+  with
+  | Sim.Killed as e ->
+    List.iter
+      (fun (bi, iv) ->
+        fail_block t iv file bi (Failure "file_agent: fetch aborted"))
+      ivars;
+    raise e
+  | e -> List.iter (fun (bi, iv) -> fail_block t iv file bi e) ivars
+
+(* Register cells for [c0..c1], split by [max_fetch_blocks], and spawn
+   one fetcher process per piece; the window semaphore bounds how many
+   fetch RPCs are actually in flight. Returns every (block, cell)
+   registered, in ascending block order. *)
+let issue_fetch t file c0 c1 ~prefetch =
+  let maxb = max 1 t.config.max_fetch_blocks in
+  let pieces = ref [] in
+  let p0 = ref c0 in
+  while !p0 <= c1 do
+    let p1 = min c1 (!p0 + maxb - 1) in
+    let ivars =
+      List.init (p1 - !p0 + 1) (fun i ->
+          let bi = !p0 + i in
+          let iv = Sim.Ivar.create t.sim in
+          Hashtbl.replace t.inflight (file, bi) iv;
+          (bi, iv))
+    in
+    if prefetch then begin
+      Counter.add t.counters "prefetch_issued" (List.length ivars);
+      List.iter (fun (bi, _) -> Hashtbl.replace t.prefetched (file, bi) ()) ivars
+    end;
+    pieces := (!p0, p1, ivars) :: !pieces;
+    p0 := p1 + 1
+  done;
+  let pieces = List.rev !pieces in
+  List.iter
+    (fun (p0, p1, ivars) ->
+      ignore
+        (Sim.spawn ~name:"fa-fetch" t.sim (fun () ->
+             let fetch () =
+               Sim.Semaphore.acquire t.fetch_slots;
+               Fun.protect
+                 ~finally:(fun () -> Sim.Semaphore.release t.fetch_slots)
+                 (fun () -> run_fetch t file ivars p0 p1)
+             in
+             if prefetch then
+               Trace.maybe t.tracer ~service:"file_agent" ~op:"read_ahead"
+                 ~attrs:(fun () ->
+                   [ ("file", Trace.Int file); ("first_block", Trace.Int p0);
+                     ("blocks", Trace.Int (p1 - p0 + 1)) ])
+                 fetch
+             else fetch ())))
+    pieces;
+  List.concat_map (fun (_, _, ivars) -> ivars) pieces
+
+let await iv =
+  match Sim.Ivar.read iv with Ok data -> data | Error e -> raise e
+
+let note_prefetch_hit t file bi =
+  if Hashtbl.mem t.prefetched (file, bi) then begin
+    Hashtbl.remove t.prefetched (file, bi);
+    Counter.incr t.counters "prefetch_hits"
+  end
+
+(* Issue read-ahead for up to [ra] blocks past [b1], skipping anything
+   cached or already in flight. Fire-and-forget: the reader never waits
+   on these. *)
+let issue_read_ahead t file ~b1 ~ra ~size =
+  if ra > 0 && size > 0 then begin
+    let last_block = (size - 1) / block_size in
+    let p0 = b1 + 1 and p1 = min (b1 + ra) last_block in
+    let i = ref p0 in
+    while !i <= p1 do
+      if Cache.mem t.cache (file, !i) || Hashtbl.mem t.inflight (file, !i) then
+        incr i
+      else begin
+        let j = ref !i in
+        while
+          !j + 1 <= p1
+          && (not (Cache.mem t.cache (file, !j + 1)))
+          && not (Hashtbl.mem t.inflight (file, !j + 1))
+        do
+          incr j
+        done;
+        ignore (issue_fetch t file !i !j ~prefetch:true);
+        i := !j + 1
+      end
+    done
+  end
+
+(* The read path: classify every needed block (cached / in flight /
+   missing), issue one coalesced fetch per missing run, kick off
+   read-ahead, then assemble — waiting only on the cells this read
+   needs. Independent runs fetch concurrently under the window. *)
+let pread_core t file ~off ~len ~ra =
   Counter.incr t.counters "reads";
   let size = !(size_ref t file) in
   let len = max 0 (min len (size - off)) in
@@ -201,23 +443,83 @@ let pread_file_impl t file ~off ~len =
     t.conn.Service_conn.pread file ~off ~len
   end
   else begin
-    let out = Bytes.create len in
     let b0 = off / block_size and b1 = (off + len - 1) / block_size in
-    for bi = b0 to b1 do
-      let data = load_block t file bi in
+    let n = b1 - b0 + 1 in
+    let slots = Array.make n `Miss in
+    for i = 0 to n - 1 do
+      let bi = b0 + i in
+      note_prefetch_hit t file bi;
+      match Cache.find t.cache (file, bi) with
+      | Some data -> slots.(i) <- `Have data
+      | None -> (
+        match Hashtbl.find_opt t.inflight (file, bi) with
+        | Some iv -> slots.(i) <- `Wait iv
+        | None -> ())
+    done;
+    let i = ref 0 in
+    while !i < n do
+      match slots.(!i) with
+      | `Miss ->
+        let j = ref !i in
+        while
+          !j + 1 < n && (match slots.(!j + 1) with `Miss -> true | _ -> false)
+        do
+          incr j
+        done;
+        List.iter
+          (fun (bi, iv) -> slots.(bi - b0) <- `Wait iv)
+          (issue_fetch t file (b0 + !i) (b0 + !j) ~prefetch:false);
+        i := !j + 1
+      | _ -> incr i
+    done;
+    issue_read_ahead t file ~b1 ~ra ~size;
+    let out = Bytes.create len in
+    for i = 0 to n - 1 do
+      let bi = b0 + i in
+      let data =
+        match slots.(i) with
+        | `Have data -> data
+        | `Wait iv -> await iv
+        | `Miss -> assert false
+      in
       let file_start = bi * block_size in
-      let s = max off file_start and e = min (off + len) (file_start + block_size) in
+      let s = max off file_start
+      and e = min (off + len) (file_start + block_size) in
       Bytes.blit data (s - file_start) out (s - off) (e - s)
     done;
     out
   end
 
-let pread_file t file ~off ~len =
+let pread_file_ra t file ~off ~len ~ra =
   Trace.maybe t.tracer ~service:"file_agent" ~op:"pread"
     ~attrs:(fun () ->
       [ ("file", Trace.Int file); ("off", Trace.Int off);
         ("len", Trace.Int len) ])
-    (fun () -> pread_file_impl t file ~off ~len)
+    (fun () -> pread_core t file ~off ~len ~ra)
+
+(* Per-descriptor adaptive read-ahead: a read starting exactly where
+   the previous one ended doubles the window (capped by the config); a
+   seek anywhere else resets it to cold. *)
+let pread_desc t s ~off ~len =
+  (if off = s.seq_next then
+     s.ra_window <- min t.config.read_ahead_blocks (max 2 (s.ra_window * 2))
+   else s.ra_window <- 0);
+  let out = pread_file_ra t s.file ~off ~len ~ra:s.ra_window in
+  s.seq_next <- off + Bytes.length out;
+  out
+
+(* Fetch a single block through the same single-flight machinery (used
+   by partial-block writes that must read-modify-write). *)
+let load_block t file bi =
+  match Cache.find t.cache (file, bi) with
+  | Some data -> data
+  | None -> (
+    match Hashtbl.find_opt t.inflight (file, bi) with
+    | Some iv -> await iv
+    | None -> (
+      match issue_fetch t file bi bi ~prefetch:false with
+      | [ (_, iv) ] -> await iv
+      | _ -> assert false))
 
 let pwrite_file_impl t file ~off ~data =
   Counter.incr t.counters "writes";
@@ -266,7 +568,7 @@ let pwrite_file t file ~off ~data =
 
 let read t d len =
   let s = state t d in
-  let out = pread_file t s.file ~off:s.pos ~len in
+  let out = pread_desc t s ~off:s.pos ~len in
   s.pos <- s.pos + Bytes.length out;
   out
 
@@ -275,7 +577,9 @@ let write t d data =
   pwrite_file t s.file ~off:s.pos ~data;
   s.pos <- s.pos + Bytes.length data
 
-let pread t d ~off ~len = pread_file t (state t d).file ~off ~len
+let pread t d ~off ~len =
+  let s = state t d in
+  pread_desc t s ~off ~len
 
 let pwrite t d ~off ~data = pwrite_file t (state t d).file ~off ~data
 
@@ -302,9 +606,7 @@ let get_attribute t d =
 let flush_file t file =
   let size = !(size_ref t file) in
   let blocks = (size + block_size - 1) / block_size in
-  for bi = 0 to blocks - 1 do
-    Cache.flush_key t.cache (file, bi)
-  done
+  Cache.flush_keys t.cache (List.init blocks (fun bi -> (file, bi)))
 
 let close t d =
   let s = state t d in
@@ -312,11 +614,19 @@ let close t d =
   t.conn.Service_conn.close_file s.file;
   Hashtbl.remove t.descs d
 
+let drop_block_tracking t file bi =
+  Hashtbl.remove t.inflight (file, bi);
+  if Hashtbl.mem t.prefetched (file, bi) then begin
+    Hashtbl.remove t.prefetched (file, bi);
+    Counter.incr t.counters "prefetch_wasted"
+  end
+
 let delete t ~path =
   let file = resolve_path t path in
   let size = !(size_ref t file) in
   for bi = 0 to ((size + block_size - 1) / block_size) - 1 do
-    Cache.invalidate t.cache (file, bi)
+    Cache.invalidate t.cache (file, bi);
+    drop_block_tracking t file bi
   done;
   Hashtbl.remove t.name_cache path;
   Hashtbl.remove t.sizes file;
@@ -328,7 +638,8 @@ let invalidate_file t ~file =
   | None -> () (* nothing of this file is cached *)
   | Some size ->
     for bi = 0 to ((!size + block_size - 1) / block_size) - 1 do
-      Cache.invalidate t.cache (file, bi)
+      Cache.invalidate t.cache (file, bi);
+      drop_block_tracking t file bi
     done;
     (match t.conn.Service_conn.get_attributes file with
     | attrs -> size := attrs.Fit.size
@@ -341,4 +652,8 @@ let crash t =
   Hashtbl.reset t.descs;
   Hashtbl.reset t.sizes;
   Hashtbl.reset t.name_cache;
+  (* In-flight fetches may still complete; clearing the registrations
+     keeps them from resurrecting pre-crash data into the fresh cache. *)
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.prefetched;
   lost

@@ -33,10 +33,25 @@ type config = {
   cache_blocks : int;              (** 0 disables the client cache *)
   flush_interval_ms : float;       (** delayed-write period *)
   name_cache_entries : int;
+  fetch_window : int;
+      (** max concurrent fetch RPCs in flight (pipelining width);
+          clamped to at least 1 *)
+  max_fetch_blocks : int;
+      (** max contiguous missing blocks coalesced into one range
+          fetch; 1 reproduces the old per-block convoy *)
+  read_ahead_blocks : int;
+      (** cap on the adaptive sequential read-ahead window, in blocks;
+          0 disables read-ahead. The per-descriptor window doubles on
+          each sequential read (starting at 2) and resets on seek. *)
 }
 
 val default_config : config
-(** 64 blocks, 1000 ms flush, 32 name-cache entries. *)
+(** 64 blocks, 1000 ms flush, 32 name-cache entries, fetch window 4,
+    64-block coalescing, 16-block read-ahead cap. *)
+
+val block_size : int
+(** The agent's cache block size (8 KiB) — also the chunk granularity
+    of the streamed range read. *)
 
 val create :
   ?config:config ->
@@ -64,7 +79,9 @@ val close : t -> desc -> unit
 val delete : t -> path:string -> unit
 
 val read : t -> desc -> int -> bytes
-(** Read at the seek pointer, advancing it; short at EOF. *)
+(** Read at the seek pointer, advancing it; short at EOF. Misses are
+    fetched as coalesced range reads pipelined under [fetch_window];
+    sequential access widens the adaptive read-ahead window. *)
 
 val write : t -> desc -> bytes -> unit
 (** Write at the seek pointer, advancing it. *)
@@ -112,8 +129,12 @@ val descriptor_file : t -> desc -> int
 val open_count : t -> int
 
 val stats : t -> Rhodos_util.Stats.Counter.t
-(** ["reads"], ["writes"], ["remote_reads"], ["remote_writes"]. Cache
-    counters: [cache_stats]. *)
+(** ["reads"], ["writes"], ["remote_reads"], ["remote_writes"], plus
+    the data-path counters: ["coalesced_block_reads"] /
+    ["coalesced_block_writes"] (blocks saved a dedicated RPC by range
+    coalescing), ["prefetch_issued"], ["prefetch_hits"],
+    ["prefetch_wasted"] (read-ahead blocks evicted or invalidated
+    unused). Cache counters: [cache_stats]. *)
 
 val cache_stats : t -> Rhodos_util.Stats.Counter.t
 

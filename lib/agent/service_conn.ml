@@ -8,6 +8,9 @@ type fs_conn = {
   close_file : int -> unit;
   delete_file : int -> unit;
   pread : int -> off:int -> len:int -> bytes;
+  pread_stream :
+    (int -> off:int -> len:int -> on_chunk:(off:int -> bytes -> unit) -> unit)
+    option;
   pwrite : int -> off:int -> data:bytes -> unit;
   get_attributes : int -> Rhodos_file.Fit.t;
   truncate : int -> size:int -> unit;

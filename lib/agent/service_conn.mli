@@ -21,6 +21,19 @@ type fs_conn = {
   close_file : int -> unit;
   delete_file : int -> unit;
   pread : int -> off:int -> len:int -> bytes;
+  pread_stream :
+    (int -> off:int -> len:int -> on_chunk:(off:int -> bytes -> unit) -> unit)
+    option;
+      (** Streamed range read: the server pushes the range back as
+          block-aligned chunks as it reads them, each delivered to
+          [on_chunk] (at-least-once, any order; the completion of the
+          call itself is the end-of-stream marker). Chunks overlap the
+          server's disk time with the wire, so one invocation replaces
+          a per-block RPC convoy. [None] when the transport has no
+          one-way channel (e.g. the co-located direct-call facade may
+          instead deliver the whole range as a single chunk). Callers
+          must tolerate missing chunks (message loss) by re-fetching
+          the holes with plain [pread]. *)
   pwrite : int -> off:int -> data:bytes -> unit;
   get_attributes : int -> Rhodos_file.Fit.t;
   truncate : int -> size:int -> unit;

@@ -339,13 +339,47 @@ let find_unpaired ~file stripped =
     pairing_rules
 
 (* ------------------------------------------------------------------ *)
+(* Rule: every bench experiment registers a JSON emitter               *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments feed the committed BENCH_*.json perf record; one that
+   never calls [Json_out.register] silently drops out of it, and a
+   perf regression there goes unnoticed. *)
+let find_unregistered_experiment ~file stripped =
+  let base = Filename.basename file in
+  if
+    String.length base >= 4
+    && String.sub base 0 4 = "exp_"
+    && not (contains stripped "Json_out.register")
+  then
+    [
+      {
+        file;
+        line = 1;
+        rule = "bench-emitter";
+        message =
+          "experiment module never calls Json_out.register: its metrics \
+           are missing from the BENCH_*.json perf record";
+      };
+    ]
+  else []
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lint_source ~file src =
+(* [Library] is the strict default for lib/. [Bench] covers bench/:
+   experiments print their tables directly and are executables (no
+   .mli), so those two rules are off; instead every exp_*.ml must
+   register with the JSON perf record. *)
+type profile = Library | Bench
+
+let lint_source ?(profile = Library) ~file src =
   let stripped = strip_comments_and_strings src in
   find_forbidden ~file stripped
-  @ find_direct_prints ~file stripped
+  @ (match profile with
+    | Library -> find_direct_prints ~file stripped
+    | Bench -> find_unregistered_experiment ~file stripped)
   @ find_catch_alls ~file stripped
   @ find_unpaired ~file stripped
 
@@ -384,9 +418,11 @@ let missing_mli path =
       };
     ]
 
-let lint_dir dir =
+let lint_dir ?(profile = Library) dir =
   List.concat_map
-    (fun path -> missing_mli path @ lint_source ~file:path (read_file path))
+    (fun path ->
+      (match profile with Library -> missing_mli path | Bench -> [])
+      @ lint_source ~profile ~file:path (read_file path))
     (ml_files dir)
 
 let pp_violation fmt v =

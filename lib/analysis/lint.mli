@@ -20,20 +20,30 @@
       matching [.mli];
     - {b paired-release}: a file that acquires ([Semaphore.acquire],
       [Mutex.lock], [Lock_manager.acquire]/[try_acquire]) must also
-      contain a matching release path (file-granularity pairing). *)
+      contain a matching release path (file-granularity pairing);
+    - {b bench-emitter} (Bench profile only): every [exp_*.ml] calls
+      [Json_out.register], so no experiment silently drops out of the
+      committed BENCH_*.json perf record. *)
 
 type violation = { file : string; line : int; rule : string; message : string }
+
+type profile =
+  | Library  (** strict: all rules, including no-direct-print and missing-mli *)
+  | Bench
+      (** bench/: experiments print tables and are executable modules, so
+          no-direct-print and missing-mli are off; bench-emitter is on *)
 
 val strip_comments_and_strings : string -> string
 (** Blank out comments (nested), strings and character literals,
     preserving newlines (line numbers survive). *)
 
-val lint_source : file:string -> string -> violation list
-(** Text rules over one compilation unit's source. *)
+val lint_source : ?profile:profile -> file:string -> string -> violation list
+(** Text rules over one compilation unit's source (default [Library]). *)
 
-val lint_dir : string -> violation list
+val lint_dir : ?profile:profile -> string -> violation list
 (** Recursively lint every [.ml] under a directory (skipping [_build]
-    and dot-directories), including the missing-mli check. *)
+    and dot-directories); [Library] (the default) includes the
+    missing-mli check. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** [file:line: [rule] message] — compiler-style, clickable. *)

@@ -13,11 +13,36 @@ type 'k t = {
   capacity : int;
   policy : policy;
   writeback : 'k -> bytes -> unit;
+  writeback_batch : (('k * bytes) list -> unit) option;
+  on_evict : ('k -> unit) option;
   buffers : ('k, buffer) Hashtbl.t;
   mutable lru_clock : int;
   counters : Counter.t;
   mutable flusher : Sim.pid option;
 }
+
+(* Mark the buffers clean first, then write them out: a concurrent
+   write landing while a (possibly blocking) writeback is in flight
+   re-dirties the buffer and is picked up by the next flush, exactly
+   as with the single-buffer path. *)
+let write_out t dirty =
+  let entries =
+    List.filter_map
+      (fun (k, b) ->
+        if b.dirty then begin
+          b.dirty <- false;
+          Counter.incr t.counters "writebacks";
+          Some (k, b.data)
+        end
+        else None)
+      dirty
+  in
+  match (entries, t.writeback_batch) with
+  | [], _ -> ()
+  | entries, Some batch ->
+    Counter.incr t.counters "batch_flushes";
+    batch entries
+  | entries, None -> List.iter (fun (k, data) -> t.writeback k data) entries
 
 let rec flusher_loop t () =
   match t.policy with
@@ -33,16 +58,10 @@ and flush t =
     Hashtbl.fold (fun k b acc -> if b.dirty then (k, b) :: acc else acc) t.buffers []
     |> List.sort (fun (_, a) (_, b) -> compare a.last_use b.last_use)
   in
-  List.iter
-    (fun (k, b) ->
-      if b.dirty then begin
-        b.dirty <- false;
-        Counter.incr t.counters "writebacks";
-        t.writeback k b.data
-      end)
-    dirty
+  write_out t dirty
 
-let create ?(name = "cache") ~sim ~capacity ~policy ~writeback () =
+let create ?(name = "cache") ?writeback_batch ?on_evict ~sim ~capacity ~policy
+    ~writeback () =
   if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity";
   let t =
     {
@@ -51,6 +70,8 @@ let create ?(name = "cache") ~sim ~capacity ~policy ~writeback () =
       capacity;
       policy;
       writeback;
+      writeback_batch;
+      on_evict;
       buffers = Hashtbl.create capacity;
       lru_clock = 0;
       counters = Counter.create ();
@@ -76,10 +97,15 @@ let find t k =
   | Some b ->
     Counter.incr t.counters "hits";
     touch t b;
-    Some b.data
+    (* A copy, not the pool's own buffer: handing out the live buffer
+       let a caller's in-place edit silently corrupt the cache (and be
+       flushed as if it had been written). *)
+    Some (Bytes.copy b.data)
   | None ->
     Counter.incr t.counters "misses";
     None
+
+let mem t k = Hashtbl.mem t.buffers k
 
 let evict_one t =
   let victim =
@@ -94,6 +120,7 @@ let evict_one t =
   | None -> ()
   | Some (k, b) ->
     Counter.incr t.counters "evictions";
+    (match t.on_evict with Some f -> f k | None -> ());
     if b.dirty then begin
       Counter.incr t.counters "dirty_evictions";
       b.dirty <- false;
@@ -130,13 +157,19 @@ let invalidate t k = Hashtbl.remove t.buffers k
 
 let invalidate_all t = Hashtbl.reset t.buffers
 
-let flush_key t k =
-  match Hashtbl.find_opt t.buffers k with
-  | Some b when b.dirty ->
-    b.dirty <- false;
-    Counter.incr t.counters "writebacks";
-    t.writeback k b.data
-  | Some _ | None -> ()
+let flush_keys t ks =
+  let dirty =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t.buffers k with
+        | Some b when b.dirty -> Some (k, b)
+        | Some _ | None -> None)
+      ks
+    |> List.sort (fun (_, a) (_, b) -> compare a.last_use b.last_use)
+  in
+  write_out t dirty
+
+let flush_key t k = flush_keys t [ k ]
 
 let dirty_count t =
   Hashtbl.fold (fun _ b acc -> if b.dirty then acc + 1 else acc) t.buffers 0

@@ -30,6 +30,8 @@ type 'k t
 
 val create :
   ?name:string ->
+  ?writeback_batch:(('k * bytes) list -> unit) ->
+  ?on_evict:('k -> unit) ->
   sim:Rhodos_sim.Sim.t ->
   capacity:int ->
   policy:policy ->
@@ -37,7 +39,15 @@ val create :
   unit ->
   'k t
 (** [writeback] persists one dirty buffer; it runs inside a [Sim]
-    process and may block (e.g. calling the disk service).
+    process and may block (e.g. calling the disk service). When
+    [writeback_batch] is given, [flush]/[flush_key]/[flush_keys] hand
+    it the whole dirty set (oldest first) in one call so the owner can
+    coalesce contiguous buffers into range writes; eviction still uses
+    the single-buffer [writeback]. [on_evict] is told the key of every
+    buffer evicted for capacity (before its writeback, if dirty).
+
+    The pool owns the buffers handed to [insert_clean]/[write];
+    callers must not mutate them afterwards.
     @raise Invalid_argument if [capacity <= 0]. *)
 
 val capacity : 'k t -> int
@@ -45,9 +55,12 @@ val capacity : 'k t -> int
 val length : 'k t -> int
 
 val find : 'k t -> 'k -> bytes option
-(** Cache lookup; hits refresh LRU recency and are counted. The
-    returned bytes are the cache's own buffer — callers must not
-    mutate them. *)
+(** Cache lookup; hits refresh LRU recency and are counted. Returns a
+    copy of the buffer: mutating it cannot corrupt the pool. *)
+
+val mem : 'k t -> 'k -> bool
+(** Pure membership probe: no copy, no LRU touch, no hit/miss
+    counting (used by read-ahead to skip already-cached blocks). *)
 
 val insert_clean : 'k t -> 'k -> bytes -> unit
 (** Insert data freshly read from below (not dirty). May evict. *)
@@ -64,6 +77,11 @@ val invalidate_all : 'k t -> unit
 val flush_key : 'k t -> 'k -> unit
 (** Write back the buffer if dirty; keeps it cached. *)
 
+val flush_keys : 'k t -> 'k list -> unit
+(** Write back the dirty buffers among [ks] (oldest first), through
+    [writeback_batch] when configured, so one file's blocks can go out
+    as coalesced range writes. *)
+
 val flush : 'k t -> unit
 (** Write back all dirty buffers (oldest first). *)
 
@@ -79,4 +97,5 @@ val stop : 'k t -> unit
 
 val stats : 'k t -> Rhodos_util.Stats.Counter.t
 (** Counters: ["hits"], ["misses"], ["writes"], ["writebacks"],
-    ["evictions"], ["dirty_evictions"], ["lost_dirty"]. *)
+    ["evictions"], ["dirty_evictions"], ["lost_dirty"],
+    ["batch_flushes"] (calls into [writeback_batch]). *)

@@ -27,6 +27,9 @@ type config = {
   fs_data_policy : Fs.data_policy;
   client_cache_blocks : int;
   client_flush_interval_ms : float;
+  client_fetch_window : int;
+  client_max_fetch_blocks : int;
+  client_read_ahead_blocks : int;
   lock_config : Lm.config;
   net_latency_ms : float;
   net_bandwidth_bytes_per_ms : float;
@@ -44,6 +47,9 @@ let default_config =
     fs_data_policy = Fs.Write_through;
     client_cache_blocks = 64;
     client_flush_interval_ms = 1000.;
+    client_fetch_window = 4;
+    client_max_fetch_blocks = 64;
+    client_read_ahead_blocks = 16;
     lock_config = Lm.default_config;
     net_latency_ms = 0.5;
     net_bandwidth_bytes_per_ms = 1000.;
@@ -114,6 +120,11 @@ type request =
   | R_close of int
   | R_delete of int
   | R_pread of int * int * int
+  | R_pread_stream of int * int * int * (int * bytes) Net.endpoint
+      (* (id, off, len, chunk sink): the server pushes block-sized
+         (off, data) chunks to the sink as it reads them, so the wire
+         transfer overlaps the remaining disk time; the response
+         Ok_int counts the chunks sent (the end-of-stream marker). *)
   | R_pwrite of int * int * bytes
   | R_getattr of int
   | R_truncate of int * int
@@ -270,6 +281,7 @@ let request_name = function
   | R_close _ -> "close"
   | R_delete _ -> "delete"
   | R_pread _ -> "pread"
+  | R_pread_stream _ -> "pread_stream"
   | R_pwrite _ -> "pwrite"
   | R_getattr _ -> "getattr"
   | R_truncate _ -> "truncate"
@@ -325,6 +337,26 @@ let handle_request t server request =
       Ok_unit
     | R_pread (id, off, len) ->
       Ok_bytes (Fs.pread server.s_fs (local_fid server id) ~off ~len)
+    | R_pread_stream (id, off, len, sink) ->
+      (* Read the range block by block, pushing each chunk onto the
+         wire as soon as the file service hands it over: the next
+         block's disk time overlaps the previous chunk's transfer. *)
+      let f = local_fid server id in
+      let chunk = File_agent.block_size in
+      let stop = off + len in
+      let n = ref 0 in
+      let pos = ref off in
+      while !pos < stop do
+        let chunk_end = min stop ((((!pos / chunk) + 1) * chunk)) in
+        let data = Fs.pread server.s_fs f ~off:!pos ~len:(chunk_end - !pos) in
+        Net.send ~size_bytes:(64 + Bytes.length data) t.t_net
+          ~from:server.s_node sink (!pos, data);
+        incr n;
+        (* A short read means EOF: nothing further to stream. *)
+        if Bytes.length data < chunk_end - !pos then pos := stop
+        else pos := chunk_end
+      done;
+      Ok_int !n
     | R_pwrite (id, off, data) ->
       Fs.pwrite server.s_fs (local_fid server id) ~off data;
       Ok_unit
@@ -400,7 +432,8 @@ let route t request =
     t.t_rr <- t.t_rr + 1;
     s
   | R_open id | R_close id | R_delete id | R_pread (id, _, _)
-  | R_pwrite (id, _, _) | R_getattr id | R_truncate (id, _) ->
+  | R_pread_stream (id, _, _, _) | R_pwrite (id, _, _) | R_getattr id
+  | R_truncate (id, _) ->
     by_id id
   | R_tcreate (h, _) | R_topen (h, _) | R_tclose (h, _) | R_tdelete (h, _)
   | R_tread (h, _, _, _, _) | R_twrite (h, _, _, _) | R_tgetattr (h, _)
@@ -421,7 +454,14 @@ let call t ~from request =
       in
       let size_bytes = request_size request in
       let resp_size_bytes = response_size request in
-      let payload = max size_bytes resp_size_bytes in
+      let payload =
+        match request with
+        (* The streamed range travels as one-way chunks, not in the
+           response, but the call must still wait out the full
+           transfer before declaring a timeout. *)
+        | R_pread_stream (_, _, len, _) -> max (max size_bytes resp_size_bytes) len
+        | _ -> max size_bytes resp_size_bytes
+      in
       let timeout_ms =
         200. +. (4. *. float_of_int payload /. t.cfg.net_bandwidth_bytes_per_ms)
       in
@@ -447,6 +487,43 @@ let make_fs_conn t ~from : Conn.fs_conn =
     close_file = (fun id -> expect_unit (call t ~from (R_close id)));
     delete_file = (fun id -> expect_unit (call t ~from (R_delete id)));
     pread = (fun id ~off ~len -> expect_bytes (call t ~from (R_pread (id, off, len))));
+    pread_stream =
+      Some
+        (fun id ~off ~len ~on_chunk ->
+          if not t.cfg.remote then
+            (* Co-located services: no wire to overlap with — deliver
+               the whole range as a single chunk. *)
+            on_chunk ~off (expect_bytes (call t ~from (R_pread (id, off, len))))
+          else begin
+            let sink = Net.endpoint t.t_net from in
+            let expected =
+              expect_int (call t ~from (R_pread_stream (id, off, len, sink)))
+            in
+            (* The response follows the last chunk, so normally every
+               chunk is already buffered; the timeout only matters
+               when chunks were lost (or on a response replayed by the
+               server's dedup after a retry, where they may still be
+               in flight). Deduplicate: sends can be duplicated too. *)
+            let chunk = File_agent.block_size in
+            let grace =
+              4.
+              *. (t.cfg.net_latency_ms
+                 +. (float_of_int (chunk + 64) /. t.cfg.net_bandwidth_bytes_per_ms))
+            in
+            let seen = Hashtbl.create 8 in
+            let missing = ref (max 0 expected) in
+            let timed_out = ref false in
+            while (not !timed_out) && !missing > 0 do
+              match Net.recv_timeout sink grace with
+              | None -> timed_out := true
+              | Some (coff, data) ->
+                if not (Hashtbl.mem seen coff) then begin
+                  Hashtbl.replace seen coff ();
+                  decr missing;
+                  on_chunk ~off:coff data
+                end
+            done
+          end);
     pwrite =
       (fun id ~off ~data -> expect_unit (call t ~from (R_pwrite (id, off, data))));
     get_attributes = (fun id -> expect_attrs (call t ~from (R_getattr id)));
@@ -637,6 +714,9 @@ let add_client t ~name =
           File_agent.default_config with
           File_agent.cache_blocks = t.cfg.client_cache_blocks;
           flush_interval_ms = t.cfg.client_flush_interval_ms;
+          fetch_window = t.cfg.client_fetch_window;
+          max_fetch_blocks = t.cfg.client_max_fetch_blocks;
+          read_ahead_blocks = t.cfg.client_read_ahead_blocks;
         }
       ~tracer:t.t_tracer ~sim:t.t_sim ~conn:fs_conn ()
   in

@@ -34,6 +34,12 @@ type config = {
   fs_data_policy : Rhodos_file.File_service.data_policy;
   client_cache_blocks : int;        (** 0 = no client caching (Bullet-style) *)
   client_flush_interval_ms : float;
+  client_fetch_window : int;
+      (** max concurrent fetch RPCs per file agent (pipelining) *)
+  client_max_fetch_blocks : int;
+      (** blocks coalesced into one range fetch; 1 = per-block convoy *)
+  client_read_ahead_blocks : int;
+      (** adaptive sequential read-ahead cap, in blocks; 0 = off *)
   lock_config : Rhodos_txn.Lock_manager.config;
   net_latency_ms : float;
   net_bandwidth_bytes_per_ms : float;
@@ -42,7 +48,8 @@ type config = {
 
 val default_config : config
 (** 1 disk x 32 MiB with stable mirrors, remote services, fill-first
-    placement, write-through at the service, 64-block client cache,
+    placement, write-through at the service, 64-block client cache
+    (fetch window 4, 64-block coalescing, 16-block read-ahead cap),
     0.5 ms / 1000 B-per-ms LAN. *)
 
 val create : ?config:config -> Rhodos_sim.Sim.t -> t

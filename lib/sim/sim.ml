@@ -381,3 +381,31 @@ module Condition = struct
        not observable, so report the raw queue length. *)
     List.length c.waiters
 end
+
+module Ivar = struct
+  type 'a ivar = {
+    sim : t;
+    mutable value : 'a option;
+    mutable waiters : ('a -> bool) list;
+  }
+
+  let create sim = { sim; value = None; waiters = [] }
+
+  let peek iv = iv.value
+
+  let is_filled iv = match iv.value with Some _ -> true | None -> false
+
+  let fill iv v =
+    match iv.value with
+    | Some _ -> invalid_arg "Sim.Ivar.fill: already filled"
+    | None ->
+      iv.value <- Some v;
+      let ws = iv.waiters in
+      iv.waiters <- [];
+      List.iter (fun w -> ignore (w v)) ws
+
+  let read iv =
+    match iv.value with
+    | Some v -> v
+    | None -> suspend iv.sim (fun waker -> iv.waiters <- iv.waiters @ [ waker ])
+end

@@ -193,3 +193,25 @@ module Condition : sig
 
   val waiters : cond -> int
 end
+
+(** A write-once cell ("incremental variable"): readers block until a
+    single [fill] publishes the value to all of them at once. The
+    file agent uses one per in-flight block fetch, so concurrent
+    readers of the same block share a single remote fetch
+    (single-flight dedup) instead of duplicating it. *)
+module Ivar : sig
+  type 'a ivar
+
+  val create : t -> 'a ivar
+
+  val fill : 'a ivar -> 'a -> unit
+  (** Publish the value and wake every waiting reader (FIFO).
+      @raise Invalid_argument if already filled. *)
+
+  val read : 'a ivar -> 'a
+  (** Return the value, blocking the calling process until [fill]. *)
+
+  val peek : 'a ivar -> 'a option
+
+  val is_filled : 'a ivar -> bool
+end

@@ -47,6 +47,7 @@ let make_world sim =
       close_file = (fun id -> Fs.close_file fs (Fs.id_of_int id));
       delete_file = (fun id -> Fs.delete fs (Fs.id_of_int id));
       pread = (fun id ~off ~len -> Fs.pread fs (Fs.id_of_int id) ~off ~len);
+      pread_stream = None;
       pwrite = (fun id ~off ~data -> Fs.pwrite fs (Fs.id_of_int id) ~off data);
       get_attributes = (fun id -> Fs.get_attributes fs (Fs.id_of_int id));
       truncate = (fun id ~size -> Fs.truncate fs (Fs.id_of_int id) size);
@@ -160,6 +161,101 @@ let test_fa_no_cache_mode_passthrough () =
       ignore (Fa.read fa d 100);
       check bool "every read goes remote" true
         (Counter.get (Fa.stats fa) "remote_reads" >= 2))
+
+let test_fa_coalesces_contiguous_misses () =
+  with_agent (fun _ fs _ fa ->
+      let d = Fa.create_file fa ~path:"/co" in
+      Fa.write fa d (Bytes.make 32768 'm');
+      Fa.flush fa;
+      Fs.drop_caches fs;
+      let file = Fa.descriptor_file fa d in
+      Fa.invalidate_file fa ~file;
+      let before = Counter.get (Fa.stats fa) "remote_reads" in
+      let got = Fa.pread fa d ~off:0 ~len:32768 in
+      check bool "data intact" true (Bytes.equal got (Bytes.make 32768 'm'));
+      check int "4 cold blocks = 1 range fetch" 1
+        (Counter.get (Fa.stats fa) "remote_reads" - before);
+      check int "3 blocks spared an RPC" 3
+        (Counter.get (Fa.stats fa) "coalesced_block_reads"))
+
+let test_fa_single_flight_dedup () =
+  with_agent (fun sim fs _ fa ->
+      let d = Fa.create_file fa ~path:"/sf" in
+      Fa.write fa d (Bytes.make 8192 's');
+      Fa.flush fa;
+      Fs.drop_caches fs (* the fetch must cost disk time to overlap *);
+      Fa.invalidate_file fa ~file:(Fa.descriptor_file fa d);
+      let before = Counter.get (Fa.stats fa) "remote_reads" in
+      let done_ = ref 0 in
+      for _ = 1 to 2 do
+        ignore
+          (Sim.spawn sim (fun () ->
+               let got = Fa.pread fa d ~off:0 ~len:8192 in
+               check bool "reader sees the data" true
+                 (Bytes.equal got (Bytes.make 8192 's'));
+               incr done_))
+      done;
+      while !done_ < 2 do
+        Sim.sleep sim 1.
+      done;
+      check int "concurrent same-block readers share one fetch" 1
+        (Counter.get (Fa.stats fa) "remote_reads" - before))
+
+let test_fa_sequential_read_ahead () =
+  with_agent (fun _ fs _ fa ->
+      let blocks = 16 in
+      let d = Fa.create_file fa ~path:"/seq" in
+      Fa.write fa d (Bytes.make (blocks * 8192) 'q');
+      Fa.flush fa;
+      Fs.drop_caches fs;
+      Fa.invalidate_file fa ~file:(Fa.descriptor_file fa d);
+      ignore (Fa.lseek fa d (`Set 0));
+      let before = Counter.get (Fa.stats fa) "remote_reads" in
+      for _ = 1 to blocks do
+        check int "block-sized chunk" 8192 (Bytes.length (Fa.read fa d 8192))
+      done;
+      let s = Fa.stats fa in
+      check bool "read-ahead issued" true (Counter.get s "prefetch_issued" > 0);
+      check bool "read-ahead hit" true (Counter.get s "prefetch_hits" > 0);
+      check bool "fewer fetches than blocks" true
+        (Counter.get s "remote_reads" - before < blocks))
+
+let test_fa_random_reads_no_prefetch () =
+  with_agent (fun _ fs _ fa ->
+      let d = Fa.create_file fa ~path:"/rnd" in
+      Fa.write fa d (Bytes.make (16 * 8192) 'r');
+      Fa.flush fa;
+      Fs.drop_caches fs;
+      Fa.invalidate_file fa ~file:(Fa.descriptor_file fa d);
+      (* Every read lands somewhere the previous one did not end. *)
+      List.iter
+        (fun bi -> ignore (Fa.pread fa d ~off:(bi * 8192) ~len:8192))
+        [ 9; 3; 12; 6; 1; 14 ];
+      check int "no read-ahead on a random pattern" 0
+        (Counter.get (Fa.stats fa) "prefetch_issued"))
+
+let test_fa_flush_coalesces_dirty_runs () =
+  with_agent (fun _ fs _ fa ->
+      let d = Fa.create_file fa ~path:"/fc" in
+      Fa.write fa d (Bytes.make 32768 'w');
+      let before = Counter.get (Fa.stats fa) "remote_writes" in
+      Fa.flush fa;
+      check int "4 contiguous dirty blocks = 1 range write" 1
+        (Counter.get (Fa.stats fa) "remote_writes" - before);
+      check int "3 blocks spared an RPC" 3
+        (Counter.get (Fa.stats fa) "coalesced_block_writes");
+      let id = Fs.id_of_int (Fa.descriptor_file fa d) in
+      check bool "service has the data" true
+        (Bytes.equal (Fs.pread fs id ~off:0 ~len:32768) (Bytes.make 32768 'w')))
+
+let test_fa_flush_trims_partial_tail () =
+  with_agent (fun _ fs _ fa ->
+      let d = Fa.create_file fa ~path:"/tail" in
+      Fa.write fa d (Bytes.make 20000 't');
+      Fa.flush fa;
+      let id = Fs.id_of_int (Fa.descriptor_file fa d) in
+      check int "coalesced flush does not pad the file" 20000
+        (Fs.get_attributes fs id).Fit.size)
 
 let test_fa_flush_then_service_sees_data () =
   with_agent (fun _ fs _ fa ->
@@ -377,6 +473,17 @@ let () =
           Alcotest.test_case "name cache" `Quick test_fa_name_cache;
           Alcotest.test_case "crash" `Quick test_fa_crash_forgets_everything;
           Alcotest.test_case "redirect slots" `Quick test_fa_redirect_slots;
+          Alcotest.test_case "coalesced misses" `Quick
+            test_fa_coalesces_contiguous_misses;
+          Alcotest.test_case "single-flight dedup" `Quick test_fa_single_flight_dedup;
+          Alcotest.test_case "sequential read-ahead" `Quick
+            test_fa_sequential_read_ahead;
+          Alcotest.test_case "random reads no prefetch" `Quick
+            test_fa_random_reads_no_prefetch;
+          Alcotest.test_case "flush coalesces dirty runs" `Quick
+            test_fa_flush_coalesces_dirty_runs;
+          Alcotest.test_case "flush trims partial tail" `Quick
+            test_fa_flush_trims_partial_tail;
         ] );
       ( "device agent",
         [

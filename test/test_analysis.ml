@@ -349,6 +349,22 @@ let test_lint_pairing () =
        (Lint.lint_source ~file:"t.ml"
           "let f s = Semaphore.acquire s; g (); Semaphore.release s"))
 
+let test_lint_bench_profile () =
+  check (list string) "unregistered experiment flagged" [ "bench-emitter" ]
+    (rules (Lint.lint_source ~profile:Lint.Bench ~file:"exp_e99.ml" "let run () = ()"));
+  check (list string) "registered experiment allowed" []
+    (rules
+       (Lint.lint_source ~profile:Lint.Bench ~file:"exp_e99.ml"
+          "let () = Json_out.register \"E99\"\nlet run () = ()"));
+  check (list string) "non-experiment bench module exempt" []
+    (rules (Lint.lint_source ~profile:Lint.Bench ~file:"micro.ml" "let run () = ()"));
+  check (list string) "bench profile may print tables" []
+    (rules
+       (Lint.lint_source ~profile:Lint.Bench ~file:"common.ml"
+          "let note fmt = Printf.printf fmt"));
+  check (list string) "library profile ignores experiment naming" []
+    (rules (Lint.lint_source ~file:"exp_e99.ml" "let run () = ()"))
+
 let test_lint_repo_clean () =
   (* The tree under test is copied into _build, so ../lib is the
      library source seen by the build. *)
@@ -413,6 +429,7 @@ let () =
           test_case "catch-all negatives" `Quick test_lint_catch_all_negatives;
           test_case "forbidden identifiers" `Quick test_lint_forbidden;
           test_case "acquire/release pairing" `Quick test_lint_pairing;
+          test_case "bench profile" `Quick test_lint_bench_profile;
           test_case "repo lib/ is clean" `Quick test_lint_repo_clean;
         ] );
     ]

@@ -150,6 +150,76 @@ let test_flush_order_oldest_first () =
       Cache.flush c;
       check (Alcotest.list int) "oldest first" [ 3; 1; 2 ] (List.rev !log))
 
+let test_find_returns_copy () =
+  (* Regression: [find] used to hand out the pool's own buffer, so a
+     caller scribbling on the result silently corrupted the cached
+     block — the exact aliasing bug the file agent hit when a partial
+     pwrite edited the bytes returned by a cache hit in place. *)
+  run_in_sim (fun sim ->
+      let c, _, _ = make_cache ~policy:Cache.Write_through sim in
+      Cache.insert_clean c 1 (data 1);
+      (match Cache.find c 1 with
+      | Some b -> Bytes.fill b 0 (Bytes.length b) 'X'
+      | None -> Alcotest.fail "expected a hit");
+      check (Alcotest.option Alcotest.bytes) "cache unscathed" (Some (data 1))
+        (Cache.find c 1))
+
+let test_batch_flush_oldest_first () =
+  run_in_sim (fun sim ->
+      let batches = ref [] in
+      let writeback _ _ = Alcotest.fail "flush must use the batch path" in
+      let c =
+        Cache.create ~writeback_batch:(fun entries ->
+            batches := List.map fst entries :: !batches)
+          ~sim ~capacity:8
+          ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          ~writeback ()
+      in
+      Cache.write c 3 (data 1);
+      Cache.write c 1 (data 2);
+      Cache.write c 2 (data 3);
+      Cache.flush c;
+      check int "one batch" 1 (List.length !batches);
+      check (Alcotest.list int) "whole dirty set, oldest first" [ 3; 1; 2 ]
+        (List.hd !batches);
+      check int "batch flushes counted" 1
+        (Counter.get (Cache.stats c) "batch_flushes");
+      Cache.flush c;
+      check int "clean flush dispatches nothing" 1 (List.length !batches))
+
+let test_flush_keys_subset () =
+  run_in_sim (fun sim ->
+      let batches = ref [] in
+      let c =
+        Cache.create ~writeback_batch:(fun entries ->
+            batches := List.map fst entries :: !batches)
+          ~sim ~capacity:8
+          ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          ~writeback:(fun _ _ -> ()) ()
+      in
+      Cache.write c 5 (data 1);
+      Cache.write c 9 (data 2);
+      Cache.flush_keys c [ 9; 7; 5 ];
+      check (Alcotest.list int) "only the dirty requested keys, oldest first"
+        [ 5; 9 ] (List.hd !batches);
+      check int "nothing left dirty" 0 (Cache.dirty_count c))
+
+let test_on_evict_hook () =
+  run_in_sim (fun sim ->
+      let evicted = ref [] in
+      let c =
+        Cache.create ~on_evict:(fun k -> evicted := k :: !evicted) ~sim
+          ~capacity:2 ~policy:Cache.Write_through
+          ~writeback:(fun _ _ -> ()) ()
+      in
+      Cache.insert_clean c 1 (data 1);
+      Cache.insert_clean c 2 (data 2);
+      Cache.insert_clean c 3 (data 3) (* evicts 1 *);
+      check (Alcotest.list int) "hook saw the victim" [ 1 ] (List.rev !evicted);
+      Cache.invalidate c 2;
+      check (Alcotest.list int) "invalidate is not an eviction" [ 1 ]
+        (List.rev !evicted))
+
 let delayed_write_coalesces_prop =
   (* N writes to the same key cost exactly one writeback on flush. *)
   QCheck.Test.make ~name:"delayed-write coalesces repeated writes" ~count:50
@@ -186,6 +256,10 @@ let () =
           Alcotest.test_case "periodic flusher" `Quick test_periodic_flusher;
           Alcotest.test_case "write updates" `Quick test_write_updates_existing;
           Alcotest.test_case "flush oldest first" `Quick test_flush_order_oldest_first;
+          Alcotest.test_case "find returns a copy" `Quick test_find_returns_copy;
+          Alcotest.test_case "batch flush oldest first" `Quick
+            test_batch_flush_oldest_first;
+          Alcotest.test_case "flush_keys subset" `Quick test_flush_keys_subset;
           QCheck_alcotest.to_alcotest delayed_write_coalesces_prop;
         ] );
       ( "replacement",
@@ -195,6 +269,7 @@ let () =
             test_dirty_eviction_writes_back;
           Alcotest.test_case "invalidate drops dirty" `Quick test_invalidate_drops_dirty;
           Alcotest.test_case "flush_key" `Quick test_flush_key;
+          Alcotest.test_case "on_evict hook" `Quick test_on_evict_hook;
           QCheck_alcotest.to_alcotest cache_never_exceeds_capacity_prop;
         ] );
       ( "failure",

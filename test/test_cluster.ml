@@ -106,6 +106,41 @@ let test_client_cache_reduces_remote_reads () =
       check int "no further remote reads" remote_before remote_after;
       Cluster.close c d)
 
+let cold_read_setup t ~len =
+  let c = Cluster.add_client t ~name:"ws" in
+  let payload = Bytes.init len (fun i -> Char.chr (i mod 251)) in
+  let d = Cluster.create_file c "/cold" in
+  Cluster.pwrite c d ~off:0 ~data:payload;
+  File_agent.flush (Cluster.file_agent c);
+  Fs.drop_caches (Cluster.file_service t);
+  File_agent.invalidate_file (Cluster.file_agent c)
+    ~file:(File_agent.descriptor_file (Cluster.file_agent c) d);
+  (c, d, payload)
+
+let test_cold_read_is_one_streamed_rpc () =
+  Cluster.run (fun _sim t ->
+      let c, d, payload = cold_read_setup t ~len:65536 in
+      let before =
+        Counter.get (File_agent.stats (Cluster.file_agent c)) "remote_reads"
+      in
+      let got = Cluster.pread c d ~off:0 ~len:65536 in
+      check bool "data intact" true (Bytes.equal got payload);
+      check int "8 cold blocks = 1 streamed range RPC" 1
+        (Counter.get (File_agent.stats (Cluster.file_agent c)) "remote_reads"
+        - before);
+      Cluster.close c d)
+
+let test_streamed_read_survives_message_loss () =
+  Cluster.run (fun _sim t ->
+      let c, d, payload = cold_read_setup t ~len:65536 in
+      (* Lost chunks leave holes the agent must re-fetch with plain
+         preads; lost RPCs are retried by the rpc layer. *)
+      Cluster.set_message_loss t 0.2;
+      let got = Cluster.pread c d ~off:0 ~len:65536 in
+      Cluster.set_message_loss t 0.;
+      check bool "data intact despite loss" true (Bytes.equal got payload);
+      Cluster.close c d)
+
 let test_transaction_agent_lifecycle () =
   Cluster.run (fun _sim t ->
       let c = Cluster.add_client t ~name:"ws" in
@@ -515,6 +550,10 @@ let () =
       ( "caching",
         [
           Alcotest.test_case "client cache" `Quick test_client_cache_reduces_remote_reads;
+          Alcotest.test_case "cold read = 1 streamed rpc" `Quick
+            test_cold_read_is_one_streamed_rpc;
+          Alcotest.test_case "streamed read under loss" `Quick
+            test_streamed_read_survives_message_loss;
         ] );
       ( "transactions",
         [

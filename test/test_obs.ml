@@ -163,7 +163,7 @@ let test_cluster_causal_tree () =
   (* The RPC hop carried the context: every net span has a server-side
      child (the file_service span lives in the handler process). *)
   let nets = List.filter (fun s -> s.Trace.service = "net") spans in
-  check int "8 RPCs for 8 uncached blocks" 8 (List.length nets);
+  check int "one coalesced range RPC for 8 uncached blocks" 1 (List.length nets);
   List.iter
     (fun n ->
       check bool "server-side child under the rpc span" true

@@ -158,6 +158,46 @@ let test_condition_wait_timeout () =
   check bool "first timed out" false !r1;
   check bool "second signalled" true !r2
 
+let test_ivar_fill_before_read () =
+  let t = Sim.create () in
+  let iv = Sim.Ivar.create t in
+  check bool "empty at first" false (Sim.Ivar.is_filled iv);
+  let got = ref 0 in
+  let _ = Sim.spawn t (fun () ->
+      Sim.Ivar.fill iv 42;
+      got := Sim.Ivar.read iv) in
+  Sim.run t;
+  check int "read after fill returns immediately" 42 !got;
+  check (Alcotest.option int) "peek" (Some 42) (Sim.Ivar.peek iv)
+
+let test_ivar_wakes_all_readers () =
+  let t = Sim.create () in
+  let iv = Sim.Ivar.create t in
+  let got = ref [] in
+  for i = 1 to 3 do
+    ignore (Sim.spawn t (fun () ->
+        let v = Sim.Ivar.read iv in
+        got := (i, v) :: !got))
+  done;
+  let _ = Sim.spawn t (fun () ->
+      Sim.sleep t 5.;
+      Sim.Ivar.fill iv 7) in
+  Sim.run t;
+  check int "all readers woken" 3 (List.length !got);
+  check (Alcotest.list (Alcotest.pair int int)) "in wait order, same value"
+    [ (1, 7); (2, 7); (3, 7) ] (List.rev !got)
+
+let test_ivar_single_assignment () =
+  let t = Sim.create () in
+  let iv = Sim.Ivar.create t in
+  let _ = Sim.spawn t (fun () ->
+      Sim.Ivar.fill iv 1;
+      match Sim.Ivar.fill iv 2 with
+      | () -> Alcotest.fail "second fill must be rejected"
+      | exception Invalid_argument _ -> ()) in
+  Sim.run t;
+  check (Alcotest.option int) "first value sticks" (Some 1) (Sim.Ivar.peek iv)
+
 let test_kill_blocked_process () =
   let t = Sim.create () in
   let killed_at = ref (-1.) in
@@ -312,6 +352,11 @@ let () =
         [
           Alcotest.test_case "signal/broadcast" `Quick test_condition_signal;
           Alcotest.test_case "wait timeout" `Quick test_condition_wait_timeout;
+          Alcotest.test_case "ivar fill then read" `Quick test_ivar_fill_before_read;
+          Alcotest.test_case "ivar wakes all readers" `Quick
+            test_ivar_wakes_all_readers;
+          Alcotest.test_case "ivar single assignment" `Quick
+            test_ivar_single_assignment;
         ] );
       ( "processes",
         [
