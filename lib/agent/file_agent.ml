@@ -75,11 +75,13 @@ let size_ref t file =
 
 (* Write one contiguous run of dirty blocks as a single range pwrite,
    trimmed to the file's logical size so a partial tail block does not
-   extend the file with padding. [blocks] is ascending and contiguous. *)
+   extend the file with padding. [blocks] is ascending and contiguous;
+   each carries the cache's mark-written thunk, invoked just before
+   the run goes on the wire so a crash loses at most this one run. *)
 let flush_run ~sizes ~counters ~(conn : Service_conn.fs_conn) file blocks =
   match blocks with
   | [] -> ()
-  | (b0, _) :: _ ->
+  | (b0, _, _) :: _ ->
     let size = match Hashtbl.find_opt sizes file with Some r -> !r | None -> 0 in
     let bl = List.length blocks - 1 + b0 in
     let start = b0 * block_size in
@@ -87,7 +89,7 @@ let flush_run ~sizes ~counters ~(conn : Service_conn.fs_conn) file blocks =
     if stop > start then begin
       let out = Bytes.create (stop - start) in
       List.iter
-        (fun (bi, data) ->
+        (fun (bi, data, _) ->
           let s = bi * block_size in
           let len = min block_size (stop - s) in
           if len > 0 then Bytes.blit data 0 out (s - start) len)
@@ -95,8 +97,12 @@ let flush_run ~sizes ~counters ~(conn : Service_conn.fs_conn) file blocks =
       Counter.incr counters "remote_writes";
       if List.length blocks > 1 then
         Counter.add counters "coalesced_block_writes" (List.length blocks - 1);
+      List.iter (fun (_, _, written) -> written ()) blocks;
       conn.Service_conn.pwrite file ~off:start ~data:out
     end
+    else
+      (* Entirely beyond the logical size: nothing to persist. *)
+      List.iter (fun (_, _, written) -> written ()) blocks
 
 (* Regroup the dirty set into per-file runs of contiguous blocks, one
    range pwrite per run. Entries arrive oldest-dirty-first; files go
@@ -106,25 +112,29 @@ let writeback_batch ~sizes ~counters ~conn entries =
   let files = ref [] in
   let by_file = Hashtbl.create 8 in
   List.iter
-    (fun ((file, bi), data) ->
+    (fun ((file, bi), data, written) ->
       if not (Hashtbl.mem by_file file) then begin
         files := file :: !files;
         Hashtbl.replace by_file file []
       end;
-      Hashtbl.replace by_file file ((bi, data) :: Hashtbl.find by_file file))
+      Hashtbl.replace by_file file
+        ((bi, data, written) :: Hashtbl.find by_file file))
     entries;
   List.iter
     (fun file ->
       let blocks =
-        List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.find by_file file)
+        List.sort
+          (fun (a, _, _) (b, _, _) -> compare a b)
+          (Hashtbl.find by_file file)
       in
       let rec runs acc cur = function
         | [] -> List.rev (List.rev cur :: acc)
-        | (bi, data) :: rest -> (
+        | (bi, data, written) :: rest -> (
           match cur with
-          | (prev, _) :: _ when bi = prev + 1 -> runs acc ((bi, data) :: cur) rest
-          | [] -> runs acc [ (bi, data) ] rest
-          | _ -> runs (List.rev cur :: acc) [ (bi, data) ] rest)
+          | (prev, _, _) :: _ when bi = prev + 1 ->
+            runs acc ((bi, data, written) :: cur) rest
+          | [] -> runs acc [ (bi, data, written) ] rest
+          | _ -> runs (List.rev cur :: acc) [ (bi, data, written) ] rest)
       in
       List.iter (flush_run ~sizes ~counters ~conn file) (runs [] [] blocks))
     (List.rev !files)
@@ -134,9 +144,10 @@ let create ?(config = default_config) ?tracer ~sim
   let sizes = Hashtbl.create 16 in
   let counters = Counter.create () in
   let prefetched = Hashtbl.create 16 in
-  (* Write back one dirty block (eviction path), trimmed like a run. *)
+  (* Write back one dirty block (eviction path), trimmed like a run;
+     the cache has already marked it clean. *)
   let writeback (file, bi) data =
-    flush_run ~sizes ~counters ~conn file [ (bi, data) ]
+    flush_run ~sizes ~counters ~conn file [ (bi, data, fun () -> ()) ]
   in
   let writeback_batch entries =
     Trace.maybe tracer ~service:"file_agent" ~op:"flush_batch"
@@ -279,7 +290,12 @@ let complete_block t iv file bi block =
 
 let fail_block t iv file bi e =
   (match Hashtbl.find_opt t.inflight (file, bi) with
-  | Some iv' when iv' == iv -> Hashtbl.remove t.inflight (file, bi)
+  | Some iv' when iv' == iv ->
+    Hashtbl.remove t.inflight (file, bi);
+    (* A failed read-ahead delivered nothing: drop its reservation so
+       a later demand read of the block cannot count a phantom
+       prefetch hit (counted as neither hit nor waste). *)
+    Hashtbl.remove t.prefetched (file, bi)
   | Some _ | None -> ());
   if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv (Error e)
 
@@ -403,6 +419,18 @@ let note_prefetch_hit t file bi =
     Counter.incr t.counters "prefetch_hits"
   end
 
+(* Forget everything tracked about a block that is being superseded
+   (written over, invalidated, deleted): the in-flight registration —
+   so a fetch completing later fails complete_block's identity check
+   instead of clobbering newer data — and any unconsumed read-ahead
+   reservation, which is now wasted. *)
+let drop_block_tracking t file bi =
+  Hashtbl.remove t.inflight (file, bi);
+  if Hashtbl.mem t.prefetched (file, bi) then begin
+    Hashtbl.remove t.prefetched (file, bi);
+    Counter.incr t.counters "prefetch_wasted"
+  end
+
 (* Issue read-ahead for up to [ra] blocks past [b1], skipping anything
    cached or already in flight. Fire-and-forget: the reader never waits
    on these. *)
@@ -509,17 +537,22 @@ let pread_desc t s ~off ~len =
   out
 
 (* Fetch a single block through the same single-flight machinery (used
-   by partial-block writes that must read-modify-write). *)
+   by partial-block writes that must read-modify-write). Consuming a
+   read-ahead block as the RMW base counts as a prefetch hit. *)
 let load_block t file bi =
-  match Cache.find t.cache (file, bi) with
-  | Some data -> data
-  | None -> (
-    match Hashtbl.find_opt t.inflight (file, bi) with
-    | Some iv -> await iv
+  let data =
+    match Cache.find t.cache (file, bi) with
+    | Some data -> data
     | None -> (
-      match issue_fetch t file bi bi ~prefetch:false with
-      | [ (_, iv) ] -> await iv
-      | _ -> assert false))
+      match Hashtbl.find_opt t.inflight (file, bi) with
+      | Some iv -> await iv
+      | None -> (
+        match issue_fetch t file bi bi ~prefetch:false with
+        | [ (_, iv) ] -> await iv
+        | _ -> assert false))
+  in
+  note_prefetch_hit t file bi;
+  data
 
 let pwrite_file_impl t file ~off ~data =
   Counter.incr t.counters "writes";
@@ -549,6 +582,13 @@ let pwrite_file_impl t file ~off ~data =
             base
           end
         in
+        (* The write supersedes any fetch still in flight for this
+           block (e.g. a read-ahead): deregister it so its completion
+           cannot replace the new dirty data with stale bytes — it
+           would insert as clean while leaving the block marked dirty,
+           losing this write on the next flush. Waiters on the old
+           cell still get the bytes they asked for. *)
+        drop_block_tracking t file bi;
         Cache.write t.cache (file, bi) block
       done
     end;
@@ -613,13 +653,6 @@ let close t d =
   flush_file t s.file;
   t.conn.Service_conn.close_file s.file;
   Hashtbl.remove t.descs d
-
-let drop_block_tracking t file bi =
-  Hashtbl.remove t.inflight (file, bi);
-  if Hashtbl.mem t.prefetched (file, bi) then begin
-    Hashtbl.remove t.prefetched (file, bi);
-    Counter.incr t.counters "prefetch_wasted"
-  end
 
 let delete t ~path =
   let file = resolve_path t path in

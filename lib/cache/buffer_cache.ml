@@ -13,7 +13,7 @@ type 'k t = {
   capacity : int;
   policy : policy;
   writeback : 'k -> bytes -> unit;
-  writeback_batch : (('k * bytes) list -> unit) option;
+  writeback_batch : (('k * bytes * (unit -> unit)) list -> unit) option;
   on_evict : ('k -> unit) option;
   buffers : ('k, buffer) Hashtbl.t;
   mutable lru_clock : int;
@@ -21,28 +21,39 @@ type 'k t = {
   mutable flusher : Sim.pid option;
 }
 
-(* Mark the buffers clean first, then write them out: a concurrent
-   write landing while a (possibly blocking) writeback is in flight
-   re-dirties the buffer and is picked up by the next flush, exactly
-   as with the single-buffer path. *)
+(* A buffer is marked clean only when its bytes are actually on the
+   way out, never for the whole set up front: the batch writer gets a
+   [written] thunk per entry and must invoke it just before persisting
+   that entry, so a crash mid-batch loses (and counts via [crash])
+   exactly the not-yet-written tail. A concurrent write landing during
+   the (possibly blocking) writeback either re-dirties the buffer, or
+   — if it replaced the bytes before they went out — is kept dirty for
+   the next flush by the physical-identity check in the thunk. *)
 let write_out t dirty =
-  let entries =
-    List.filter_map
-      (fun (k, b) ->
-        if b.dirty then begin
-          b.dirty <- false;
-          Counter.incr t.counters "writebacks";
-          Some (k, b.data)
-        end
-        else None)
-      dirty
-  in
+  let entries = List.filter (fun (_, b) -> b.dirty) dirty in
   match (entries, t.writeback_batch) with
   | [], _ -> ()
   | entries, Some batch ->
     Counter.incr t.counters "batch_flushes";
-    batch entries
-  | entries, None -> List.iter (fun (k, data) -> t.writeback k data) entries
+    batch
+      (List.map
+         (fun (k, b) ->
+           let snapshot = b.data in
+           ( k,
+             snapshot,
+             fun () ->
+               Counter.incr t.counters "writebacks";
+               if b.dirty && b.data == snapshot then b.dirty <- false ))
+         entries)
+  | entries, None ->
+    List.iter
+      (fun (k, b) ->
+        if b.dirty then begin
+          b.dirty <- false;
+          Counter.incr t.counters "writebacks";
+          t.writeback k b.data
+        end)
+      entries
 
 let rec flusher_loop t () =
   match t.policy with

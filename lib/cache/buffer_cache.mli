@@ -30,7 +30,7 @@ type 'k t
 
 val create :
   ?name:string ->
-  ?writeback_batch:(('k * bytes) list -> unit) ->
+  ?writeback_batch:(('k * bytes * (unit -> unit)) list -> unit) ->
   ?on_evict:('k -> unit) ->
   sim:Rhodos_sim.Sim.t ->
   capacity:int ->
@@ -43,8 +43,12 @@ val create :
     [writeback_batch] is given, [flush]/[flush_key]/[flush_keys] hand
     it the whole dirty set (oldest first) in one call so the owner can
     coalesce contiguous buffers into range writes; eviction still uses
-    the single-buffer [writeback]. [on_evict] is told the key of every
-    buffer evicted for capacity (before its writeback, if dirty).
+    the single-buffer [writeback]. Each batch entry carries a
+    [written] thunk the writer must invoke just before persisting that
+    entry: the buffer is marked clean then, not up front, so a crash
+    mid-batch loses only the entries whose thunks never ran (and
+    [crash] counts them). [on_evict] is told the key of every buffer
+    evicted for capacity (before its writeback, if dirty).
 
     The pool owns the buffers handed to [insert_clean]/[write];
     callers must not mutate them afterwards.

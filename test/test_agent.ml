@@ -234,6 +234,70 @@ let test_fa_random_reads_no_prefetch () =
       check int "no read-ahead on a random pattern" 0
         (Counter.get (Fa.stats fa) "prefetch_issued"))
 
+let test_fa_write_survives_inflight_prefetch () =
+  (* Regression: a full-block pwrite to a block with an in-flight
+     read-ahead used to be silently clobbered — the prefetch completed
+     after the write, passed complete_block's identity check, and
+     replaced the new dirty bytes with the stale fetched ones, which
+     were then flushed over the server copy. *)
+  with_agent (fun sim fs _ fa ->
+      let blocks = 8 in
+      let d = Fa.create_file fa ~path:"/wp" in
+      Fa.write fa d (Bytes.make (blocks * 8192) 'a');
+      Fa.flush fa;
+      Fs.drop_caches fs;
+      let file = Fa.descriptor_file fa d in
+      Fa.invalidate_file fa ~file;
+      ignore (Fa.lseek fa d (`Set 0));
+      (* Sequential reads arm read-ahead for the blocks after them: by
+         the time the second read returns, a prefetch covering blocks
+         3.. has been issued but not yet completed... *)
+      ignore (Fa.read fa d 8192);
+      ignore (Fa.read fa d 8192);
+      (* ...and one of those covered blocks gets a full-block write
+         (which never waits on the fetch). *)
+      let fresh = Bytes.make 8192 'B' in
+      Fa.pwrite fa d ~off:(4 * 8192) ~data:fresh;
+      Sim.sleep sim 1000. (* let every read-ahead land *);
+      check bool "cache serves the written data" true
+        (Bytes.equal (Fa.pread fa d ~off:(4 * 8192) ~len:8192) fresh);
+      Fa.flush fa;
+      check bool "service got the written data, not the stale block" true
+        (Bytes.equal
+           (Fs.pread fs (Fs.id_of_int file) ~off:(4 * 8192) ~len:8192)
+           fresh))
+
+let test_fa_failed_prefetch_no_phantom_hit () =
+  (* Regression: a prefetch that failed used to leave its reservation
+     in the read-ahead table, so the later demand read of the block
+     counted a prefetch hit that never delivered any data. *)
+  run_in_sim (fun sim ->
+      let fs, _, fs_conn, _ = make_world sim in
+      let fail_tail = ref false in
+      let conn =
+        {
+          fs_conn with
+          Conn.pread =
+            (fun id ~off ~len ->
+              if !fail_tail && off >= 8192 then failwith "injected read error"
+              else fs_conn.Conn.pread id ~off ~len);
+        }
+      in
+      let fa = Fa.create ~sim ~conn () in
+      let d = Fa.create_file fa ~path:"/pf" in
+      Fa.write fa d (Bytes.make (4 * 8192) 'p');
+      Fa.flush fa;
+      Fs.drop_caches fs;
+      Fa.invalidate_file fa ~file:(Fa.descriptor_file fa d);
+      fail_tail := true;
+      ignore (Fa.lseek fa d (`Set 0));
+      ignore (Fa.read fa d 8192) (* arms read-ahead; the prefetch dies *);
+      Sim.sleep sim 1000. (* let the failed prefetch settle *);
+      fail_tail := false;
+      check int "block 1 re-read on demand" 8192 (Bytes.length (Fa.read fa d 8192));
+      check int "a failed prefetch is not a hit" 0
+        (Counter.get (Fa.stats fa) "prefetch_hits"))
+
 let test_fa_flush_coalesces_dirty_runs () =
   with_agent (fun _ fs _ fa ->
       let d = Fa.create_file fa ~path:"/fc" in
@@ -480,6 +544,10 @@ let () =
             test_fa_sequential_read_ahead;
           Alcotest.test_case "random reads no prefetch" `Quick
             test_fa_random_reads_no_prefetch;
+          Alcotest.test_case "write survives in-flight prefetch" `Quick
+            test_fa_write_survives_inflight_prefetch;
+          Alcotest.test_case "failed prefetch is not a hit" `Quick
+            test_fa_failed_prefetch_no_phantom_hit;
           Alcotest.test_case "flush coalesces dirty runs" `Quick
             test_fa_flush_coalesces_dirty_runs;
           Alcotest.test_case "flush trims partial tail" `Quick

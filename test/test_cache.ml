@@ -170,7 +170,8 @@ let test_batch_flush_oldest_first () =
       let writeback _ _ = Alcotest.fail "flush must use the batch path" in
       let c =
         Cache.create ~writeback_batch:(fun entries ->
-            batches := List.map fst entries :: !batches)
+            List.iter (fun (_, _, written) -> written ()) entries;
+            batches := List.map (fun (k, _, _) -> k) entries :: !batches)
           ~sim ~capacity:8
           ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
           ~writeback ()
@@ -192,7 +193,8 @@ let test_flush_keys_subset () =
       let batches = ref [] in
       let c =
         Cache.create ~writeback_batch:(fun entries ->
-            batches := List.map fst entries :: !batches)
+            List.iter (fun (_, _, written) -> written ()) entries;
+            batches := List.map (fun (k, _, _) -> k) entries :: !batches)
           ~sim ~capacity:8
           ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
           ~writeback:(fun _ _ -> ()) ()
@@ -203,6 +205,56 @@ let test_flush_keys_subset () =
       check (Alcotest.list int) "only the dirty requested keys, oldest first"
         [ 5; 9 ] (List.hd !batches);
       check int "nothing left dirty" 0 (Cache.dirty_count c))
+
+let test_batch_marks_clean_per_entry () =
+  (* Regression: write_out used to mark the whole dirty set clean
+     before handing it to the (blocking, multi-RPC) batch writer, so a
+     crash mid-batch lost every not-yet-written buffer without
+     counting it. Now a buffer is cleaned only when its entry's
+     [written] thunk runs — a batch that dies early leaves the tail
+     dirty, and [crash] counts exactly that tail. *)
+  run_in_sim (fun sim ->
+      let c =
+        Cache.create
+          ~writeback_batch:(fun entries ->
+            (* Persist only the first entry, then die mid-batch. *)
+            match entries with
+            | (_, _, written) :: _ -> written ()
+            | [] -> ())
+          ~sim ~capacity:8
+          ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          ~writeback:(fun _ _ -> ()) ()
+      in
+      Cache.write c 1 (data 1);
+      Cache.write c 2 (data 2);
+      Cache.write c 3 (data 3);
+      Cache.flush c;
+      check int "unwritten entries stay dirty" 2 (Cache.dirty_count c);
+      check int "crash counts exactly the unwritten tail" 2 (Cache.crash c))
+
+let test_batch_mark_ignores_superseded_data () =
+  (* A write that replaces a buffer's bytes after the batch snapshot
+     was taken but before that entry goes on the wire must survive:
+     the mark-written thunk sees different bytes and leaves the buffer
+     dirty for the next flush. *)
+  run_in_sim (fun sim ->
+      let c_ref = ref None in
+      let c =
+        Cache.create
+          ~writeback_batch:
+            (List.iter (fun (k, _, written) ->
+                 if k = 1 then Cache.write (Option.get !c_ref) 1 (data 9);
+                 written ()))
+          ~sim ~capacity:8
+          ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+          ~writeback:(fun _ _ -> ()) ()
+      in
+      c_ref := Some c;
+      Cache.write c 1 (data 1);
+      Cache.flush c;
+      check int "superseded buffer stays dirty" 1 (Cache.dirty_count c);
+      check (Alcotest.option Alcotest.bytes) "new bytes retained" (Some (data 9))
+        (Cache.find c 1))
 
 let test_on_evict_hook () =
   run_in_sim (fun sim ->
@@ -260,6 +312,10 @@ let () =
           Alcotest.test_case "batch flush oldest first" `Quick
             test_batch_flush_oldest_first;
           Alcotest.test_case "flush_keys subset" `Quick test_flush_keys_subset;
+          Alcotest.test_case "batch marks clean per entry" `Quick
+            test_batch_marks_clean_per_entry;
+          Alcotest.test_case "batch mark ignores superseded data" `Quick
+            test_batch_mark_ignores_superseded_data;
           QCheck_alcotest.to_alcotest delayed_write_coalesces_prop;
         ] );
       ( "replacement",
