@@ -31,6 +31,7 @@ let experiments =
     ("A1", "ablation: disk scheduling FCFS/SSTF/SCAN", Exp_a1.run);
     ("A2", "ablation: client cache size sweep", Exp_a2.run);
     ("A3", "ablation: fetch window / coalescing / read-ahead", Exp_a3.run);
+    ("A4", "ablation: controlled scheduling / exploration depth", Exp_a4.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

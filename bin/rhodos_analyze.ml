@@ -1,10 +1,22 @@
-(* Correctness-analysis driver for the @analyze alias. Runs the
-   Table 1 model check, the seeded deadlock-detector scenarios and
-   the simulator determinism sanitizer; prints each report and exits
-   nonzero if any analysis fails. *)
+(* Correctness-analysis driver.
+
+   With no arguments (the @analyze alias): Table 1 model check, seeded
+   deadlock-detector scenarios, determinism sanitizer (now also
+   explorer-backed: N explored schedules on top of FIFO/FIFO/LIFO).
+
+   Subcommands:
+     explore [--json]        bounded model checking of the seed
+                             scenarios + crash-point sweeps + the
+                             lost-update negative control (@explore)
+     replay <scenario> <schedule>
+                             deterministically re-execute one schedule
+                             ("0,2,1" or "[]") and print the
+                             interleaving trace *)
 
 module Sim = Rhodos_sim.Sim
 module Analysis = Rhodos_analysis
+module Explore = Rhodos_analysis.Explore
+module Scenarios = Rhodos_analysis.Scenarios
 module Counter = Rhodos_util.Stats.Counter
 
 let failures = ref 0
@@ -56,7 +68,8 @@ let run_deadlock_scenarios () =
 
 (* An order-independent workload: clients bank into distinct cells,
    with sleeps, mailbox traffic and same-time wakeups. Must survive
-   perturbed tie-breaking with identical observations. *)
+   perturbed tie-breaking — and 32 explorer-enumerated interleavings —
+   with identical observations. *)
 let run_determinism () =
   let cells = 8 in
   let results = Array.make cells 0 in
@@ -82,19 +95,188 @@ let run_determinism () =
     String.concat ","
       (Array.to_list (Array.map string_of_int results))
   in
-  let report = Analysis.Determinism.run_twice_compare ~setup ~observe () in
+  let report =
+    Analysis.Determinism.run_twice_compare ~schedules:32 ~setup ~observe ()
+  in
   section "determinism sanitizer"
     (Analysis.Determinism.ok report)
     (Format.asprintf "%a" Analysis.Determinism.pp_report report)
 
 (* ------------------------------------------------------------------ *)
+(* explore subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape = Buffer.create 64
+
+let jstr s =
+  Buffer.clear json_escape;
+  Buffer.add_char json_escape '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string json_escape "\\\""
+      | '\\' -> Buffer.add_string json_escape "\\\\"
+      | '\n' -> Buffer.add_string json_escape "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string json_escape (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char json_escape c)
+    s;
+  Buffer.add_char json_escape '"';
+  Buffer.contents json_escape
+
+let jints l =
+  Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int l))
+
+let report_json (r : Explore.report) =
+  let violation =
+    match r.Explore.r_violation with
+    | None -> "null"
+    | Some v ->
+      Printf.sprintf
+        "{\"invariant\": %s, \"detail\": %s, \"schedule\": %s, \"found\": %s}"
+        (jstr v.Explore.v_invariant) (jstr v.Explore.v_detail)
+        (jints v.Explore.v_schedule) (jints v.Explore.v_found)
+  in
+  Printf.sprintf
+    "{\"name\": %s, \"runs\": %d, \"max_choice_points\": %d, \"pruned\": %d, \
+     \"exhausted\": %b, \"walks\": %d, \"violation\": %s}"
+    (jstr r.Explore.r_scenario) r.Explore.r_runs r.Explore.r_max_choice_points
+    r.Explore.r_pruned r.Explore.r_exhausted r.Explore.r_walks violation
+
+let sweep_json name (s : Explore.sweep) =
+  Printf.sprintf "{\"name\": %s, \"points\": %d, \"failures\": %d}" (jstr name)
+    s.Explore.s_points
+    (List.length s.Explore.s_failures)
+
+let run_explore ~json () =
+  let reports =
+    List.map
+      (fun (name, bounds, sc) ->
+        let r = Explore.explore ~bounds sc in
+        let ok = r.Explore.r_violation = None && r.Explore.r_exhausted in
+        if not json then
+          section ("explore: " ^ name) ok
+            (Format.asprintf "%a" Explore.pp_report r)
+        else if not ok then incr failures;
+        r)
+      (Scenarios.explorer_scenarios ())
+  in
+  let sweeps =
+    [
+      ("cache-crash-sweep", Scenarios.cache_crash_sweep ());
+      ("agent-crash-sweep", Scenarios.agent_crash_sweep ());
+    ]
+  in
+  List.iter
+    (fun (name, (s : Explore.sweep)) ->
+      let ok = s.Explore.s_failures = [] in
+      if not json then
+        section ("crash sweep: " ^ name) ok
+          (Printf.sprintf "%d injection points, %d failures%s"
+             s.Explore.s_points
+             (List.length s.Explore.s_failures)
+             (String.concat ""
+                (List.map
+                   (fun (k, inv, d) ->
+                     Printf.sprintf "\n  point %d: %s: %s" k inv d)
+                   s.Explore.s_failures)))
+      else if not ok then incr failures)
+    sweeps;
+  (* Negative control: the deliberately reintroduced PR-3 lost-update
+     bug must be caught, with a minimized schedule that still violates
+     on deterministic replay. *)
+  let buggy = Scenarios.lost_update_model ~fixed:false () in
+  let bug_report = Explore.explore ~bounds:Explore.default_bounds buggy in
+  let caught, replayable, cex =
+    match bug_report.Explore.r_violation with
+    | None -> (false, false, [])
+    | Some v ->
+      let _, viols, _ = Explore.replay buggy v.Explore.v_schedule in
+      (true, viols <> [], v.Explore.v_schedule)
+  in
+  let fixed = Scenarios.lost_update_model ~fixed:true () in
+  let fixed_report = Explore.explore ~bounds:Explore.default_bounds fixed in
+  let fixed_ok =
+    fixed_report.Explore.r_violation = None && fixed_report.Explore.r_exhausted
+  in
+  if not json then begin
+    section "negative control: lost-update-bug caught"
+      (caught && replayable)
+      (Format.asprintf "%a" Explore.pp_report bug_report);
+    section "lost-update-fixed survives exploration" fixed_ok
+      (Format.asprintf "%a" Explore.pp_report fixed_report)
+  end
+  else begin
+    if not (caught && replayable) then incr failures;
+    if not fixed_ok then incr failures;
+    Printf.printf
+      "{\n\
+      \  \"scenarios\": [\n    %s\n  ],\n\
+      \  \"sweeps\": [\n    %s\n  ],\n\
+      \  \"negative_control\": {\"caught\": %b, \"replayable\": %b, \
+       \"schedule\": %s},\n\
+      \  \"fixed_model\": %s\n\
+       }\n"
+      (String.concat ",\n    " (List.map report_json reports))
+      (String.concat ",\n    "
+         (List.map (fun (n, s) -> sweep_json n s) sweeps))
+      caught replayable (jints cex)
+      (report_json fixed_report)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* replay subcommand                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_replay name schedule_str =
+  match Scenarios.find_scenario name with
+  | None ->
+    Format.eprintf "replay: unknown scenario %S@." name;
+    Format.eprintf "known: %s@."
+      (String.concat ", "
+         (List.map (fun (n, _, _) -> n) (Scenarios.explorer_scenarios ())
+         @ [ "lost-update-fixed"; "lost-update-bug" ]));
+    exit 2
+  | Some sc ->
+    let schedule =
+      match Explore.schedule_of_string schedule_str with
+      | s -> s
+      | exception Failure msg ->
+        Format.eprintf "replay: %s@." msg;
+        exit 2
+    in
+    let _run, violations, rendered = Explore.replay sc schedule in
+    print_string rendered;
+    (match violations with
+    | [] -> Format.printf "violations: none@."
+    | vs ->
+      List.iter
+        (fun (inv, detail) -> Format.printf "violation: %s: %s@." inv detail)
+        vs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  run_table_check ();
-  run_deadlock_scenarios ();
-  run_determinism ();
-  if !failures > 0 then begin
-    Format.eprintf "analyze: %d analysis(es) failed@." !failures;
-    exit 1
-  end
-  else Format.printf "analyze: all analyses passed@."
+  match Array.to_list Sys.argv with
+  | _ :: "explore" :: rest ->
+    let json = List.mem "--json" rest in
+    run_explore ~json ();
+    if !failures > 0 then begin
+      if not json then
+        Format.eprintf "explore: %d analysis(es) failed@." !failures;
+      exit 1
+    end
+    else if not json then Format.printf "explore: all analyses passed@."
+  | [ _; "replay"; name; schedule ] -> run_replay name schedule
+  | _ :: "replay" :: _ ->
+    Format.eprintf "usage: rhodos_analyze replay <scenario> <schedule>@.";
+    exit 2
+  | _ ->
+    run_table_check ();
+    run_deadlock_scenarios ();
+    run_determinism ();
+    if !failures > 0 then begin
+      Format.eprintf "analyze: %d analysis(es) failed@." !failures;
+      exit 1
+    end
+    else Format.printf "analyze: all analyses passed@."

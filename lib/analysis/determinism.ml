@@ -15,24 +15,39 @@ type report = {
   digest_repeatable : bool;
   order_independent : bool;
   leaked : string list;
+  explored : int;
+  divergent : (int list * string) option;
 }
 
+(* Run construction is shared with the explorer: one tracked world per
+   run, built fresh by [setup], summarized by [observe]. *)
 let run_one ~tie ?until ~setup ~observe () =
-  let sim = Sim.create ~tie_break:tie ~track:true () in
-  setup sim;
-  Sim.run ?until sim;
+  let r = Explore.exec ?until ~tie ~setup ~observe () in
   {
-    digest = Sim.run_digest sim;
-    dispatched = Sim.events_dispatched sim;
-    observation = observe sim;
-    audit = Sim.audit sim;
+    digest = r.Explore.digest;
+    dispatched = r.Explore.dispatched;
+    observation = r.Explore.observation;
+    audit = r.Explore.audit;
   }
 
-let run_twice_compare ?until ~setup ~observe () =
+let run_twice_compare ?until ?(schedules = 0) ~setup ~observe () =
   let go tie = run_one ~tie ?until ~setup ~observe () in
   let fifo = go Prio_queue.Fifo in
   let fifo_repeat = go Prio_queue.Fifo in
   let lifo = go Prio_queue.Lifo in
+  let explored_runs, _complete =
+    if schedules <= 0 then ([], true)
+    else
+      Explore.enumerate_schedules ?until ~max_depth:8 ~max_runs:schedules
+        ~setup ~observe ()
+  in
+  let divergent =
+    List.find_map
+      (fun (r : Explore.run) ->
+        if r.Explore.observation = fifo.observation then None
+        else Some (r.Explore.schedule, r.Explore.observation))
+      explored_runs
+  in
   {
     fifo;
     fifo_repeat;
@@ -42,18 +57,30 @@ let run_twice_compare ?until ~setup ~observe () =
       && fifo.observation = fifo_repeat.observation;
     order_independent = fifo.observation = lifo.observation;
     leaked = fifo.audit.Sim.parked @ fifo.audit.Sim.undelivered_kills;
+    explored = List.length explored_runs;
+    divergent;
   }
 
-let ok r = r.digest_repeatable && r.order_independent && r.leaked = []
+let ok r =
+  r.digest_repeatable && r.order_independent && r.leaked = []
+  && r.divergent = None
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>digest repeatable : %b (%#x / %#x)@ order independent : %b@ \
-     events dispatched : %d fifo / %d lifo@ leaked processes  : %s@]"
+     events dispatched : %d fifo / %d lifo@ schedules explored: %d@ leaked \
+     processes  : %s@]"
     r.digest_repeatable r.fifo.digest r.fifo_repeat.digest r.order_independent
-    r.fifo.dispatched r.lifo.dispatched
+    r.fifo.dispatched r.lifo.dispatched r.explored
     (match r.leaked with [] -> "none" | l -> String.concat ", " l);
   if not r.order_independent then
     Format.fprintf fmt
       "@ @[<v>fifo observation:@   %s@ lifo observation:@   %s@]"
-      r.fifo.observation r.lifo.observation
+      r.fifo.observation r.lifo.observation;
+  match r.divergent with
+  | None -> ()
+  | Some (schedule, obs) ->
+    Format.fprintf fmt
+      "@ @[<v>divergent schedule [%s] observation:@   %s@]"
+      (Explore.schedule_to_string schedule)
+      obs

@@ -15,7 +15,14 @@
       depend on schedule order among same-time events.
 
     The FIFO run is also audited for leaked processes: waiters never
-    resumed by end of run and kills never delivered. *)
+    resumed by end of run and kills never delivered.
+
+    With [~schedules:n] the check additionally delegates to the
+    explorer ({!Explore.enumerate_schedules}): up to [n] distinct
+    same-time interleavings are executed and every observation must
+    match the FIFO run's — a much stronger order-independence check
+    than the single LIFO perturbation. The default remains the cheap
+    3-run mode. *)
 
 type run = {
   digest : int;
@@ -34,10 +41,16 @@ type report = {
       (** the LIFO run's observation matches the FIFO run's *)
   leaked : string list;
       (** parked + undelivered-kill processes left in the FIFO run *)
+  explored : int;
+      (** explorer-enumerated schedules executed ([0] in 3-run mode) *)
+  divergent : (int list * string) option;
+      (** first explored schedule whose observation differed from the
+          FIFO run's, with that observation *)
 }
 
 val run_twice_compare :
   ?until:float ->
+  ?schedules:int ->
   setup:(Rhodos_sim.Sim.t -> unit) ->
   observe:(Rhodos_sim.Sim.t -> string) ->
   unit ->
@@ -45,9 +58,12 @@ val run_twice_compare :
 (** [setup] builds the world (spawns processes, ...) on a fresh
     simulator; [observe] extracts the run's observable result as a
     string after the run completes. Both are called once per run and
-    must not retain state across calls. *)
+    must not retain state across calls. [schedules] (default 0) runs
+    up to that many explorer-enumerated interleavings on top of the
+    three baseline runs. *)
 
 val ok : report -> bool
-(** Repeatable, order-independent, and leak-free. *)
+(** Repeatable, order-independent (including across any explored
+    schedules), and leak-free. *)
 
 val pp_report : Format.formatter -> report -> unit

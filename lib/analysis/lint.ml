@@ -190,6 +190,108 @@ let find_direct_prints ~file stripped =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule: no unseeded ambient randomness                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The global [Random] state is process-wide and unseeded by the
+   harness: any [Random.int]/[Random.bits] in library code injects
+   nondeterminism the explorer and replay cannot reproduce. Seeded
+   [Random.State] values (what [Rng] wraps) are fine. *)
+let find_unseeded_random ~file stripped =
+  let pat = "Random." in
+  let plen = String.length pat in
+  let n = String.length stripped in
+  let vs = ref [] in
+  let i = ref 0 in
+  while !i <= n - plen do
+    if
+      String.sub stripped !i plen = pat
+      && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+    then begin
+      let start = !i + plen in
+      let j = ref start in
+      while !j < n && is_ident_char stripped.[!j] do
+        incr j
+      done;
+      let callee = String.sub stripped start (!j - start) in
+      (* State is the seeded API; self_init is already flagged by
+         no-wall-clock. *)
+      if callee <> "State" && callee <> "self_init" && callee <> "" then
+        vs :=
+          {
+            file;
+            line = line_of stripped !i;
+            rule = "no-unseeded-random";
+            message =
+              Printf.sprintf
+                "Random.%s uses the unseeded global state; draw from a \
+                 seeded Random.State (see Rng) so runs stay replayable"
+                callee;
+          }
+          :: !vs;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Rule: Hashtbl iteration order must not feed output                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [Hashtbl.iter]/[Hashtbl.fold] enumerate in bucket order, which
+   depends on insertion history and the hash function — stable within
+   a run but not a contract. A call whose body accumulates a list
+   ([::] shortly after) and never sorts it hands that order to
+   digests, observations or callers. Heuristic windows: a cons within
+   [cons_window] chars of the call marks accumulation; any "sort"
+   within [sort_window] chars after the call absolves it. *)
+let find_unsorted_hashtbl_iteration ~file stripped =
+  let cons_window = 400 and sort_window = 1200 in
+  let n = String.length stripped in
+  let has_sub lo hi needle =
+    let nl = String.length needle in
+    let hi = min hi (n - nl) in
+    let rec go i = i <= hi && (String.sub stripped i nl = needle || go (i + 1)) in
+    go lo
+  in
+  let vs = ref [] in
+  List.iter
+    (fun pat ->
+      let plen = String.length pat in
+      let i = ref 0 in
+      while !i <= n - plen do
+        if
+          String.sub stripped !i plen = pat
+          && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+          && not (is_ident_char stripped.[!i + plen])
+        then begin
+          let after = !i + plen in
+          if
+            has_sub after (after + cons_window) "::"
+            && not (has_sub after (after + sort_window) "sort")
+          then
+            vs :=
+              {
+                file;
+                line = line_of stripped !i;
+                rule = "hashtbl-iter-order";
+                message =
+                  Printf.sprintf
+                    "%s accumulates a list in hash-bucket order with no \
+                     sort in sight; sort before the result reaches a \
+                     digest or caller"
+                    pat;
+              }
+              :: !vs;
+          i := after
+        end
+        else incr i
+      done)
+    [ "Hashtbl.iter"; "Hashtbl.fold" ];
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
 (* Rule: no catch-all try ... with _ ->                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -378,7 +480,10 @@ let lint_source ?(profile = Library) ~file src =
   let stripped = strip_comments_and_strings src in
   find_forbidden ~file stripped
   @ (match profile with
-    | Library -> find_direct_prints ~file stripped
+    | Library ->
+      find_direct_prints ~file stripped
+      @ find_unseeded_random ~file stripped
+      @ find_unsorted_hashtbl_iteration ~file stripped
     | Bench -> find_unregistered_experiment ~file stripped)
   @ find_catch_alls ~file stripped
   @ find_unpaired ~file stripped

@@ -16,6 +16,15 @@
       pattern is the wildcard — it swallows [Sim.Killed] and
       unexpected errors ([match ... with _ ->] and record update
       [{ e with ... }] are not flagged);
+    - {b no-unseeded-random} (Library profile): no [Random.int],
+      [Random.bits], ... on the unseeded global state — randomness
+      must come from a seeded [Random.State] (what [Rng] wraps) or
+      the explorer and replay cannot reproduce a run;
+    - {b hashtbl-iter-order} (Library profile): a [Hashtbl.iter] or
+      [Hashtbl.fold] that accumulates a list (a [::] within ~400
+      chars of the call) with no "sort" within ~1200 chars hands
+      hash-bucket order to digests or callers — sort first
+      (heuristic windows, like paired-release's file granularity);
     - {b missing-mli}: every [.ml] under the linted tree has a
       matching [.mli];
     - {b paired-release}: a file that acquires ([Semaphore.acquire],

@@ -19,3 +19,58 @@ val long_transaction_false_abort : unit -> deadlock_outcome
 (** A long-running holder with a queued competitor and no cycle.
     Expected: the lease break aborts the holder and the detector
     classifies it as a false abort ([true_deadlocks = 0]). *)
+
+(** {2 Explorer seed scenarios}
+
+    Schedule-sensitive worlds for the bounded model checker
+    ({!Explore.explore}), each carrying its own invariants. *)
+
+val agent_read_write_race : unit -> Explore.scenario
+(** The real file agent over a simulated remote store: a sequential
+    reader whose read-ahead prefetches the blocks a concurrent writer
+    overwrites. Invariants: after a final flush the server holds the
+    writer's bytes, the agent's cache agrees, and nothing leaks. *)
+
+val txn_lock_upgrade : unit -> Explore.scenario
+(** Two transactions co-holding a read-only lock both upgrade to
+    Iwrite — an upgrade deadlock in every schedule. Invariants: the
+    section 6.4 lease break fires and is classified a true deadlock,
+    Iwrite stays exclusive in every interleaving, lock tables drain,
+    no 2PL violations. *)
+
+val cache_midbatch_crash : unit -> Explore.scenario
+(** A delayed-write pool crashing mid-batch while a mutator races the
+    flusher. Invariants: the crash count equals the dirty set, and
+    every key's latest bytes are durable, counted lost, or the single
+    interrupted entry (per-entry written-thunk accounting). *)
+
+val lost_update_model : fixed:bool -> unit -> Explore.scenario
+(** Miniature model of the PR-3 client-cache lost update (a prefetch
+    completion clobbering a concurrent local write). [~fixed:true]
+    models the shipped fix and survives exhaustive exploration;
+    [~fixed:false] deliberately reintroduces the bug — the explorer's
+    negative control, violated only under the write-before-completion
+    schedule. *)
+
+val explorer_scenarios :
+  unit -> (string * Explore.bounds * Explore.scenario) list
+(** The three seed scenarios above with their smoke-test bounds, in
+    the order the [@explore] alias runs them. *)
+
+val find_scenario : string -> Explore.scenario option
+(** Look up any named scenario (seed scenarios plus the two
+    [lost-update-*] models) for [rhodos_analyze replay]. *)
+
+(** {2 Crash-point sweeps} *)
+
+val cache_crash_sweep : unit -> Explore.sweep
+(** Pure [Buffer_cache] sweep: 6 dirty buffers, a per-entry batch
+    writer, one run per injection point. A crash before entry [j]
+    must lose exactly [6 - j] buffers. *)
+
+val agent_crash_sweep : unit -> Explore.sweep
+(** File-agent sweep over the coalesced range-pwrite path: dirty
+    blocks forming three runs, a crash at each pwrite call. Runs
+    already written must be durable with the written bytes; the
+    interrupted run is the at-most-one-run loss window; every later
+    block must be counted by [crash]. *)

@@ -185,6 +185,10 @@ let flush_key t k = flush_keys t [ k ]
 let dirty_count t =
   Hashtbl.fold (fun _ b acc -> if b.dirty then acc + 1 else acc) t.buffers 0
 
+let dirty_keys t =
+  Hashtbl.fold (fun k b acc -> if b.dirty then k :: acc else acc) t.buffers []
+  |> List.sort compare
+
 let crash t =
   let lost = dirty_count t in
   Counter.add t.counters "lost_dirty" lost;

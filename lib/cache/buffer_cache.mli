@@ -91,6 +91,11 @@ val flush : 'k t -> unit
 
 val dirty_count : 'k t -> int
 
+val dirty_keys : 'k t -> 'k list
+(** Keys of the dirty buffers, in polymorphic-compare order (sorted so
+    the result is deterministic). Used by the crash-point analysis to
+    reconcile the dirty set against durable bytes. *)
+
 val crash : 'k t -> int
 (** Volatile memory is lost: drop everything without writeback and
     return the number of dirty buffers that were lost — the

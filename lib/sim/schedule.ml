@@ -1,0 +1,13 @@
+type strategy = step:int -> n_ready:int -> int
+
+let fifo ~step:_ ~n_ready:_ = 0
+
+let lifo ~step:_ ~n_ready = n_ready - 1
+
+let of_list choices =
+  let arr = Array.of_list choices in
+  fun ~step ~n_ready:_ -> if step < Array.length arr then arr.(step) else 0
+
+let random ~seed () =
+  let rng = Rhodos_util.Rng.create seed in
+  fun ~step:_ ~n_ready -> Rhodos_util.Rng.int rng n_ready

@@ -1,0 +1,39 @@
+(** Scheduling strategies for the controlled simulator.
+
+    When a simulation is created with [Sim.create ~scheduler], every
+    moment at which more than one event is ready at the same simulated
+    time becomes an explicit {e choice point}: the strategy is asked
+    which of the [n_ready] events (indexed in creation order, i.e. the
+    order FIFO tie-breaking would use) to dispatch. The simulator
+    records the chosen branch index per choice point, so any run can
+    be replayed exactly by feeding the recorded choices back through
+    {!of_list}.
+
+    A schedule is therefore just an [int list]: the branch taken at
+    each successive choice point. A schedule shorter than the run
+    falls back to FIFO (index 0) once exhausted — the representation
+    the analysis explorer's bounded search and counterexample
+    minimization both rely on. *)
+
+type strategy = step:int -> n_ready:int -> int
+(** [strategy ~step ~n_ready] picks the event to dispatch at the
+    [step]-th choice point (0-based, counting only points with
+    [n_ready > 1]). The result is clamped to [0, n_ready - 1] by the
+    simulator, so strategies need not bound-check. *)
+
+val fifo : strategy
+(** Always 0 — identical to the default uncontrolled FIFO order. *)
+
+val lifo : strategy
+(** Always the newest ready event — the determinism sanitizer's
+    perturbed order, expressed as a strategy. *)
+
+val of_list : int list -> strategy
+(** Replay: the [step]-th element of the list, FIFO once the list is
+    exhausted. Out-of-range elements are clamped by the simulator, so
+    any [int list] is a valid schedule. *)
+
+val random : seed:int -> unit -> strategy
+(** A fresh seeded random walk (deterministic for a given seed). Each
+    call returns an independent stateful strategy; do not share one
+    across runs. *)

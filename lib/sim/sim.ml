@@ -29,8 +29,17 @@ type pid = proc
    be skipped without advancing the clock to its deadline. [id] is the
    creation sequence number, folded into the run digest at dispatch so
    two runs produce the same digest iff they dispatched the same
-   events in the same order at the same times. *)
-type event = { id : int; live : unit -> bool; thunk : unit -> unit }
+   events in the same order at the same times. [origin] is the process
+   the event belongs to (the one that scheduled it, or the one it will
+   resume) — carried only so a recorded run can be pretty-printed as
+   an interleaving; a proc pointer, not a string, so the hot path pays
+   no formatting cost. *)
+type event = {
+  id : int;
+  origin : proc option;
+  live : unit -> bool;
+  thunk : unit -> unit;
+}
 
 type t = {
   mutable clock : float;
@@ -43,6 +52,11 @@ type t = {
   mutable dispatched : int;
   track : bool;
   mutable procs : proc list; (* every spawn, only when [track] *)
+  scheduler : (step:int -> n_ready:int -> int) option;
+  record : bool;
+  mutable n_choices : int;
+  mutable choice_rev : (int * int) list; (* (n_ready, chosen), newest first *)
+  mutable dispatch_rev : (float * string) list; (* only when [record] *)
 }
 
 exception Blocking_outside_process
@@ -53,20 +67,27 @@ exception Blocking_outside_process
 type _ Effect.t +=
   | Block : (('a -> bool) -> (unit -> bool) -> unit) -> 'a Effect.t
 
-let create ?(tie_break = Prio_queue.Fifo) ?(track = false) () =
+let create ?(tie_break = Prio_queue.Fifo) ?(track = false) ?scheduler
+    ?(record = false) () =
   { clock = 0.; events = Prio_queue.create ~tie:tie_break (); failure = None;
     next_pid = 0; current = None; next_event_id = 0; digest = 0; dispatched = 0;
-    track; procs = [] }
+    track; procs = []; scheduler; record; n_choices = 0; choice_rev = [];
+    dispatch_rev = [] }
 
 let now t = t.clock
 
 let always_live () = true
 
-let schedule_event t ~at ~live thunk =
+let proc_label = function
+  | Some p -> Printf.sprintf "%s#%d" p.name p.id
+  | None -> "top"
+
+let schedule_event ?origin t ~at ~live thunk =
   let at = if at < t.clock then t.clock else at in
   let id = t.next_event_id in
   t.next_event_id <- t.next_event_id + 1;
-  Prio_queue.add t.events ~prio:at { id; live; thunk }
+  let origin = match origin with Some _ as o -> o | None -> t.current in
+  Prio_queue.add t.events ~prio:at { id; origin; live; thunk }
 
 let schedule t ~at thunk = schedule_event t ~at ~live:always_live thunk
 
@@ -103,7 +124,8 @@ let run_process t proc f =
                     else begin
                       resumed := true;
                       proc.state <- Ready;
-                      schedule t ~at:t.clock (fun () ->
+                      schedule_event ~origin:proc t ~at:t.clock
+                        ~live:always_live (fun () ->
                           let saved = t.current in
                           t.current <- Some proc;
                           continue k v;
@@ -129,7 +151,7 @@ let spawn_at ?(name = "proc") t ~at f =
   in
   t.next_pid <- t.next_pid + 1;
   if t.track then t.procs <- proc :: t.procs;
-  schedule t ~at (fun () ->
+  schedule_event ~origin:proc t ~at ~live:always_live (fun () ->
       if proc.state = Ready && not proc.kill_pending then begin
         let saved = t.current in
         t.current <- Some proc;
@@ -141,22 +163,66 @@ let spawn_at ?(name = "proc") t ~at f =
 
 let spawn ?name t f = spawn_at ?name t ~at:t.clock f
 
-let step t =
-  match Prio_queue.pop t.events with
-  | None -> false
-  | Some (time, ev) ->
-    if ev.live () then begin
-      if time > t.clock then t.clock <- time;
-      t.dispatched <- t.dispatched + 1;
-      t.digest <- Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time);
-      ev.thunk ();
-      match t.failure with
-      | Some e ->
-        t.failure <- None;
-        raise e
-      | None -> ()
-    end;
+let dispatch t time ev =
+  if time > t.clock then t.clock <- time;
+  t.dispatched <- t.dispatched + 1;
+  t.digest <- Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time);
+  if t.record then t.dispatch_rev <- (time, proc_label ev.origin) :: t.dispatch_rev;
+  ev.thunk ();
+  match t.failure with
+  | Some e ->
+    t.failure <- None;
+    raise e
+  | None -> ()
+
+(* Controlled mode: the ready set (all events at the minimum time,
+   dead ones purged) is an explicit choice point. With one candidate
+   the dispatch is forced; with several, the strategy picks the branch
+   and the (n_ready, chosen) pair is recorded so the run can be
+   replayed exactly. A FIFO strategy dispatches in exactly the order
+   the uncontrolled loop would, so digests agree between the two. *)
+let rec controlled_step t strategy =
+  let rec purge_dead () =
+    let group = Prio_queue.ready t.events in
+    let rec first_dead i = function
+      | [] -> None
+      | (_, ev) :: rest -> if ev.live () then first_dead (i + 1) rest else Some i
+    in
+    match first_dead 0 group with
+    | Some i ->
+      ignore (Prio_queue.pop_nth t.events i);
+      purge_dead ()
+    | None -> group
+  in
+  match purge_dead () with
+  | [] ->
+    (* Everything at this time was dead; move on if later events remain. *)
+    if Prio_queue.is_empty t.events then false else controlled_step t strategy
+  | [ _ ] ->
+    (match Prio_queue.pop_nth t.events 0 with
+    | Some (time, ev) -> dispatch t time ev
+    | None -> assert false);
     true
+  | group ->
+    let n = List.length group in
+    let chosen = strategy ~step:t.n_choices ~n_ready:n in
+    let chosen = if chosen < 0 then 0 else if chosen >= n then n - 1 else chosen in
+    t.n_choices <- t.n_choices + 1;
+    t.choice_rev <- (n, chosen) :: t.choice_rev;
+    (match Prio_queue.pop_nth t.events chosen with
+    | Some (time, ev) -> dispatch t time ev
+    | None -> assert false);
+    true
+
+let step t =
+  match t.scheduler with
+  | Some strategy -> controlled_step t strategy
+  | None -> (
+    match Prio_queue.pop t.events with
+    | None -> false
+    | Some (time, ev) ->
+      if ev.live () then dispatch t time ev;
+      true)
 
 let run ?until t =
   let should_continue () =
@@ -255,6 +321,10 @@ end
 let run_digest t = t.digest
 
 let events_dispatched t = t.dispatched
+
+let choices t = List.rev t.choice_rev
+
+let dispatch_log t = List.rev t.dispatch_rev
 
 type audit = { parked : string list; undelivered_kills : string list }
 

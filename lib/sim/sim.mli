@@ -27,12 +27,28 @@ exception Blocking_outside_process
     failure would surface as a cryptic [Effect.Unhandled]. *)
 
 val create :
-  ?tie_break:Rhodos_util.Prio_queue.tie -> ?track:bool -> unit -> t
+  ?tie_break:Rhodos_util.Prio_queue.tie ->
+  ?track:bool ->
+  ?scheduler:Schedule.strategy ->
+  ?record:bool ->
+  unit ->
+  t
 (** [tie_break] (default [Fifo]) orders same-time events; [Lifo] is
     the determinism sanitizer's perturbed mode — a correct program
     must compute the same observable results under either. [track]
     (default [false]) records every spawned process so {!audit} can
-    report leaks at end of run. *)
+    report leaks at end of run.
+
+    [scheduler] switches the event loop into controlled mode: whenever
+    more than one live event is ready at the same simulated time, the
+    strategy picks which one fires (see {!Schedule}). Each such choice
+    point is recorded and retrievable via {!choices}, making any run
+    replayable with [Schedule.of_list]. A [Schedule.fifo] strategy
+    dispatches in exactly the default order, so its digest matches an
+    uncontrolled run. [record] (default [false]) additionally keeps a
+    human-readable dispatch log ({!dispatch_log}) naming the process
+    each dispatched event belongs to — used to pretty-print a
+    counterexample schedule as an interleaving trace. *)
 
 val now : t -> float
 (** Current simulated time (ms). *)
@@ -111,6 +127,16 @@ val run_digest : t -> int
     leaked into the simulation. *)
 
 val events_dispatched : t -> int
+
+val choices : t -> (int * int) list
+(** Choice points taken so far in a controlled run, oldest first:
+    [(n_ready, chosen)] per point where the ready set held more than
+    one live event. Empty when no [scheduler] was given. The [chosen]
+    components form the schedule that [Schedule.of_list] replays. *)
+
+val dispatch_log : t -> (float * string) list
+(** Dispatch trace (time, owning process label), oldest first. Empty
+    unless the world was created with [~record:true]. *)
 
 type audit = {
   parked : string list;

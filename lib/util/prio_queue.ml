@@ -84,6 +84,53 @@ let clear q =
   q.size <- 0;
   q.heap <- [||]
 
+(* ------------------------------------------------------------------ *)
+(* Ready-set access (controlled scheduling)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Indices (into the heap array) of every entry sharing the minimum
+   priority, sorted by insertion order. O(size) scan: only the
+   analysis explorer uses these, never the default event loop. *)
+let ready_indices q =
+  if q.size = 0 then [||]
+  else begin
+    let min_prio = q.heap.(0).prio in
+    let idxs = ref [] in
+    for i = q.size - 1 downto 0 do
+      if q.heap.(i).prio = min_prio then idxs := i :: !idxs
+    done;
+    let arr = Array.of_list !idxs in
+    Array.sort (fun a b -> compare q.heap.(a).seq q.heap.(b).seq) arr;
+    arr
+  end
+
+let ready_count q = Array.length (ready_indices q)
+
+let ready q =
+  Array.to_list
+    (Array.map (fun i -> (q.heap.(i).prio, q.heap.(i).value)) (ready_indices q))
+
+(* Remove the entry at heap index [i]: replace it with the last entry
+   and restore the heap property in both directions (the replacement
+   may be smaller than [i]'s parent or larger than its children). *)
+let remove_index q i =
+  let entry = q.heap.(i) in
+  q.size <- q.size - 1;
+  if i < q.size then begin
+    q.heap.(i) <- q.heap.(q.size);
+    sift_down q i;
+    sift_up q i
+  end;
+  entry
+
+let pop_nth q n =
+  let idxs = ready_indices q in
+  if n < 0 || n >= Array.length idxs then None
+  else begin
+    let entry = remove_index q idxs.(n) in
+    Some (entry.prio, entry.value)
+  end
+
 let drain q =
   let rec loop acc =
     match pop q with None -> List.rev acc | Some x -> loop (x :: acc)

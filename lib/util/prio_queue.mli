@@ -34,5 +34,25 @@ val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
 
+(** {2 Ready-set access}
+
+    The {e ready set} is the group of entries sharing the minimum
+    priority — in the simulator, the events that could legally fire
+    next. The analysis explorer turns this set into an explicit
+    scheduling choice point; all three operations are O(n) scans and
+    are never used by the default event loop. *)
+
+val ready_count : 'a t -> int
+(** Number of entries sharing the minimum priority (0 when empty). *)
+
+val ready : 'a t -> (float * 'a) list
+(** The ready set in insertion order, without removing anything. *)
+
+val pop_nth : 'a t -> int -> (float * 'a) option
+(** [pop_nth q n] removes and returns the [n]-th entry (0-based, in
+    insertion order) among those sharing the minimum priority; [None]
+    if [n] is out of range. [pop_nth q 0] equals [pop q] under [Fifo]
+    tie-breaking. *)
+
 val drain : 'a t -> (float * 'a) list
 (** Pop everything, in order. *)

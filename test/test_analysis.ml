@@ -1,16 +1,20 @@
 (* Tests for the correctness-analysis suite: items_conflict
    properties, the waits-for graph and deadlock classification, the
-   Table 1 model checker, the determinism sanitizer, the Sim audit
-   hooks and the repo lint pass. *)
+   Table 1 model checker, the determinism sanitizer, the bounded
+   model checker (controlled scheduling, schedule replay, crash-point
+   sweeps, the lost-update negative control), the Sim audit hooks and
+   the repo lint pass. *)
 
 open Alcotest
 module Sim = Rhodos_sim.Sim
+module Schedule = Rhodos_sim.Schedule
 module Lm = Rhodos_txn.Lock_manager
 module Pq = Rhodos_util.Prio_queue
 module Waits_for = Rhodos_analysis.Waits_for
 module Scenarios = Rhodos_analysis.Scenarios
 module Table_check = Rhodos_analysis.Table_check
 module Determinism = Rhodos_analysis.Determinism
+module Explore = Rhodos_analysis.Explore
 module Lint = Rhodos_analysis.Lint
 
 (* ------------------------------------------------------------------ *)
@@ -245,6 +249,176 @@ let test_determinism_flags_leaked_waiter () =
        r.Determinism.leaked)
 
 (* ------------------------------------------------------------------ *)
+(* Explorer: controlled scheduling and schedule replay                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A schedule-sensitive world: three processes interleave two
+   appends each, so the observation is a function of the branch taken
+   at every same-time choice point — and of nothing else. *)
+let race_setup order sim =
+  order := [];
+  for i = 0 to 2 do
+    ignore
+      (Sim.spawn ~name:"p" sim (fun () ->
+           Sim.sleep sim 1.;
+           order := !order @ [ i ];
+           Sim.sleep sim 1.;
+           order := !order @ [ 10 + i ]))
+  done
+
+let race_observe order _sim =
+  String.concat "," (List.map string_of_int !order)
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make
+    ~name:"recorded schedule replays to the same digest and observation"
+    ~count:60
+    QCheck.(list_of_size Gen.(int_bound 6) (small_nat))
+    (fun s ->
+      let order = ref [] in
+      let setup = race_setup order and observe = race_observe order in
+      let r1 =
+        Explore.exec ~scheduler:(Schedule.of_list s) ~setup ~observe ()
+      in
+      let r2 =
+        Explore.exec
+          ~scheduler:(Schedule.of_list r1.Explore.schedule)
+          ~setup ~observe ()
+      in
+      r1.Explore.digest = r2.Explore.digest
+      && r1.Explore.observation = r2.Explore.observation
+      && r1.Explore.schedule = r2.Explore.schedule)
+
+let prop_depth0_is_fifo =
+  QCheck.Test.make
+    ~name:"depth-0 exploration = controlled FIFO = uncontrolled run"
+    ~count:40
+    QCheck.(list_of_size Gen.(int_range 1 5) (int_bound 3))
+    (fun delays ->
+      let order = ref [] in
+      let setup sim =
+        order := [];
+        List.iteri
+          (fun i d ->
+            ignore
+              (Sim.spawn sim (fun () ->
+                   Sim.sleep sim (float_of_int d);
+                   order := i :: !order)))
+          delays
+      in
+      let observe = race_observe order in
+      let runs, _ =
+        Explore.enumerate_schedules ~max_depth:0 ~max_runs:4 ~setup ~observe ()
+      in
+      let fifo =
+        Explore.exec ~scheduler:Schedule.fifo ~setup ~observe ()
+      in
+      let free = Explore.exec ~setup ~observe () in
+      match runs with
+      | [ r ] ->
+        r.Explore.digest = free.Explore.digest
+        && r.Explore.observation = free.Explore.observation
+        && fifo.Explore.digest = free.Explore.digest
+        && fifo.Explore.observation = free.Explore.observation
+      | _ -> false)
+
+let prop_schedule_string_roundtrip =
+  QCheck.Test.make ~name:"schedule wire form round-trips" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 8) small_nat)
+    (fun s ->
+      Explore.schedule_of_string (Explore.schedule_to_string s) = s)
+
+let test_explore_seed_scenarios () =
+  List.iter
+    (fun (name, bounds, sc) ->
+      let r = Explore.explore ~bounds sc in
+      check bool (name ^ ": bounded space exhausted") true
+        r.Explore.r_exhausted;
+      (match r.Explore.r_violation with
+      | None -> ()
+      | Some v ->
+        fail
+          (Printf.sprintf "%s: %s violated under [%s]: %s" name
+             v.Explore.v_invariant
+             (Explore.schedule_to_string v.Explore.v_schedule)
+             v.Explore.v_detail));
+      check bool (name ^ ": explored more than the FIFO run") true
+        (r.Explore.r_runs > 1))
+    (Scenarios.explorer_scenarios ())
+
+(* The deliberately reintroduced PR-3 lost update: the explorer must
+   find it, the minimized schedule must still violate, and the replay
+   must be deterministic. The fixed model must survive the same
+   exploration untouched. *)
+let test_lost_update_negative_control () =
+  let sc = Scenarios.lost_update_model ~fixed:false () in
+  let r = Explore.explore sc in
+  match r.Explore.r_violation with
+  | None -> fail "explorer missed the reintroduced lost update"
+  | Some v ->
+    check string "the lost-update invariant fired" "no-lost-update"
+      v.Explore.v_invariant;
+    check bool "minimized is no longer than found" true
+      (List.length v.Explore.v_schedule <= List.length v.Explore.v_found);
+    let r1, viols1 = Explore.run_schedule sc v.Explore.v_schedule in
+    let r2, viols2 = Explore.run_schedule sc v.Explore.v_schedule in
+    check bool "minimized schedule still violates" true (viols1 <> []);
+    check bool "violations replay identically" true (viols1 = viols2);
+    check int "replay is deterministic" r1.Explore.digest r2.Explore.digest;
+    let fixed = Scenarios.lost_update_model ~fixed:true () in
+    let rf = Explore.explore fixed in
+    check bool "fixed model has no violation" true
+      (rf.Explore.r_violation = None);
+    check bool "fixed model space exhausted" true rf.Explore.r_exhausted
+
+let test_crash_sweeps () =
+  let s = Scenarios.cache_crash_sweep () in
+  check int "cache sweep covers every injection point" 7 s.Explore.s_points;
+  (match s.Explore.s_failures with
+  | [] -> ()
+  | (k, inv, d) :: _ ->
+    fail (Printf.sprintf "cache sweep point %d: %s: %s" k inv d));
+  let s = Scenarios.agent_crash_sweep () in
+  check int "agent sweep covers every pwrite" 4 s.Explore.s_points;
+  match s.Explore.s_failures with
+  | [] -> ()
+  | (k, inv, d) :: _ ->
+    fail (Printf.sprintf "agent sweep point %d: %s: %s" k inv d)
+
+let test_determinism_explorer_backed () =
+  (* Clean scenario: explored interleavings all agree. *)
+  let results = Array.make 4 0 in
+  let setup sim =
+    Array.fill results 0 4 0;
+    for i = 0 to 3 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             Sim.sleep sim 1.;
+             results.(i) <- i * 10))
+    done
+  in
+  let observe _ =
+    String.concat "," (Array.to_list (Array.map string_of_int results))
+  in
+  let r = Determinism.run_twice_compare ~schedules:8 ~setup ~observe () in
+  check bool "clean scenario passes explorer-backed check" true
+    (Determinism.ok r);
+  check bool "some schedules actually explored" true (r.Determinism.explored > 1);
+  check bool "no divergent schedule" true (r.Determinism.divergent = None);
+  (* Order-dependent scenario: a deviating schedule must diverge. *)
+  let order = ref [] in
+  let setup sim =
+    order := [];
+    for i = 0 to 3 do
+      ignore (Sim.spawn sim (fun () -> order := !order @ [ i ]))
+    done
+  in
+  let observe _ = String.concat "," (List.map string_of_int !order) in
+  let r = Determinism.run_twice_compare ~schedules:8 ~setup ~observe () in
+  check bool "divergent schedule found" true (r.Determinism.divergent <> None);
+  check bool "explorer-backed check fails" false (Determinism.ok r)
+
+(* ------------------------------------------------------------------ *)
 (* Sim runtime checks                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -414,6 +588,19 @@ let () =
             test_determinism_flags_order_dependence;
           test_case "leaked waiter flagged" `Quick
             test_determinism_flags_leaked_waiter;
+        ] );
+      ( "explorer",
+        [
+          QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+          QCheck_alcotest.to_alcotest prop_depth0_is_fifo;
+          QCheck_alcotest.to_alcotest prop_schedule_string_roundtrip;
+          test_case "seed scenarios exhaust with zero violations" `Quick
+            test_explore_seed_scenarios;
+          test_case "lost-update negative control" `Quick
+            test_lost_update_negative_control;
+          test_case "crash-point sweeps" `Quick test_crash_sweeps;
+          test_case "explorer-backed determinism" `Quick
+            test_determinism_explorer_backed;
         ] );
       ( "sim sanitizers",
         [
