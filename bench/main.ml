@@ -32,6 +32,7 @@ let experiments =
     ("A2", "ablation: client cache size sweep", Exp_a2.run);
     ("A3", "ablation: fetch window / coalescing / read-ahead", Exp_a3.run);
     ("A4", "ablation: controlled scheduling / exploration depth", Exp_a4.run);
+    ("A5", "ablation: race/protocol sanitizer overhead", Exp_a5.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

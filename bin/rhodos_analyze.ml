@@ -8,6 +8,12 @@
      explore [--json]        bounded model checking of the seed
                              scenarios + crash-point sweeps + the
                              lost-update negative control (@explore)
+     sanitize [--json]       race/protocol sanitizers across explored
+                             schedules of every shipped scenario, plus
+                             the seeded-race negative control, which
+                             both the happens-before and the lockset
+                             pass must catch with a deterministically
+                             replayable schedule (@sanitize)
      replay <scenario> <schedule>
                              deterministically re-execute one schedule
                              ("0,2,1" or "[]") and print the
@@ -225,6 +231,78 @@ let run_explore ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sanitize subcommand                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every shipped scenario carries its sanitizer in the world record,
+   and sanitizer findings ride the explorer's violation channel — so
+   "explore it and demand zero violations" runs the race and protocol
+   passes across every explored interleaving, not just FIFO. *)
+let run_sanitize ~json () =
+  let small =
+    { Explore.default_bounds with max_runs = 200; random_walks = 16 }
+  in
+  let shipped =
+    List.map (fun (n, b, sc) -> (n, b, sc)) (Scenarios.explorer_scenarios ())
+    @ [
+        ("lost-update-fixed", small, Scenarios.lost_update_model ~fixed:true ());
+        ("seeded-race-locked", small, Scenarios.seeded_race_model ~locked:true ());
+      ]
+  in
+  let reports =
+    List.map
+      (fun (name, bounds, sc) ->
+        let r = Explore.explore ~bounds sc in
+        let ok = r.Explore.r_violation = None in
+        if not json then
+          section ("sanitize: " ^ name) ok
+            (Format.asprintf "%a" Explore.pp_report r)
+        else if not ok then incr failures;
+        r)
+      shipped
+  in
+  (* Negative control: the seeded lock-free RMW race. Both passes must
+     fire already under FIFO (the sanitizer reports the unordered step,
+     not a corrupted final state), exploration must catch it, and its
+     minimized schedule must still violate on deterministic replay. *)
+  let buggy () = Scenarios.seeded_race_model ~locked:false () in
+  let _, fifo_viols = Explore.run_schedule (buggy ()) [] in
+  let has kind = List.mem_assoc ("sanitizer:" ^ kind) fifo_viols in
+  let both_passes = has "data-race" && has "lockset" in
+  let bug_report = Explore.explore ~bounds:small (buggy ()) in
+  let caught, replayable, cex =
+    match bug_report.Explore.r_violation with
+    | None -> (false, false, [])
+    | Some v ->
+      let _, viols, _ = Explore.replay (buggy ()) v.Explore.v_schedule in
+      ( true,
+        List.exists
+          (fun (inv, _) -> String.length inv > 10
+                           && String.sub inv 0 10 = "sanitizer:")
+          viols,
+        v.Explore.v_schedule )
+  in
+  if not json then begin
+    section "negative control: seeded-race-bug caught by both passes"
+      (caught && both_passes && replayable)
+      (Printf.sprintf "FIFO findings: %s\n%s"
+         (String.concat "; " (List.map fst fifo_viols))
+         (Format.asprintf "%a" Explore.pp_report bug_report))
+  end
+  else begin
+    if not (caught && both_passes && replayable) then incr failures;
+    Printf.printf
+      "{\n\
+      \  \"scenarios\": [\n    %s\n  ],\n\
+      \  \"negative_control\": {\"caught\": %b, \"both_passes\": %b, \
+       \"replayable\": %b, \"schedule\": %s, \"fifo_findings\": [%s]}\n\
+       }\n"
+      (String.concat ",\n    " (List.map report_json reports))
+      caught both_passes replayable (jints cex)
+      (String.concat ", " (List.map (fun (inv, _) -> jstr inv) fifo_viols))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* replay subcommand                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -235,7 +313,10 @@ let run_replay name schedule_str =
     Format.eprintf "known: %s@."
       (String.concat ", "
          (List.map (fun (n, _, _) -> n) (Scenarios.explorer_scenarios ())
-         @ [ "lost-update-fixed"; "lost-update-bug" ]));
+         @ [
+             "lost-update-fixed"; "lost-update-bug"; "seeded-race-bug";
+             "seeded-race-locked";
+           ]));
     exit 2
   | Some sc ->
     let schedule =
@@ -267,6 +348,15 @@ let () =
       exit 1
     end
     else if not json then Format.printf "explore: all analyses passed@."
+  | _ :: "sanitize" :: rest ->
+    let json = List.mem "--json" rest in
+    run_sanitize ~json ();
+    if !failures > 0 then begin
+      if not json then
+        Format.eprintf "sanitize: %d analysis(es) failed@." !failures;
+      exit 1
+    end
+    else if not json then Format.printf "sanitize: all analyses passed@."
   | [ _; "replay"; name; schedule ] -> run_replay name schedule
   | _ :: "replay" :: _ ->
     Format.eprintf "usage: rhodos_analyze replay <scenario> <schedule>@.";

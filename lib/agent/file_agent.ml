@@ -40,6 +40,12 @@ type open_state = {
    wait on the same cell (single-flight dedup). *)
 type fetch = (bytes, exn) result Sim.Ivar.ivar
 
+(* [inflight] and [prefetched] are the prefetch bookkeeping that
+   fetcher processes, readers and writers all race on — the hottest
+   cross-process state in the agent. They live in instrumented
+   [Sim.Cell]s (Sync role: single-flight dedup is lock-free by design
+   in the cooperative simulator) so the sanitizer observes every
+   access. *)
 type t = {
   sim : Sim.t;
   conn : Service_conn.fs_conn;
@@ -47,8 +53,9 @@ type t = {
   descs : (desc, open_state) Hashtbl.t;
   sizes : (int, int ref) Hashtbl.t; (* file -> cached size *)
   cache : (int * int) Cache.t;      (* (file, block index) -> 8 KiB *)
-  inflight : (int * int, fetch) Hashtbl.t;
-  prefetched : (int * int, unit) Hashtbl.t; (* read-ahead blocks not yet consumed *)
+  inflight : (int * int, fetch) Hashtbl.t Sim.Cell.cell;
+  prefetched : (int * int, unit) Hashtbl.t Sim.Cell.cell;
+      (* read-ahead blocks not yet consumed *)
   fetch_slots : Sim.Semaphore.sem;  (* bounds concurrent fetch RPCs *)
   name_cache : (string, int) Hashtbl.t;
   mutable next_desc : desc;
@@ -56,6 +63,15 @@ type t = {
   name_counters : Counter.t;
   tracer : Trace.t option;
 }
+
+(* Read / mutate a tracking table through its cell; [mut] runs the
+   in-place mutation under an [update] so it registers as a write. *)
+let tbl = Sim.Cell.get
+
+let mut c f =
+  Sim.Cell.update c (fun h ->
+      f h;
+      h)
 
 (* Reserved redirection descriptors (paper section 3). *)
 let stdout_redirect = 100_001
@@ -143,7 +159,10 @@ let create ?(config = default_config) ?tracer ~sim
     ~(conn : Service_conn.fs_conn) () =
   let sizes = Hashtbl.create 16 in
   let counters = Counter.create () in
-  let prefetched = Hashtbl.create 16 in
+  let prefetched =
+    Sim.Cell.create ~role:Sim.Sync ~name:"file_agent:prefetched" sim
+      (Hashtbl.create 16)
+  in
   (* Write back one dirty block (eviction path), trimmed like a run;
      the cache has already marked it clean. *)
   let writeback (file, bi) data =
@@ -155,8 +174,8 @@ let create ?(config = default_config) ?tracer ~sim
       (fun () -> writeback_batch ~sizes ~counters ~conn entries)
   in
   let on_evict key =
-    if Hashtbl.mem prefetched key then begin
-      Hashtbl.remove prefetched key;
+    if Hashtbl.mem (tbl prefetched) key then begin
+      mut prefetched (fun h -> Hashtbl.remove h key);
       Counter.incr counters "prefetch_wasted"
     end
   in
@@ -173,7 +192,9 @@ let create ?(config = default_config) ?tracer ~sim
           (if config.cache_blocks = 0 then Cache.Write_through
            else Cache.Delayed_write { flush_interval_ms = config.flush_interval_ms })
         ~writeback ();
-    inflight = Hashtbl.create 16;
+    inflight =
+      Sim.Cell.create ~role:Sim.Sync ~name:"file_agent:inflight" sim
+        (Hashtbl.create 16);
     prefetched;
     fetch_slots = Sim.Semaphore.create sim (max 1 config.fetch_window);
     name_cache = Hashtbl.create 16;
@@ -185,6 +206,7 @@ let create ?(config = default_config) ?tracer ~sim
 
 let stats t = t.counters
 let cache_stats t = Cache.stats t.cache
+let buffer_pool t = t.cache
 let name_cache_stats t = t.name_counters
 let open_count t = Hashtbl.length t.descs
 
@@ -281,21 +303,21 @@ let pad_block fetched =
    superseded fetch must not resurrect stale data into the cache (its
    waiters still get the bytes they asked for). *)
 let complete_block t iv file bi block =
-  (match Hashtbl.find_opt t.inflight (file, bi) with
+  (match Hashtbl.find_opt (tbl t.inflight) (file, bi) with
   | Some iv' when iv' == iv ->
-    Hashtbl.remove t.inflight (file, bi);
+    mut t.inflight (fun h -> Hashtbl.remove h (file, bi));
     Cache.insert_clean t.cache (file, bi) block
   | Some _ | None -> ());
   Sim.Ivar.fill iv (Ok block)
 
 let fail_block t iv file bi e =
-  (match Hashtbl.find_opt t.inflight (file, bi) with
+  (match Hashtbl.find_opt (tbl t.inflight) (file, bi) with
   | Some iv' when iv' == iv ->
-    Hashtbl.remove t.inflight (file, bi);
+    mut t.inflight (fun h -> Hashtbl.remove h (file, bi));
     (* A failed read-ahead delivered nothing: drop its reservation so
        a later demand read of the block cannot count a phantom
        prefetch hit (counted as neither hit nor waste). *)
-    Hashtbl.remove t.prefetched (file, bi)
+    mut t.prefetched (fun h -> Hashtbl.remove h (file, bi))
   | Some _ | None -> ());
   if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv (Error e)
 
@@ -379,12 +401,13 @@ let issue_fetch t file c0 c1 ~prefetch =
       List.init (p1 - !p0 + 1) (fun i ->
           let bi = !p0 + i in
           let iv = Sim.Ivar.create t.sim in
-          Hashtbl.replace t.inflight (file, bi) iv;
+          mut t.inflight (fun h -> Hashtbl.replace h (file, bi) iv);
           (bi, iv))
     in
     if prefetch then begin
       Counter.add t.counters "prefetch_issued" (List.length ivars);
-      List.iter (fun (bi, _) -> Hashtbl.replace t.prefetched (file, bi) ()) ivars
+      mut t.prefetched (fun h ->
+          List.iter (fun (bi, _) -> Hashtbl.replace h (file, bi) ()) ivars)
     end;
     pieces := (!p0, p1, ivars) :: !pieces;
     p0 := p1 + 1
@@ -414,8 +437,8 @@ let await iv =
   match Sim.Ivar.read iv with Ok data -> data | Error e -> raise e
 
 let note_prefetch_hit t file bi =
-  if Hashtbl.mem t.prefetched (file, bi) then begin
-    Hashtbl.remove t.prefetched (file, bi);
+  if Hashtbl.mem (tbl t.prefetched) (file, bi) then begin
+    mut t.prefetched (fun h -> Hashtbl.remove h (file, bi));
     Counter.incr t.counters "prefetch_hits"
   end
 
@@ -425,9 +448,9 @@ let note_prefetch_hit t file bi =
    instead of clobbering newer data — and any unconsumed read-ahead
    reservation, which is now wasted. *)
 let drop_block_tracking t file bi =
-  Hashtbl.remove t.inflight (file, bi);
-  if Hashtbl.mem t.prefetched (file, bi) then begin
-    Hashtbl.remove t.prefetched (file, bi);
+  mut t.inflight (fun h -> Hashtbl.remove h (file, bi));
+  if Hashtbl.mem (tbl t.prefetched) (file, bi) then begin
+    mut t.prefetched (fun h -> Hashtbl.remove h (file, bi));
     Counter.incr t.counters "prefetch_wasted"
   end
 
@@ -440,14 +463,14 @@ let issue_read_ahead t file ~b1 ~ra ~size =
     let p0 = b1 + 1 and p1 = min (b1 + ra) last_block in
     let i = ref p0 in
     while !i <= p1 do
-      if Cache.mem t.cache (file, !i) || Hashtbl.mem t.inflight (file, !i) then
-        incr i
+      if Cache.mem t.cache (file, !i) || Hashtbl.mem (tbl t.inflight) (file, !i)
+      then incr i
       else begin
         let j = ref !i in
         while
           !j + 1 <= p1
           && (not (Cache.mem t.cache (file, !j + 1)))
-          && not (Hashtbl.mem t.inflight (file, !j + 1))
+          && not (Hashtbl.mem (tbl t.inflight) (file, !j + 1))
         do
           incr j
         done;
@@ -480,7 +503,7 @@ let pread_core t file ~off ~len ~ra =
       match Cache.find t.cache (file, bi) with
       | Some data -> slots.(i) <- `Have data
       | None -> (
-        match Hashtbl.find_opt t.inflight (file, bi) with
+        match Hashtbl.find_opt (tbl t.inflight) (file, bi) with
         | Some iv -> slots.(i) <- `Wait iv
         | None -> ())
     done;
@@ -544,7 +567,7 @@ let load_block t file bi =
     match Cache.find t.cache (file, bi) with
     | Some data -> data
     | None -> (
-      match Hashtbl.find_opt t.inflight (file, bi) with
+      match Hashtbl.find_opt (tbl t.inflight) (file, bi) with
       | Some iv -> await iv
       | None -> (
         match issue_fetch t file bi bi ~prefetch:false with
@@ -687,6 +710,6 @@ let crash t =
   Hashtbl.reset t.name_cache;
   (* In-flight fetches may still complete; clearing the registrations
      keeps them from resurrecting pre-crash data into the fresh cache. *)
-  Hashtbl.reset t.inflight;
-  Hashtbl.reset t.prefetched;
+  mut t.inflight (fun h -> Hashtbl.reset h);
+  mut t.prefetched (fun h -> Hashtbl.reset h);
   lost

@@ -138,4 +138,9 @@ val stats : t -> Rhodos_util.Stats.Counter.t
 
 val cache_stats : t -> Rhodos_util.Stats.Counter.t
 
+val buffer_pool : t -> (int * int) Rhodos_cache.Buffer_cache.t
+(** The agent's block pool, keyed by (file, block index) — exposed so
+    the sanitizer can attach the cache protocol monitor
+    ([Buffer_cache.set_monitor]). *)
+
 val name_cache_stats : t -> Rhodos_util.Stats.Counter.t

@@ -108,6 +108,7 @@ type invariant = { inv_name : string; inv_check : unit -> string option }
 type world = {
   invariants : invariant list;
   tracer : Trace.t option;
+  sanitizer : Sanitizer.t option;
   observe : unit -> string;
 }
 
@@ -164,6 +165,18 @@ let run_scenario_strat ~record ~scheduler sc =
   let violations =
     if leaks = [] then violations
     else violations @ [ ("no-leaked-processes", String.concat ", " leaks) ]
+  in
+  (* Sanitizer findings ride the same violation channel, so the
+     explorer minimizes a race's schedule exactly like an invariant
+     breach. *)
+  let violations =
+    match w.sanitizer with
+    | Some sz ->
+      violations
+      @ List.map
+          (fun v -> ("sanitizer:" ^ v.Sanitizer.v_kind, v.Sanitizer.v_detail))
+          (Sanitizer.violations sz)
+    | None -> violations
   in
   (r, violations, spans)
 

@@ -87,6 +87,11 @@ type world = {
   tracer : Rhodos_obs.Trace.t option;
       (** when present, {!replay} collects its spans and renders the
           causal tree alongside the interleaving *)
+  sanitizer : Sanitizer.t option;
+      (** when present, its violations are evaluated after the run
+          drains, as pseudo-invariants named ["sanitizer:<kind>"] — so
+          exploration minimizes and replays a race exactly like an
+          invariant breach *)
   observe : unit -> string;
       (** terminal-state summary; feeds the state-digest cache *)
 }

@@ -441,6 +441,178 @@ let find_unpaired ~file stripped =
     pairing_rules
 
 (* ------------------------------------------------------------------ *)
+(* Rule: no module-level mutable state                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A module-level [ref]/[Hashtbl]/[Queue]/[Buffer] is state shared by
+   every simulation world in the process: it leaks between runs,
+   defeats the explorer's world-per-schedule isolation, and is
+   invisible to the sanitizer (which only sees [Sim.Cell] accesses).
+   State belongs in a record created per world. The allowlist names
+   the two sanctioned globals: the [Logging] source registry (process-
+   wide by design, like [Logs] itself) and [Sim]'s process-local
+   storage key allocator (keys must be unique across worlds). *)
+let global_state_allowlist = [ "logging.ml"; "sim.ml" ]
+
+let mutable_creators =
+  [ "ref "; "Hashtbl.create"; "Queue.create"; "Buffer.create" ]
+
+let find_global_mutable_state ~file stripped =
+  if List.mem (Filename.basename file) global_state_allowlist then []
+  else begin
+    let lines = String.split_on_char '\n' stripped in
+    let arr = Array.of_list lines in
+    let vs = ref [] in
+    let starts_with p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    (* "in" as a token, not as a substring — else the "int" in a type
+       annotation makes a module-level binding look like a local one *)
+    let has_in_keyword line =
+      let n = String.length line in
+      let found = ref false in
+      for i = 0 to n - 2 do
+        if
+          line.[i] = 'i'
+          && line.[i + 1] = 'n'
+          && (i = 0 || not (is_ident_char line.[i - 1]))
+          && (i + 2 >= n || not (is_ident_char line.[i + 2]))
+        then found := true
+      done;
+      !found
+    in
+    Array.iteri
+      (fun idx line ->
+        let indent =
+          let i = ref 0 in
+          while !i < String.length line && line.[!i] = ' ' do
+            incr i
+          done;
+          !i
+        in
+        let body = String.trim line in
+        if indent <= 2 && starts_with "let " body && not (has_in_keyword line)
+        then
+          match String.index_opt body '=' with
+          | Some eq ->
+            let binder = String.sub body 4 (eq - 4) in
+            let parameterized =
+              match
+                (String.index_opt binder '(', String.index_opt binder ':')
+              with
+              | Some p, Some c -> p < c (* "(" before ":" = a parameter *)
+              | Some _, None -> true
+              | None, _ -> false
+            in
+            let rhs =
+              let r = String.trim (String.sub body (eq + 1)
+                                     (String.length body - eq - 1)) in
+              if r <> "" then r
+              else if idx + 1 < Array.length arr then String.trim arr.(idx + 1)
+              else ""
+            in
+            if (not parameterized)
+               && List.exists (fun c -> starts_with c rhs) mutable_creators
+            then
+              vs :=
+                {
+                  file;
+                  line = idx + 1;
+                  rule = "global-mutable-state";
+                  message =
+                    "module-level mutable state is shared across simulation \
+                     worlds and invisible to the sanitizer; move it into a \
+                     per-world record (or a Sim.Cell)";
+                }
+                :: !vs
+          | None -> ())
+      arr;
+    List.rev !vs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rule: no raw access to cell-wrapped shared state                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fields migrated onto [Sim.Cell] must stay behind [Cell.get]/
+   [Cell.update]: a raw [Hashtbl.replace t.field ...] or [t.field <-]
+   mutates the payload without the access ever reaching the monitor,
+   silently blinding the race passes. One entry per instrumented
+   field; extend it when migrating more state. *)
+let instrumented_fields =
+  [
+    ("file_agent.ml", [ "inflight"; "prefetched" ]);
+    ("buffer_cache.ml", [ "buffers" ]);
+    ("lock_manager.ml",
+     [ "released"; "record_table"; "page_table"; "file_table" ]);
+  ]
+
+let find_raw_shared_cell ~file stripped =
+  match List.assoc_opt (Filename.basename file) instrumented_fields with
+  | None -> []
+  | Some fields ->
+    let n = String.length stripped in
+    let vs = ref [] in
+    List.iter
+      (fun fld ->
+        let pat = "t." ^ fld in
+        let plen = String.length pat in
+        let i = ref 0 in
+        while !i <= n - plen do
+          if
+            String.sub stripped !i plen = pat
+            && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+            && (!i + plen >= n || not (is_ident_char stripped.[!i + plen]))
+          then begin
+            (* raw mutation after: "<-" or ":=" *)
+            let j = ref (!i + plen) in
+            while !j < n && (stripped.[!j] = ' ' || stripped.[!j] = '\n') do
+              incr j
+            done;
+            let mutated_after =
+              !j + 1 < n
+              && ((stripped.[!j] = '<' && stripped.[!j + 1] = '-')
+                 || (stripped.[!j] = ':' && stripped.[!j + 1] = '='))
+            in
+            (* raw Hashtbl op before: an identifier path ending just
+               before the field that starts with "Hashtbl." *)
+            let k = ref (!i - 1) in
+            while
+              !k >= 0 && (stripped.[!k] = ' ' || stripped.[!k] = '\n')
+            do
+              decr k
+            done;
+            let e = !k in
+            while !k >= 0 && (is_ident_char stripped.[!k] || stripped.[!k] = '.')
+            do
+              decr k
+            done;
+            let tok = String.sub stripped (!k + 1) (e - !k) in
+            let hashtbl_before =
+              String.length tok > 8 && String.sub tok 0 8 = "Hashtbl."
+            in
+            if mutated_after || hashtbl_before then
+              vs :=
+                {
+                  file;
+                  line = line_of stripped !i;
+                  rule = "raw-shared-cell";
+                  message =
+                    Printf.sprintf
+                      "raw access to instrumented field %s bypasses the \
+                       sanitizer; go through Sim.Cell.get/update (peek for \
+                       analysis-only reads)"
+                      pat;
+                }
+                :: !vs;
+            i := !i + plen
+          end
+          else incr i
+        done)
+      fields;
+    List.rev !vs
+
+(* ------------------------------------------------------------------ *)
 (* Rule: every bench experiment registers a JSON emitter               *)
 (* ------------------------------------------------------------------ *)
 
@@ -484,6 +656,8 @@ let lint_source ?(profile = Library) ~file src =
       find_direct_prints ~file stripped
       @ find_unseeded_random ~file stripped
       @ find_unsorted_hashtbl_iteration ~file stripped
+      @ find_global_mutable_state ~file stripped
+      @ find_raw_shared_cell ~file stripped
     | Bench -> find_unregistered_experiment ~file stripped)
   @ find_catch_alls ~file stripped
   @ find_unpaired ~file stripped

@@ -25,6 +25,21 @@
       chars of the call) with no "sort" within ~1200 chars hands
       hash-bucket order to digests or callers — sort first
       (heuristic windows, like paired-release's file granularity);
+    - {b global-mutable-state} (Library profile): no module-level
+      [ref]/[Hashtbl.create]/[Queue.create]/[Buffer.create] binding
+      (a [let] at indent <= 2 with no parameters) — such state is
+      shared across simulation worlds, leaks between explorer runs
+      and is invisible to the race sanitizer; allowlisted:
+      [logging.ml] (the process-wide source registry) and [sim.ml]
+      (the process-local storage key allocator);
+    - {b raw-shared-cell} (Library profile): fields migrated onto
+      {!Rhodos_sim.Sim.Cell} (the file agent's [inflight]/
+      [prefetched], the cache's [buffers], the lock manager's tables
+      and [released] set) must not be touched by a raw
+      [Hashtbl.* t.field], [t.field <-] or [t.field :=] — that
+      mutates the payload without the access reaching the sanitizer;
+      go through [Cell.get]/[Cell.update] ([peek] for analysis-only
+      reads);
     - {b missing-mli}: every [.ml] under the linted tree has a
       matching [.mli];
     - {b paired-release}: a file that acquires ([Semaphore.acquire],

@@ -228,7 +228,11 @@ let agent_read_write_race () =
       }
     in
     let tracer = Trace.create sim in
+    let sz = Sanitizer.create ~tracer sim in
     let agent = Fa.create ~config:cfg ~tracer ~sim ~conn () in
+    Sanitizer.attach_cache sz ~name:"agent-pool"
+      ~key_to_string:(fun (f, b) -> Printf.sprintf "%d.%d" f b)
+      (Fa.buffer_pool agent);
     let wdata = Bytes.make 256 'W' in
     let woff = (2 * bs) + 512 in
     let expected = Bytes.copy seed in
@@ -270,6 +274,7 @@ let agent_read_write_race () =
           invariant "no-lost-update" (fun () -> !agent_check);
         ];
       tracer = Some tracer;
+      sanitizer = Some sz;
       observe =
         (fun () ->
           let got = !(Hashtbl.find store 0) in
@@ -292,7 +297,9 @@ let agent_read_write_race () =
    must hold in every interleaving; all tables drain. *)
 let txn_lock_upgrade () =
   let setup sim =
+    let sz = Sanitizer.create sim in
     let lm, aborted = lm_with_aborts sim in
+    Sanitizer.attach_lock_manager sz lm;
     let det = Deadlock_detector.attach lm in
     let item = Lm.File_item 7 in
     let iw_holder = ref None in
@@ -352,6 +359,7 @@ let txn_lock_upgrade () =
               else Some (Printf.sprintf "%d 2PL violations" v));
         ];
       tracer = None;
+      sanitizer = Some sz;
       observe =
         (fun () ->
           let show (txn, o) =
@@ -378,6 +386,7 @@ let txn_lock_upgrade () =
    entry whose thunk ran but whose bytes never went out. *)
 let cache_midbatch_crash () =
   let setup sim =
+    let sz = Sanitizer.create sim in
     let persisted : (int, bytes) Hashtbl.t = Hashtbl.create 8 in
     let latest : (int, bytes) Hashtbl.t = Hashtbl.create 8 in
     let interrupted = ref None in
@@ -407,6 +416,7 @@ let cache_midbatch_crash () =
         ()
     in
     cache := Some c;
+    Sanitizer.attach_cache sz ~name:"midbatch" ~key_to_string:string_of_int c;
     let put k tag =
       let data = Bytes.make 8 tag in
       Hashtbl.replace latest k (Bytes.copy data);
@@ -467,6 +477,7 @@ let cache_midbatch_crash () =
                         (List.map string_of_int ks))))
         ];
       tracer = None;
+      sanitizer = Some sz;
       observe =
         (fun () ->
           Printf.sprintf "lost=%d dirty=[%s] interrupted=%s" !lost_count
@@ -533,6 +544,7 @@ let lost_update_model ~fixed () =
                      !server));
         ];
       tracer = None;
+      sanitizer = None;
       observe =
         (fun () ->
           Printf.sprintf "server=%s cache=%s" !server
@@ -547,6 +559,64 @@ let lost_update_model ~fixed () =
     sc_descr =
       "client-cache prefetch racing a local write (model of the PR-3 \
        data-path bug)";
+    sc_until = None;
+    sc_setup = setup;
+  }
+
+(* The sanitizer's pinned negative control: two workers each do a
+   read-modify-write of one shared [Data] cell across a sleep. With no
+   lock the RMW windows overlap under {e every} schedule — FIFO
+   included: the sanitizer reports a bad {e step} (unordered
+   conflicting accesses), not just a bad final state — and both the
+   happens-before and the lockset pass must catch it. The [locked]
+   variant brackets the RMW in an Iwrite lock; the grant/release
+   clock edges order the accesses and the common lock fills the
+   candidate lockset, so it must stay clean. *)
+let seeded_race_model ~locked () =
+  let setup sim =
+    let sz = Sanitizer.create sim in
+    let lm = Lm.create ~sim ~on_suspect:(fun ~txn:_ -> ()) () in
+    Sanitizer.attach_lock_manager sz lm;
+    let counter = Sim.Cell.create ~name:"model:shared-counter" sim 0 in
+    let item = Lm.File_item 1 in
+    let worker txn name =
+      ignore
+        (Sim.spawn ~name sim (fun () ->
+             if locked then Lm.acquire lm ~txn item Lm.Iwrite;
+             let v = Sim.Cell.get counter in
+             Sim.sleep sim 1.0;
+             Sim.Cell.set counter (v + 1);
+             if locked then Lm.release_all lm ~txn))
+    in
+    worker 1 "worker-a";
+    worker 2 "worker-b";
+    {
+      Explore.invariants =
+        (if locked then
+           [
+             invariant "no-lost-increment" (fun () ->
+                 (* [peek]: an after-the-run observer read must not
+                    register as an access *)
+                 let v = Sim.Cell.peek counter in
+                 if v = 2 then None
+                 else Some (Printf.sprintf "counter=%d, expected 2" v));
+           ]
+         else [])
+      ;
+      tracer = None;
+      sanitizer = Some sz;
+      observe = (fun () -> Printf.sprintf "counter=%d" (Sim.Cell.peek counter));
+    }
+  in
+  {
+    Explore.sc_name = (if locked then "seeded-race-locked" else "seeded-race-bug");
+    sc_descr =
+      (if locked then
+         "the seeded RMW race with the Iwrite lock held across the window: \
+          the sanitizer must stay silent"
+       else
+         "two lock-free RMWs of a shared cell across a sleep: both sanitizer \
+          passes must report it under every schedule");
     sc_until = None;
     sc_setup = setup;
   }
@@ -573,6 +643,8 @@ let find_scenario name =
     @ [
         ("lost-update-fixed", lost_update_model ~fixed:true ());
         ("lost-update-bug", lost_update_model ~fixed:false ());
+        ("seeded-race-bug", seeded_race_model ~locked:false ());
+        ("seeded-race-locked", seeded_race_model ~locked:true ());
       ]
   in
   List.assoc_opt name all

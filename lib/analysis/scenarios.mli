@@ -52,14 +52,24 @@ val lost_update_model : fixed:bool -> unit -> Explore.scenario
     negative control, violated only under the write-before-completion
     schedule. *)
 
+val seeded_race_model : locked:bool -> unit -> Explore.scenario
+(** The sanitizer's pinned negative control: two workers each
+    read-modify-write one shared [Data] cell across a sleep.
+    [~locked:false] is racy under {e every} schedule and must be
+    reported by both the happens-before and the lockset pass;
+    [~locked:true] brackets the RMW in an Iwrite lock and must stay
+    clean (the grant/release edges order the accesses, the common
+    lock fills the candidate lockset). *)
+
 val explorer_scenarios :
   unit -> (string * Explore.bounds * Explore.scenario) list
 (** The three seed scenarios above with their smoke-test bounds, in
     the order the [@explore] alias runs them. *)
 
 val find_scenario : string -> Explore.scenario option
-(** Look up any named scenario (seed scenarios plus the two
-    [lost-update-*] models) for [rhodos_analyze replay]. *)
+(** Look up any named scenario (seed scenarios, the two
+    [lost-update-*] models, and the two [seeded-race-*] models) for
+    [rhodos_analyze replay]. *)
 
 (** {2 Crash-point sweeps} *)
 

@@ -1,0 +1,53 @@
+(* Sorted (proc, count) assoc lists with counts >= 1; absent = 0. The
+   canonical form (sorted, no zero entries) makes structural equality
+   meaningful and keeps merge/leq a single linear walk. *)
+
+type t = (int * int) list
+
+let empty = []
+
+let rec get t p =
+  match t with
+  | [] -> 0
+  | (q, n) :: rest -> if q = p then n else if q > p then 0 else get rest p
+
+let rec tick t p =
+  match t with
+  | [] -> [ (p, 1) ]
+  | ((q, n) as e) :: rest ->
+    if q = p then (q, n + 1) :: rest
+    else if q > p then (p, 1) :: t
+    else e :: tick rest p
+
+let rec merge a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | ((p, n) as ea) :: ra, ((q, m) as eb) :: rb ->
+    if p = q then (p, max n m) :: merge ra rb
+    else if p < q then ea :: merge ra b
+    else eb :: merge a rb
+
+let rec leq a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | ((p, n) as ea) :: ra, (q, m) :: rb ->
+    if p = q then n <= m && leq ra rb
+    else if p > q then leq (ea :: ra) rb
+    else (* p < q: a has a component b lacks *) false
+
+type order = Before | After | Equal | Concurrent
+
+let compare_clocks a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let to_string t =
+  Printf.sprintf "{%s}"
+    (String.concat " "
+       (List.map (fun (p, n) -> Printf.sprintf "%d:%d" p n) t))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

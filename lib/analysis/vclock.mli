@@ -1,0 +1,34 @@
+(** Vector clocks over process ids, the happens-before backbone of the
+    race sanitizer. A clock maps each process to the count of its own
+    events known to the clock's owner; absent processes are at 0.
+    Clocks are immutable sorted association lists — small (a handful
+    of processes per scenario) and cheap to merge. *)
+
+type t
+
+val empty : t
+
+val get : t -> int -> int
+(** Component for one process (0 if absent). *)
+
+val tick : t -> int -> t
+(** Advance one process's own component by 1. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum: the join a process performs when it learns of
+    another's progress (receive, ivar read, lock acquire, wakeup). *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: [leq a b] iff everything [a] knows, [b] knows.
+    For access clocks this is exactly happens-before-or-equal. *)
+
+type order = Before | After | Equal | Concurrent
+
+val compare_clocks : t -> t -> order
+(** [Before] = strictly less ([leq] one way only), [Concurrent] =
+    incomparable. *)
+
+val to_string : t -> string
+(** ["{0:3 2:1}"] — for violation reports. *)
+
+val pp : Format.formatter -> t -> unit

@@ -5,7 +5,21 @@ type policy =
   | Write_through
   | Delayed_write of { flush_interval_ms : float }
 
-type buffer = { mutable data : bytes; mutable dirty : bool; mutable last_use : int }
+(* [flushing] marks a buffer whose bytes are in the hands of a
+   blocking writeback (batch entry whose thunk has not run yet, or a
+   single writeback in flight). Eviction must skip such buffers: a
+   victim evicted mid-flush gets its current bytes persisted by the
+   eviction and is then clobbered by the batch's older snapshot when
+   the batch resumes — a silent lost update (regression-tested in
+   test_cache). *)
+type buffer = {
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable last_use : int;
+  mutable flushing : bool;
+}
+
+type 'k event = Use_after_evict of 'k
 
 type 'k t = {
   name : string;
@@ -15,11 +29,31 @@ type 'k t = {
   writeback : 'k -> bytes -> unit;
   writeback_batch : (('k * bytes * (unit -> unit)) list -> unit) option;
   on_evict : ('k -> unit) option;
-  buffers : ('k, buffer) Hashtbl.t;
+  buffers : ('k, buffer) Hashtbl.t Sim.Cell.cell;
   mutable lru_clock : int;
   counters : Counter.t;
   mutable flusher : Sim.pid option;
+  mutable monitor : ('k event -> unit) option;
 }
+
+let set_monitor t f = t.monitor <- f
+
+(* Read / mutate the pool through its cell so the sanitizer observes
+   the accesses; [mut] runs an in-place mutation under an [update] so
+   it registers as a write. *)
+let bufs t = Sim.Cell.get t.buffers
+
+let mut t f =
+  Sim.Cell.update t.buffers (fun h ->
+      f h;
+      h)
+
+(* Is [b] still the pool's current buffer for [k]? An analysis check
+   ([peek]), not an access. *)
+let still_pooled t k b =
+  match Hashtbl.find_opt (Sim.Cell.peek t.buffers) k with
+  | Some b' -> b' == b
+  | None -> false
 
 (* A buffer is marked clean only when its bytes are actually on the
    way out, never for the whole set up front: the batch writer gets a
@@ -35,23 +69,41 @@ let write_out t dirty =
   | [], _ -> ()
   | entries, Some batch ->
     Counter.incr t.counters "batch_flushes";
-    batch
-      (List.map
-         (fun (k, b) ->
-           let snapshot = b.data in
-           ( k,
-             snapshot,
-             fun () ->
-               Counter.incr t.counters "writebacks";
-               if b.dirty && b.data == snapshot then b.dirty <- false ))
-         entries)
+    mut t (fun _ -> List.iter (fun (_, b) -> b.flushing <- true) entries);
+    let jobs =
+      List.map
+        (fun (k, b) ->
+          let snapshot = b.data in
+          ( k,
+            snapshot,
+            fun () ->
+              b.flushing <- false;
+              Counter.incr t.counters "writebacks";
+              (* The entry about to be persisted is no longer the
+                 pool's buffer for this key (invalidated or replaced
+                 mid-batch): the bytes going out can clobber newer
+                 durable state — report it. *)
+              (match t.monitor with
+              | Some f when not (still_pooled t k b) -> f (Use_after_evict k)
+              | Some _ | None -> ());
+              if b.dirty && b.data == snapshot then b.dirty <- false ))
+        entries
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        mut t (fun _ -> List.iter (fun (_, b) -> b.flushing <- false) entries))
+      (fun () -> batch jobs)
   | entries, None ->
     List.iter
       (fun (k, b) ->
         if b.dirty then begin
-          b.dirty <- false;
+          mut t (fun _ ->
+              b.dirty <- false;
+              b.flushing <- true);
           Counter.incr t.counters "writebacks";
-          t.writeback k b.data
+          Fun.protect
+            ~finally:(fun () -> b.flushing <- false)
+            (fun () -> t.writeback k b.data)
         end)
       entries
 
@@ -66,7 +118,9 @@ let rec flusher_loop t () =
 and flush t =
   (* Oldest dirty buffers first, so recency is preserved on re-dirty. *)
   let dirty =
-    Hashtbl.fold (fun k b acc -> if b.dirty then (k, b) :: acc else acc) t.buffers []
+    Hashtbl.fold
+      (fun k b acc -> if b.dirty then (k, b) :: acc else acc)
+      (bufs t) []
     |> List.sort (fun (_, a) (_, b) -> compare a.last_use b.last_use)
   in
   write_out t dirty
@@ -83,10 +137,13 @@ let create ?(name = "cache") ?writeback_batch ?on_evict ~sim ~capacity ~policy
       writeback;
       writeback_batch;
       on_evict;
-      buffers = Hashtbl.create capacity;
+      buffers =
+        Sim.Cell.create ~role:Sim.Sync ~name:("cache:" ^ name ^ ":pool") sim
+          (Hashtbl.create capacity);
       lru_clock = 0;
       counters = Counter.create ();
       flusher = None;
+      monitor = None;
     }
   in
   (match policy with
@@ -96,7 +153,7 @@ let create ?(name = "cache") ?writeback_batch ?on_evict ~sim ~capacity ~policy
   t
 
 let capacity t = t.capacity
-let length t = Hashtbl.length t.buffers
+let length t = Hashtbl.length (Sim.Cell.peek t.buffers)
 let stats t = t.counters
 
 let touch t b =
@@ -104,7 +161,7 @@ let touch t b =
   b.last_use <- t.lru_clock
 
 let find t k =
-  match Hashtbl.find_opt t.buffers k with
+  match Hashtbl.find_opt (bufs t) k with
   | Some b ->
     Counter.incr t.counters "hits";
     touch t b;
@@ -116,41 +173,59 @@ let find t k =
     Counter.incr t.counters "misses";
     None
 
-let mem t k = Hashtbl.mem t.buffers k
+let mem t k = Hashtbl.mem (bufs t) k
 
+(* [false] = nothing evictable (every candidate is mid-flush); the
+   pool then temporarily exceeds capacity rather than corrupting a
+   flush in progress. *)
 let evict_one t =
   let victim =
     Hashtbl.fold
       (fun k b acc ->
-        match acc with
-        | Some (_, best) when best.last_use <= b.last_use -> acc
-        | _ -> Some (k, b))
-      t.buffers None
+        if b.flushing then acc
+        else
+          match acc with
+          | Some (_, best) when best.last_use <= b.last_use -> acc
+          | _ -> Some (k, b))
+      (bufs t) None
   in
   match victim with
-  | None -> ()
+  | None -> false
   | Some (k, b) ->
     Counter.incr t.counters "evictions";
     (match t.on_evict with Some f -> f k | None -> ());
     if b.dirty then begin
       Counter.incr t.counters "dirty_evictions";
-      b.dirty <- false;
-      t.writeback k b.data
+      mut t (fun _ ->
+          b.dirty <- false;
+          b.flushing <- true);
+      Fun.protect
+        ~finally:(fun () -> b.flushing <- false)
+        (fun () -> t.writeback k b.data)
     end;
-    Hashtbl.remove t.buffers k
+    (* Re-dirtied during the blocking writeback: the new bytes must
+       survive, so the eviction is abandoned (the next round picks
+       another victim, or this one once it is flushed). *)
+    if not b.dirty then mut t (fun h -> Hashtbl.remove h k);
+    true
 
-let make_room t = while Hashtbl.length t.buffers >= t.capacity do evict_one t done
+let make_room t =
+  let evictable = ref true in
+  while !evictable && Hashtbl.length (bufs t) >= t.capacity do
+    evictable := evict_one t
+  done
 
 let upsert t k data ~dirty =
-  match Hashtbl.find_opt t.buffers k with
+  match Hashtbl.find_opt (bufs t) k with
   | Some b ->
-    b.data <- data;
-    if dirty then b.dirty <- true;
+    mut t (fun _ ->
+        b.data <- data;
+        if dirty then b.dirty <- true);
     touch t b
   | None ->
     make_room t;
-    let b = { data; dirty; last_use = 0 } in
-    Hashtbl.replace t.buffers k b;
+    let b = { data; dirty; last_use = 0; flushing = false } in
+    mut t (fun h -> Hashtbl.replace h k b);
     touch t b
 
 let insert_clean t k data = upsert t k data ~dirty:false
@@ -164,15 +239,15 @@ let write t k data =
     t.writeback k data
   | Delayed_write _ -> upsert t k data ~dirty:true
 
-let invalidate t k = Hashtbl.remove t.buffers k
+let invalidate t k = mut t (fun h -> Hashtbl.remove h k)
 
-let invalidate_all t = Hashtbl.reset t.buffers
+let invalidate_all t = mut t (fun h -> Hashtbl.reset h)
 
 let flush_keys t ks =
   let dirty =
     List.filter_map
       (fun k ->
-        match Hashtbl.find_opt t.buffers k with
+        match Hashtbl.find_opt (bufs t) k with
         | Some b when b.dirty -> Some (k, b)
         | Some _ | None -> None)
       ks
@@ -183,16 +258,20 @@ let flush_keys t ks =
 let flush_key t k = flush_keys t [ k ]
 
 let dirty_count t =
-  Hashtbl.fold (fun _ b acc -> if b.dirty then acc + 1 else acc) t.buffers 0
+  Hashtbl.fold
+    (fun _ b acc -> if b.dirty then acc + 1 else acc)
+    (Sim.Cell.peek t.buffers) 0
 
 let dirty_keys t =
-  Hashtbl.fold (fun k b acc -> if b.dirty then k :: acc else acc) t.buffers []
+  Hashtbl.fold
+    (fun k b acc -> if b.dirty then k :: acc else acc)
+    (Sim.Cell.peek t.buffers) []
   |> List.sort compare
 
 let crash t =
   let lost = dirty_count t in
   Counter.add t.counters "lost_dirty" lost;
-  Hashtbl.reset t.buffers;
+  mut t (fun h -> Hashtbl.reset h);
   lost
 
 let stop t =

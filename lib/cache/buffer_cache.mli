@@ -52,6 +52,13 @@ val create :
 
     The pool owns the buffers handed to [insert_clean]/[write];
     callers must not mutate them afterwards.
+
+    Buffers whose bytes are in the hands of a blocking writeback (a
+    batch entry not yet persisted, or a single writeback in flight)
+    are skipped by eviction: evicting mid-flush persisted the victim's
+    current bytes and then let the batch clobber them with its older
+    snapshot — a silent lost update. When every candidate is mid-flush
+    the pool temporarily exceeds capacity instead.
     @raise Invalid_argument if [capacity <= 0]. *)
 
 val capacity : 'k t -> int
@@ -108,3 +115,18 @@ val stats : 'k t -> Rhodos_util.Stats.Counter.t
 (** Counters: ["hits"], ["misses"], ["writes"], ["writebacks"],
     ["evictions"], ["dirty_evictions"], ["lost_dirty"],
     ["batch_flushes"] (calls into [writeback_batch]). *)
+
+(** {2 Protocol monitor}
+
+    Hook for the sanitizer ([Rhodos_analysis.Sanitizer]): emitted
+    synchronously from inside cache operations; the callback must not
+    block. No-op when unset. *)
+
+type 'k event =
+  | Use_after_evict of 'k
+      (** a batch entry's [written] thunk ran for a buffer that is no
+          longer the pool's current buffer for that key (invalidated
+          or replaced mid-batch): the snapshot about to be persisted
+          can clobber newer durable bytes *)
+
+val set_monitor : 'k t -> ('k event -> unit) option -> unit

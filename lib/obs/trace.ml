@@ -63,6 +63,8 @@ let current t =
   | Some s -> Some s.ctx
   | None -> None
 
+let context_ids c = (c.ctx_trace, c.ctx_span)
+
 let annotate t attrs =
   if enabled t then
     match Sim.Local.get t.sim t.key with

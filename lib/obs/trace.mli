@@ -57,6 +57,11 @@ val current : t -> context option
 (** Context of the innermost span enclosing the calling process, if
     any. *)
 
+val context_ids : context -> int * int
+(** [(trace id, span id)] — lets the sanitizer stamp each recorded
+    access with the span it happened under, so a race report can be
+    cross-referenced against the trace timeline. *)
+
 val with_span :
   ?parent:context ->
   ?attrs:(string * value) list ->

@@ -25,6 +25,35 @@ type proc = {
 
 type pid = proc
 
+(* Monitor events: a synchronous feed of every causality-relevant
+   primitive operation, consumed by the race/protocol sanitizer
+   ([Rhodos_analysis.Sanitizer]). Emission never schedules events and
+   never blocks, so an attached monitor cannot perturb the run digest;
+   with no monitor attached every hook is a single match on [None] —
+   no allocation, no call. [proc = -1] means "outside any process"
+   (top-level setup code or a bare timer thunk). Mailbox messages,
+   ivars, semaphores and cells carry per-world sequence numbers so the
+   consumer can pair a [M_recv] with the exact [M_send] that produced
+   the message even when deliveries reorder under a controlled
+   schedule. *)
+type cell_role = Data | Sync
+
+type mon_event =
+  | M_spawn of { parent : int; child : int; name : string }
+  | M_wake of { by : int; target : int }
+      (** [by] resumed parked process [target]: a mailbox send reaching
+          a waiter, a semaphore release, an ivar fill, a condition
+          signal — every cross-process wakeup funnels through here. *)
+  | M_send of { proc : int; mailbox : int; msg : int }
+  | M_recv of { proc : int; mailbox : int; msg : int }
+  | M_ivar_fill of { proc : int; ivar : int; double : bool }
+  | M_ivar_read of { proc : int; ivar : int }
+  | M_sem_acquire of { proc : int; sem : int }
+  | M_sem_release of { proc : int; sem : int }
+  | M_cell_created of { cell : int; name : string; role : cell_role }
+  | M_cell_read of { proc : int; cell : int; role : cell_role }
+  | M_cell_write of { proc : int; cell : int; role : cell_role }
+
 (* [live] lets a cancelled timer (say, the sleep of a killed process)
    be skipped without advancing the clock to its deadline. [id] is the
    creation sequence number, folded into the run digest at dispatch so
@@ -57,6 +86,8 @@ type t = {
   mutable n_choices : int;
   mutable choice_rev : (int * int) list; (* (n_ready, chosen), newest first *)
   mutable dispatch_rev : (float * string) list; (* only when [record] *)
+  mutable monitor : (mon_event -> unit) option;
+  mutable next_obj : int; (* mailbox/ivar/semaphore/cell id allocator *)
 }
 
 exception Blocking_outside_process
@@ -72,9 +103,18 @@ let create ?(tie_break = Prio_queue.Fifo) ?(track = false) ?scheduler
   { clock = 0.; events = Prio_queue.create ~tie:tie_break (); failure = None;
     next_pid = 0; current = None; next_event_id = 0; digest = 0; dispatched = 0;
     track; procs = []; scheduler; record; n_choices = 0; choice_rev = [];
-    dispatch_rev = [] }
+    dispatch_rev = []; monitor = None; next_obj = 0 }
 
 let now t = t.clock
+
+let set_monitor t f = t.monitor <- f
+
+let cur_id t = match t.current with Some p -> p.id | None -> -1
+
+let obj_id t =
+  let i = t.next_obj in
+  t.next_obj <- i + 1;
+  i
 
 let always_live () = true
 
@@ -124,6 +164,9 @@ let run_process t proc f =
                     else begin
                       resumed := true;
                       proc.state <- Ready;
+                      (match t.monitor with
+                      | Some f -> f (M_wake { by = cur_id t; target = proc.id })
+                      | None -> ());
                       schedule_event ~origin:proc t ~at:t.clock
                         ~live:always_live (fun () ->
                           let saved = t.current in
@@ -151,6 +194,9 @@ let spawn_at ?(name = "proc") t ~at f =
   in
   t.next_pid <- t.next_pid + 1;
   if t.track then t.procs <- proc :: t.procs;
+  (match t.monitor with
+  | Some f -> f (M_spawn { parent = cur_id t; child = proc.id; name })
+  | None -> ());
   schedule_event ~origin:proc t ~at ~live:always_live (fun () ->
       if proc.state = Ready && not proc.kill_pending then begin
         let saved = t.current in
@@ -275,6 +321,8 @@ let in_process t = t.current <> None
 
 let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
 
+let current_proc_id = cur_id
+
 module Local = struct
   type 'a key = {
     kid : int;
@@ -344,40 +392,69 @@ let audit t =
   { parked = List.rev parked; undelivered_kills = List.rev undelivered_kills }
 
 module Mailbox = struct
+  (* Messages travel as [(msg, v)] pairs where [msg] is a per-mailbox
+     sequence number, so the monitor can pair each receive with the
+     exact send that produced it even when a controlled schedule
+     reorders deliveries. The pairs never escape this module. *)
   type 'a mb = {
     sim : t;
-    queue : 'a Queue.t;
-    mutable waiters : ('a -> bool) list; (* reversed arrival order *)
+    mbid : int;
+    queue : (int * 'a) Queue.t;
+    mutable next_msg : int;
+    mutable waiters : ((int * 'a) -> bool) list; (* reversed arrival order *)
   }
 
-  let create sim = { sim; queue = Queue.create (); waiters = [] }
+  let create sim =
+    { sim; mbid = obj_id sim; queue = Queue.create (); next_msg = 0;
+      waiters = [] }
 
   let send mb v =
+    let msg = mb.next_msg in
+    mb.next_msg <- msg + 1;
+    (match mb.sim.monitor with
+    | Some f -> f (M_send { proc = cur_id mb.sim; mailbox = mb.mbid; msg })
+    | None -> ());
     let rec deliver = function
       | [] ->
         mb.waiters <- [];
-        Queue.push v mb.queue
-      | w :: rest -> if w v then mb.waiters <- rest else deliver rest
+        Queue.push (msg, v) mb.queue
+      | w :: rest -> if w (msg, v) then mb.waiters <- rest else deliver rest
     in
     deliver mb.waiters
 
-  let try_recv mb = Queue.take_opt mb.queue
+  (* Runs in the receiving process (fast path or just-resumed), so
+     [cur_id] attributes the receive correctly. *)
+  let got mb (msg, v) =
+    (match mb.sim.monitor with
+    | Some f -> f (M_recv { proc = cur_id mb.sim; mailbox = mb.mbid; msg })
+    | None -> ());
+    v
+
+  let try_recv mb =
+    match Queue.take_opt mb.queue with
+    | Some p -> Some (got mb p)
+    | None -> None
 
   let recv mb =
     match Queue.take_opt mb.queue with
-    | Some v -> v
+    | Some p -> got mb p
     | None ->
-      suspend mb.sim (fun waker -> mb.waiters <- mb.waiters @ [ waker ])
+      got mb
+        (suspend mb.sim (fun waker -> mb.waiters <- mb.waiters @ [ waker ]))
 
   let recv_timeout mb d =
     match Queue.take_opt mb.queue with
-    | Some v -> Some v
-    | None ->
-      suspend_full mb.sim (fun waker live ->
-          let deliver v = waker (Some v) in
-          mb.waiters <- mb.waiters @ [ deliver ];
-          schedule_event mb.sim ~at:(mb.sim.clock +. d) ~live (fun () ->
-              ignore (waker None)))
+    | Some p -> Some (got mb p)
+    | None -> (
+      match
+        suspend_full mb.sim (fun waker live ->
+            let deliver p = waker (Some p) in
+            mb.waiters <- mb.waiters @ [ deliver ];
+            schedule_event mb.sim ~at:(mb.sim.clock +. d) ~live (fun () ->
+                ignore (waker None)))
+      with
+      | Some p -> Some (got mb p)
+      | None -> None)
 
   let length mb = Queue.length mb.queue
 end
@@ -385,26 +462,42 @@ end
 module Semaphore = struct
   type sem = {
     sim : t;
+    sid : int;
     mutable count : int;
     mutable waiters : (unit -> bool) list;
   }
 
   let create sim count =
     if count < 0 then invalid_arg "Semaphore.create";
-    { sim; count; waiters = [] }
+    { sim; sid = obj_id sim; count; waiters = [] }
+
+  let acquired s =
+    match s.sim.monitor with
+    | Some f -> f (M_sem_acquire { proc = cur_id s.sim; sem = s.sid })
+    | None -> ()
 
   let acquire s =
-    if s.count > 0 then s.count <- s.count - 1
-    else suspend s.sim (fun waker -> s.waiters <- s.waiters @ [ waker ])
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      acquired s
+    end
+    else begin
+      suspend s.sim (fun waker -> s.waiters <- s.waiters @ [ waker ]);
+      acquired s
+    end
 
   let try_acquire s =
     if s.count > 0 then begin
       s.count <- s.count - 1;
+      acquired s;
       true
     end
     else false
 
   let release s =
+    (match s.sim.monitor with
+    | Some f -> f (M_sem_release { proc = cur_id s.sim; sem = s.sid })
+    | None -> ());
     let rec wake = function
       | [] ->
         s.waiters <- [];
@@ -455,17 +548,23 @@ end
 module Ivar = struct
   type 'a ivar = {
     sim : t;
+    ivid : int;
     mutable value : 'a option;
     mutable waiters : ('a -> bool) list;
   }
 
-  let create sim = { sim; value = None; waiters = [] }
+  let create sim = { sim; ivid = obj_id sim; value = None; waiters = [] }
 
   let peek iv = iv.value
 
   let is_filled iv = match iv.value with Some _ -> true | None -> false
 
   let fill iv v =
+    let double = is_filled iv in
+    (match iv.sim.monitor with
+    | Some f ->
+      f (M_ivar_fill { proc = cur_id iv.sim; ivar = iv.ivid; double })
+    | None -> ());
     match iv.value with
     | Some _ -> invalid_arg "Sim.Ivar.fill: already filled"
     | None ->
@@ -475,7 +574,70 @@ module Ivar = struct
       List.iter (fun w -> ignore (w v)) ws
 
   let read iv =
-    match iv.value with
-    | Some v -> v
-    | None -> suspend iv.sim (fun waker -> iv.waiters <- iv.waiters @ [ waker ])
+    let v =
+      match iv.value with
+      | Some v -> v
+      | None ->
+        suspend iv.sim (fun waker -> iv.waiters <- iv.waiters @ [ waker ])
+    in
+    (match iv.sim.monitor with
+    | Some f -> f (M_ivar_read { proc = cur_id iv.sim; ivar = iv.ivid })
+    | None -> ());
+    v
+end
+
+(* Instrumented shared state: the unit of cross-process mutable state
+   the sanitizer can see. A cell is just a mutable box whose reads and
+   writes emit monitor events; with no monitor attached each access is
+   one match on [None]. [Data] cells promise "every pair of accesses is
+   ordered by happens-before or guarded by a common lock" and are
+   race-checked pairwise; [Sync] cells are coordination state that is
+   lock-free by design in a cooperative simulator (lock tables, request
+   dedup maps, cache pools) — their accesses are counted but exempt
+   from pairwise reports, with protocol monitors covering them
+   instead. *)
+module Cell = struct
+  type 'a cell = {
+    sim : t;
+    cid : int;
+    cname : string;
+    crole : cell_role;
+    mutable v : 'a;
+  }
+
+  let create ?(role = Data) ?name sim v =
+    let cid = obj_id sim in
+    let cname =
+      match name with Some n -> n | None -> Printf.sprintf "cell#%d" cid
+    in
+    (match sim.monitor with
+    | Some f -> f (M_cell_created { cell = cid; name = cname; role })
+    | None -> ());
+    { sim; cid; cname; crole = role; v }
+
+  let name c = c.cname
+
+  let get c =
+    (match c.sim.monitor with
+    | Some f ->
+      f (M_cell_read { proc = cur_id c.sim; cell = c.cid; role = c.crole })
+    | None -> ());
+    c.v
+
+  let peek c = c.v
+
+  let set c v =
+    (match c.sim.monitor with
+    | Some f ->
+      f (M_cell_write { proc = cur_id c.sim; cell = c.cid; role = c.crole })
+    | None -> ());
+    c.v <- v
+
+  let update c f =
+    (match c.sim.monitor with
+    | Some g ->
+      g (M_cell_read { proc = cur_id c.sim; cell = c.cid; role = c.crole });
+      g (M_cell_write { proc = cur_id c.sim; cell = c.cid; role = c.crole })
+    | None -> ());
+    c.v <- f c.v
 end

@@ -90,6 +90,12 @@ val in_process : t -> bool
 
 val pid_name : t -> pid -> string
 
+val current_proc_id : t -> int
+(** Id of the process currently executing, [-1] outside any process —
+    the same attribution the monitor events carry. Lets a monitor
+    consumer attribute third-party event streams (e.g. lock-manager
+    events) to the process that produced them. *)
+
 (** {2 Process-local storage}
 
     A [Local.key] names one typed slot of per-process state. A child
@@ -113,6 +119,54 @@ module Local : sig
       No-op outside a process. Does not affect already-spawned
       children. *)
 end
+
+(** {2 Monitor hooks}
+
+    A monitor is a synchronous callback fed every causality-relevant
+    primitive operation: spawns, cross-process wakeups, mailbox
+    send/recv (with per-message sequence numbers so a receive pairs
+    with the exact send that produced it under any schedule), ivar
+    fill/read, semaphore acquire/release, and every {!Cell} access.
+    The race/protocol sanitizer ([Rhodos_analysis.Sanitizer]) is the
+    intended consumer. Emission never schedules events and never
+    blocks, so attaching a monitor cannot change the {!run_digest};
+    with no monitor attached each hook costs a single match on
+    [None] — no allocation, no call. *)
+
+type cell_role =
+  | Data
+      (** every access pair must be happens-before ordered or guarded
+          by a common lock; race-checked pairwise by the sanitizer *)
+  | Sync
+      (** coordination state that is lock-free by design in the
+          cooperative simulator (lock tables, dedup maps, cache
+          pools); exempt from pairwise race reports — protocol
+          monitors and end-state invariants cover it *)
+
+type mon_event =
+  | M_spawn of { parent : int; child : int; name : string }
+  | M_wake of { by : int; target : int }
+      (** process [by] resumed parked process [target]; [-1] = outside
+          any process (e.g. a timer). Every cross-process wakeup —
+          mailbox send reaching a waiter, semaphore release, ivar
+          fill, condition signal — funnels through this one edge. *)
+  | M_send of { proc : int; mailbox : int; msg : int }
+  | M_recv of { proc : int; mailbox : int; msg : int }
+  | M_ivar_fill of { proc : int; ivar : int; double : bool }
+      (** [double] = the ivar was already filled; emitted just before
+          [Ivar.fill] raises on the double fill *)
+  | M_ivar_read of { proc : int; ivar : int }
+  | M_sem_acquire of { proc : int; sem : int }
+  | M_sem_release of { proc : int; sem : int }
+  | M_cell_created of { cell : int; name : string; role : cell_role }
+      (** emitted only for cells created while the monitor is
+          attached; consumers fall back to ["cell#<id>"] otherwise *)
+  | M_cell_read of { proc : int; cell : int; role : cell_role }
+  | M_cell_write of { proc : int; cell : int; role : cell_role }
+
+val set_monitor : t -> (mon_event -> unit) option -> unit
+(** Install (or clear) the monitor. At most one monitor per world;
+    install it before creating the objects it should know by name. *)
 
 (** {2 Determinism sanitizer hooks}
 
@@ -240,4 +294,42 @@ module Ivar : sig
   val peek : 'a ivar -> 'a option
 
   val is_filled : 'a ivar -> bool
+end
+
+(** Instrumented shared state: a mutable box whose reads and writes
+    are monitor events, making cross-process mutable state observable
+    to the sanitizer. Library code holding state that several
+    processes touch (agent fetch bookkeeping, cache pools, lock
+    tables) keeps it in cells instead of bare [ref]s/[Hashtbl]s — the
+    [global-mutable-state] and [raw-shared-cell] lint rules enforce
+    the discipline. With no monitor attached an access costs one
+    match on [None]. *)
+module Cell : sig
+  type 'a cell
+
+  val create : ?role:cell_role -> ?name:string -> t -> 'a -> 'a cell
+  (** [role] defaults to [Data] (the checked discipline); pass
+      [~role:Sync] for by-design lock-free coordination state. Create
+      cells after {!set_monitor} so the sanitizer learns their
+      names. *)
+
+  val name : 'a cell -> string
+
+  val get : 'a cell -> 'a
+  (** Read the cell (emits [M_cell_read]). When the payload is itself
+      mutable (a [Hashtbl]), mutate it through {!update}, not through
+      the alias [get] returns — the [raw-shared-cell] lint flags the
+      latter. *)
+
+  val set : 'a cell -> 'a -> unit
+  (** Replace the payload (emits [M_cell_write]). *)
+
+  val update : 'a cell -> ('a -> 'a) -> unit
+  (** Read-modify-write (emits [M_cell_read] then [M_cell_write]).
+      For a mutable payload, [update c (fun h -> mutate h; h)] marks
+      the in-place mutation as a write. *)
+
+  val peek : 'a cell -> 'a
+  (** Unmonitored read, for reporting/debug paths that must not
+      register as accesses. *)
 end

@@ -15,6 +15,11 @@ let mode_to_string = function
 
 let mode_rank = function Read_only -> 0 | Iread -> 1 | Iwrite -> 2
 
+let item_to_string = function
+  | File_item f -> Printf.sprintf "file:%d" f
+  | Page_item (f, p) -> Printf.sprintf "page:%d.%d" f p
+  | Record_item (f, o, l) -> Printf.sprintf "record:%d.%d+%d" f o l
+
 let items_conflict a b =
   match (a, b) with
   | File_item f1, File_item f2 -> f1 = f2
@@ -78,35 +83,55 @@ type table = { mutable grants : grant list; mutable waiters : waiter list }
    the lock tables in the state the event describes. *)
 type event =
   | Ev_blocked of { txn : int; item : item; mode : mode }
-  | Ev_granted of { txn : int; item : item }
+  | Ev_granted of { txn : int; item : item; mode : mode }
   | Ev_cancelled of { txn : int }
   | Ev_released of { txn : int }
   | Ev_suspected of { txn : int }
 
+(* The lock tables and the shrink-phase set are cross-process shared
+   state, held in instrumented [Sim.Cell]s so the sanitizer observes
+   every access. [Sync] role: the tables are the synchronization
+   mechanism itself — protocol monitors (Table 1 on every grant, 2PL
+   phases) check them, not the pairwise race pass. *)
 type t = {
   sim : Sim.t;
   config : config;
   on_suspect : txn:int -> unit;
-  record_table : table;
-  page_table : table;
-  file_table : table;
-  released : (int, unit) Hashtbl.t; (* transactions past their shrink phase *)
+  record_table : table Sim.Cell.cell;
+  page_table : table Sim.Cell.cell;
+  file_table : table Sim.Cell.cell;
+  released : (int, unit) Hashtbl.t Sim.Cell.cell;
+      (* transactions past their shrink phase *)
   counters : Counter.t;
   events : event Rhodos_obs.Event_bus.t;
 }
 
 let create ?(config = default_config) ~sim ~on_suspect () =
+  let table name =
+    Sim.Cell.create ~role:Sim.Sync ~name sim { grants = []; waiters = [] }
+  in
   {
     sim;
     config;
     on_suspect;
-    record_table = { grants = []; waiters = [] };
-    page_table = { grants = []; waiters = [] };
-    file_table = { grants = []; waiters = [] };
-    released = Hashtbl.create 32;
+    record_table = table "lock:record-table";
+    page_table = table "lock:page-table";
+    file_table = table "lock:file-table";
+    released =
+      Sim.Cell.create ~role:Sim.Sync ~name:"lock:released" sim
+        (Hashtbl.create 32);
     counters = Counter.create ();
     events = Rhodos_obs.Event_bus.create ();
   }
+
+(* Read / mutate a table through its cell. [mut] mutates the record in
+   place under an [update] so the access registers as a write. *)
+let tbl tc = Sim.Cell.get tc
+
+let mut tc f =
+  Sim.Cell.update tc (fun tb ->
+      f tb;
+      tb)
 
 let subscribe t f = Rhodos_obs.Event_bus.subscribe t.events f
 
@@ -134,7 +159,8 @@ let stats t = t.counters
 (* Simulated lock-table search cost: proportional to the records
    examined, so coarse levels with "fewer locks to manage" really are
    cheaper, as section 6.5 argues. *)
-let charge_search t table =
+let charge_search t tc =
+  let table = tbl tc in
   let scanned = List.length table.grants + List.length table.waiters in
   let cost = t.config.search_cost_ms *. float_of_int scanned in
   if cost > 0. then Sim.sleep t.sim cost
@@ -144,10 +170,10 @@ let charge_search t table =
 let compatible_with_others t ~txn ~item ~mode =
   let others =
     List.concat_map
-      (fun table ->
+      (fun tc ->
         List.filter
           (fun g -> g.g_active && g.g_txn <> txn && conflicts t g.g_item item)
-          table.grants)
+          (tbl tc).grants)
       (relevant_tables t item)
   in
   match mode with
@@ -170,19 +196,19 @@ let self_grant table ~txn ~item =
    cannot be granted while any earlier waiter is still queued
    (head-of-line blocking is real waiting). *)
 let waits_for_edges t =
-  let edges_of_table table =
+  let edges_of_table tc =
     let rec walk ahead acc = function
       | [] -> acc
       | w :: rest ->
         let holders =
           List.concat_map
-            (fun tbl ->
+            (fun tblc ->
               List.filter_map
                 (fun g ->
                   if g.g_active && g.g_txn <> w.w_txn && conflicts t g.g_item w.w_item
                   then Some g.g_txn
                   else None)
-                tbl.grants)
+                (tbl tblc).grants)
             (relevant_tables t w.w_item)
         in
         let blockers = List.sort_uniq compare (holders @ ahead) in
@@ -190,9 +216,21 @@ let waits_for_edges t =
         let ahead = if List.mem w.w_txn ahead then ahead else w.w_txn :: ahead in
         walk ahead acc rest
     in
-    walk [] [] table.waiters
+    walk [] [] (tbl tc).waiters
   in
   List.concat_map edges_of_table (all_tables t) |> List.sort_uniq compare
+
+(* Snapshot of every active grant, for the sanitizer's Table 1 check
+   on each grant event. [peek]s the cells: an analysis read must not
+   itself register as an access. *)
+let active_grants t =
+  List.concat_map
+    (fun tc ->
+      List.filter_map
+        (fun g ->
+          if g.g_active then Some (g.g_txn, g.g_item, g.g_mode) else None)
+        (Sim.Cell.peek tc).grants)
+    (all_tables t)
 
 (* ------------------------------------------------------------------ *)
 (* Lease timers (section 6.4)                                          *)
@@ -206,8 +244,10 @@ let rec arm_lease t table g =
       if g.g_active then begin
         let contested =
           List.exists
-            (fun tbl ->
-              List.exists (fun w -> conflicts t w.w_item g.g_item) tbl.waiters)
+            (fun tblc ->
+              List.exists
+                (fun w -> conflicts t w.w_item g.g_item)
+                (tbl tblc).waiters)
             (relevant_tables t g.g_item)
         in
         if g.g_renewals >= t.config.max_renewals then begin
@@ -236,34 +276,36 @@ and suspect t g =
   ignore
     (Sim.spawn ~name:"lock-suspect" t.sim (fun () -> t.on_suspect ~txn:g.g_txn))
 
-let add_grant t table ~txn ~item ~mode =
+let add_grant t tc ~txn ~item ~mode =
   let g = { g_txn = txn; g_item = item; g_mode = mode; g_renewals = 0; g_active = true } in
-  table.grants <- table.grants @ [ g ];
+  mut tc (fun tb -> tb.grants <- tb.grants @ [ g ]);
   Counter.incr t.counters "grants";
-  arm_lease t table g
+  arm_lease t tc g
 
 (* Wake waiters in FIFO order, stopping at the first that still
    cannot be granted — strict FIFO prevents reader streams from
    starving writers. *)
-let rec pump t table =
-  match table.waiters with
+let rec pump t tc =
+  match (tbl tc).waiters with
   | [] -> ()
   | w :: rest ->
-    let self = self_grant table ~txn:w.w_txn ~item:w.w_item in
+    let self = self_grant (tbl tc) ~txn:w.w_txn ~item:w.w_item in
     let ok = compatible_with_others t ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode in
     if not ok then ()
     else begin
-      table.waiters <- rest;
+      mut tc (fun tb -> tb.waiters <- rest);
       (match self with
       | Some g when mode_rank w.w_mode > mode_rank g.g_mode ->
-        g.g_mode <- w.w_mode;
-        g.g_renewals <- 0;
+        mut tc (fun _ ->
+            g.g_mode <- w.w_mode;
+            g.g_renewals <- 0);
         Counter.incr t.counters "conversions"
       | Some _ -> ()
-      | None -> add_grant t table ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode);
-      emit t (Ev_granted { txn = w.w_txn; item = w.w_item });
+      | None -> add_grant t tc ~txn:w.w_txn ~item:w.w_item ~mode:w.w_mode);
+      let mode = match self with Some g -> g.g_mode | None -> w.w_mode in
+      emit t (Ev_granted { txn = w.w_txn; item = w.w_item; mode });
       ignore (w.w_waker Granted);
-      pump t table
+      pump t tc
     end
 
 (* ------------------------------------------------------------------ *)
@@ -271,23 +313,28 @@ let rec pump t table =
 (* ------------------------------------------------------------------ *)
 
 let note_2pl t ~txn =
-  if Hashtbl.mem t.released txn then Counter.incr t.counters "2pl_violations"
+  if Hashtbl.mem (Sim.Cell.get t.released) txn then
+    Counter.incr t.counters "2pl_violations"
 
 let acquire t ~txn item mode =
   Counter.incr t.counters "acquires";
   note_2pl t ~txn;
-  let table = table_of t item in
-  charge_search t table;
-  match self_grant table ~txn ~item with
+  let tc = table_of t item in
+  charge_search t tc;
+  match self_grant (tbl tc) ~txn ~item with
   | Some g when mode_rank mode <= mode_rank g.g_mode -> () (* already strong enough *)
   | self -> (
     let can_upgrade_now = compatible_with_others t ~txn ~item ~mode in
     match self with
     | Some g when can_upgrade_now ->
-      g.g_mode <- mode;
-      g.g_renewals <- 0;
-      Counter.incr t.counters "conversions"
-    | None when can_upgrade_now -> add_grant t table ~txn ~item ~mode
+      mut tc (fun _ ->
+          g.g_mode <- mode;
+          g.g_renewals <- 0);
+      Counter.incr t.counters "conversions";
+      emit t (Ev_granted { txn; item; mode })
+    | None when can_upgrade_now ->
+      add_grant t tc ~txn ~item ~mode;
+      emit t (Ev_granted { txn; item; mode })
     | _ ->
       Counter.incr t.counters "waits";
       let outcome =
@@ -303,13 +350,13 @@ let acquire t ~txn item mode =
             in
             (* Conversions queue ahead of fresh requests so an
                upgrader is not starved by arrivals behind it. *)
-            if w.w_upgrade then begin
-              let upgrades, rest =
-                List.partition (fun x -> x.w_upgrade) table.waiters
-              in
-              table.waiters <- upgrades @ [ w ] @ rest
-            end
-            else table.waiters <- table.waiters @ [ w ];
+            if w.w_upgrade then
+              mut tc (fun tb ->
+                  let upgrades, rest =
+                    List.partition (fun x -> x.w_upgrade) tb.waiters
+                  in
+                  tb.waiters <- upgrades @ [ w ] @ rest)
+            else mut tc (fun tb -> tb.waiters <- tb.waiters @ [ w ]);
             emit t (Ev_blocked { txn; item; mode }))
       in
       match outcome with
@@ -319,33 +366,39 @@ let acquire t ~txn item mode =
 let try_acquire t ~txn item mode =
   Counter.incr t.counters "acquires";
   note_2pl t ~txn;
-  let table = table_of t item in
-  charge_search t table;
-  match self_grant table ~txn ~item with
+  let tc = table_of t item in
+  charge_search t tc;
+  match self_grant (tbl tc) ~txn ~item with
   | Some g when mode_rank mode <= mode_rank g.g_mode -> true
   | self ->
     if compatible_with_others t ~txn ~item ~mode then begin
       (match self with
       | Some g ->
-        g.g_mode <- mode;
-        g.g_renewals <- 0;
+        mut tc (fun _ ->
+            g.g_mode <- mode;
+            g.g_renewals <- 0);
         Counter.incr t.counters "conversions"
-      | None -> add_grant t table ~txn ~item ~mode);
+      | None -> add_grant t tc ~txn ~item ~mode);
+      emit t (Ev_granted { txn; item; mode });
       true
     end
     else false
 
 let release_all t ~txn =
-  Hashtbl.replace t.released txn ();
+  Sim.Cell.update t.released (fun h ->
+      Hashtbl.replace h txn ();
+      h);
   let released_any = ref false in
   List.iter
-    (fun table ->
-      let mine, rest = List.partition (fun g -> g.g_txn = txn) table.grants in
+    (fun tc ->
+      let mine, rest =
+        List.partition (fun g -> g.g_txn = txn) (tbl tc).grants
+      in
       List.iter (fun g -> g.g_active <- false) mine;
-      table.grants <- rest;
+      mut tc (fun tb -> tb.grants <- rest);
       if mine <> [] then begin
         released_any := true;
-        pump t table
+        pump t tc
       end)
     (all_tables t);
   if !released_any then emit t (Ev_released { txn });
@@ -355,38 +408,45 @@ let release_all t ~txn =
 
 let cancel_waits t ~txn =
   List.iter
-    (fun table ->
-      let mine, rest = List.partition (fun w -> w.w_txn = txn) table.waiters in
-      table.waiters <- rest;
+    (fun tc ->
+      let mine, rest =
+        List.partition (fun w -> w.w_txn = txn) (tbl tc).waiters
+      in
+      mut tc (fun tb -> tb.waiters <- rest);
       List.iter
         (fun w ->
           emit t (Ev_cancelled { txn = w.w_txn });
           ignore (w.w_waker Cancelled))
         mine;
       (* Removing a waiter may unblock the queue behind it. *)
-      if mine <> [] then pump t table)
+      if mine <> [] then pump t tc)
     (all_tables t)
 
 let holds t ~txn item =
-  let table = table_of t item in
-  Option.map (fun g -> g.g_mode) (self_grant table ~txn ~item)
+  Option.map (fun g -> g.g_mode) (self_grant (tbl (table_of t item)) ~txn ~item)
+
+(* The remaining accessors are reporting paths (metrics, invariants):
+   [peek], so collection does not register as accesses. *)
 
 let held_count t ~txn =
   List.fold_left
-    (fun acc table ->
-      acc + List.length (List.filter (fun g -> g.g_txn = txn) table.grants))
+    (fun acc tc ->
+      acc
+      + List.length
+          (List.filter (fun g -> g.g_txn = txn) (Sim.Cell.peek tc).grants))
     0 (all_tables t)
 
 let waiter_count t =
-  List.length t.record_table.waiters
-  + List.length t.page_table.waiters
-  + List.length t.file_table.waiters
+  List.fold_left
+    (fun acc tc -> acc + List.length (Sim.Cell.peek tc).waiters)
+    0 (all_tables t)
 
 let table_size t level =
   let table =
-    match level with
-    | `Record -> t.record_table
-    | `Page -> t.page_table
-    | `File -> t.file_table
+    Sim.Cell.peek
+      (match level with
+      | `Record -> t.record_table
+      | `Page -> t.page_table
+      | `File -> t.file_table)
   in
   List.length table.grants + List.length table.waiters

@@ -48,6 +48,9 @@ type item =
 
 val mode_to_string : mode -> string
 
+val item_to_string : item -> string
+(** ["file:3"], ["page:3.1"], ["record:3.0+80"] — for reports. *)
+
 val mode_rank : mode -> int
 (** Strength order: read-only < Iread < Iwrite. Conversions only ever
     increase rank. *)
@@ -141,8 +144,10 @@ val stats : t -> Rhodos_util.Stats.Counter.t
 type event =
   | Ev_blocked of { txn : int; item : item; mode : mode }
       (** the transaction enqueued as a waiter *)
-  | Ev_granted of { txn : int; item : item }
-      (** a queued waiter was granted (or converted) *)
+  | Ev_granted of { txn : int; item : item; mode : mode }
+      (** a grant or conversion took effect, immediate or after a
+          wait; [mode] is the mode now held. Re-acquiring at a rank
+          already held is a no-op and emits nothing. *)
   | Ev_cancelled of { txn : int }  (** a queued waiter was cancelled *)
   | Ev_released of { txn : int }   (** [release_all] dropped its grants *)
   | Ev_suspected of { txn : int }
@@ -158,6 +163,11 @@ val subscribe : t -> (event -> unit) -> Rhodos_obs.Event_bus.token
     Detach with {!unsubscribe}. *)
 
 val unsubscribe : t -> Rhodos_obs.Event_bus.token -> unit
+
+val active_grants : t -> (int * item * mode) list
+(** Snapshot of every active grant as [(txn, item, mode)], across the
+    three tables — the sanitizer's Table 1 compatibility check reads
+    this on each [Ev_granted]. Does not register as cell accesses. *)
 
 val waits_for_edges : t -> (int * int) list
 (** Snapshot of the waits-for relation as [(waiter, blocker)] pairs:

@@ -16,6 +16,9 @@ module Table_check = Rhodos_analysis.Table_check
 module Determinism = Rhodos_analysis.Determinism
 module Explore = Rhodos_analysis.Explore
 module Lint = Rhodos_analysis.Lint
+module Vclock = Rhodos_analysis.Vclock
+module Sanitizer = Rhodos_analysis.Sanitizer
+module Cache = Rhodos_cache.Buffer_cache
 
 (* ------------------------------------------------------------------ *)
 (* items_conflict: unit edge cases                                     *)
@@ -552,6 +555,272 @@ let test_lint_repo_clean () =
     check int "lib/ lints clean" 0 (List.length vs)
   end
 
+let test_lint_global_state () =
+  check (list string) "module-level Hashtbl flagged" [ "global-mutable-state" ]
+    (rules
+       (Lint.lint_source ~file:"t.ml"
+          "let sources : (string, int) Hashtbl.t = Hashtbl.create 8"));
+  check (list string) "module-level ref flagged" [ "global-mutable-state" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let hits = ref 0"));
+  check (list string) "creator function allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let create () = Hashtbl.create 8"));
+  check (list string) "parameterized binding allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "let clone (t : t) = ref t.v"));
+  check (list string) "nested binding allowed" []
+    (rules
+       (Lint.lint_source ~file:"t.ml"
+          "let f x =\n    let q = Queue.create () in\n    ignore q; x"));
+  check (list string) "allowlisted registry file exempt" []
+    (rules (Lint.lint_source ~file:"logging.ml" "let sources = Hashtbl.create 8"))
+
+let test_lint_raw_cell () =
+  check (list string) "raw Hashtbl op on a migrated field flagged"
+    [ "raw-shared-cell" ]
+    (rules
+       (Lint.lint_source ~file:"file_agent.ml"
+          "let forget t k = Hashtbl.remove t.inflight k"));
+  check (list string) "raw field assignment flagged" [ "raw-shared-cell" ]
+    (rules
+       (Lint.lint_source ~file:"buffer_cache.ml" "let reset t v = t.buffers <- v"));
+  check (list string) "cell accessors allowed" []
+    (rules
+       (Lint.lint_source ~file:"file_agent.ml"
+          "let pending t = Cell.get t.inflight"));
+  check (list string) "same pattern in an uninstrumented file allowed" []
+    (rules
+       (Lint.lint_source ~file:"other.ml"
+          "let forget t k = Hashtbl.remove t.inflight k"));
+  check (list string) "unrelated fields unconstrained" []
+    (rules (Lint.lint_source ~file:"file_agent.ml" "let bump t v = t.stats <- v"))
+
+(* ------------------------------------------------------------------ *)
+(* Race and protocol sanitizers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sz_kinds sz =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Sanitizer.v_kind) (Sanitizer.violations sz))
+
+let test_vclock_basics () =
+  let a = Vclock.tick (Vclock.tick Vclock.empty 0) 0 in
+  let b = Vclock.tick Vclock.empty 1 in
+  let m = Vclock.merge a b in
+  check int "absent component is 0" 0 (Vclock.get Vclock.empty 3);
+  check int "tick advances own component" 2 (Vclock.get a 0);
+  check int "merge keeps max of 0" 2 (Vclock.get m 0);
+  check int "merge keeps max of 1" 1 (Vclock.get m 1);
+  check bool "empty <= anything" true (Vclock.leq Vclock.empty a);
+  check bool "a <= merge a b" true (Vclock.leq a m);
+  check bool "merge a b </= a" false (Vclock.leq m a);
+  check bool "disjoint clocks are concurrent" true
+    (Vclock.compare_clocks a b = Vclock.Concurrent);
+  check bool "a before its join" true (Vclock.compare_clocks a m = Vclock.Before);
+  check bool "join after a" true (Vclock.compare_clocks m a = Vclock.After);
+  check bool "merge is commutative (Equal)" true
+    (Vclock.compare_clocks m (Vclock.merge b a) = Vclock.Equal);
+  check string "rendering" "{0:2 1:1}" (Vclock.to_string m)
+
+(* Workers touching one shared cell under per-worker lock lists: the
+   candidate lockset narrows by intersection, and chained common locks
+   provide the happens-before edges that keep the narrowing benign. *)
+let run_lock_workers specs =
+  let sim = Sim.create () in
+  let sz = Sanitizer.create sim in
+  let lm = Lm.create ~sim ~on_suspect:(fun ~txn:_ -> ()) () in
+  Sanitizer.attach_lock_manager sz lm;
+  let cell = Sim.Cell.create ~name:"narrow:shared" sim 0 in
+  List.iteri
+    (fun i (txn, items) ->
+      ignore
+        (Sim.spawn_at
+           ~name:(Printf.sprintf "narrow-w%d" i)
+           sim ~at:(float_of_int i)
+           (fun () ->
+             List.iter (fun it -> Lm.acquire lm ~txn it Lm.Iwrite) items;
+             Sim.Cell.update cell (fun v -> v + 1);
+             Lm.release_all lm ~txn)))
+    specs;
+  Sim.run sim;
+  sz_kinds sz
+
+let test_lockset_narrowing () =
+  let a = Lm.File_item 1 and b = Lm.File_item 2 and c = Lm.File_item 3 in
+  check (list string) "chained common locks: candidate narrows but stays clean"
+    []
+    (run_lock_workers [ (1, [ a; b ]); (2, [ b; c ]); (3, [ c ]) ]);
+  check (list string) "a worker sharing no lock with the chain races"
+    [ "data-race"; "lockset" ]
+    (run_lock_workers [ (1, [ a; b ]); (2, [ b; c ]); (3, [ c ]); (4, [ a ]) ])
+
+(* A small fully synchronized workload: three workers update a cell
+   under a semaphore, report through a mailbox, one fills an ivar; a
+   collector joins everything and writes a second cell. Every access
+   pair is ordered by some chain of sync edges, so the sanitizer must
+   stay silent under EVERY schedule. *)
+let hb_setup ~sanitize sz_ref sim =
+  if sanitize then sz_ref := Some (Sanitizer.create sim);
+  let c1 = Sim.Cell.create ~name:"hb:counter" sim 0 in
+  let c2 = Sim.Cell.create ~name:"hb:total" sim 0 in
+  let sem = Sim.Semaphore.create sim 1 in
+  let mb = Sim.Mailbox.create sim in
+  let iv = Sim.Ivar.create sim in
+  for i = 0 to 2 do
+    ignore
+      (Sim.spawn ~name:(Printf.sprintf "hb-w%d" i) sim (fun () ->
+           Sim.Semaphore.acquire sem;
+           let v = Sim.Cell.get c1 in
+           Sim.yield sim;
+           Sim.Cell.set c1 (v + 1);
+           Sim.Semaphore.release sem;
+           Sim.Mailbox.send mb i;
+           if i = 0 then Sim.Ivar.fill iv 40))
+  done;
+  ignore
+    (Sim.spawn ~name:"hb-collector" sim (fun () ->
+         let s = ref 0 in
+         for _ = 1 to 3 do
+           s := !s + Sim.Mailbox.recv mb
+         done;
+         let v = Sim.Ivar.read iv in
+         Sim.Cell.set c2 (!s + v)))
+
+let prop_hb_partial_order =
+  (* Under random schedules, the access clocks the sanitizer records
+     form a strict partial order consistent with program order: within
+     a process later accesses are strictly After, no two distinct
+     accesses are Equal, and [leq] is transitive. *)
+  QCheck.Test.make ~name:"happens-before is a strict partial order" ~count:30
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let sz_ref = ref None in
+      ignore
+        (Explore.exec
+           ~scheduler:(Schedule.random ~seed ())
+           ~setup:(hb_setup ~sanitize:true sz_ref)
+           ~observe:(fun _ -> "")
+           ());
+      let sz = match !sz_ref with Some s -> s | None -> assert false in
+      let accs = Array.of_list (Sanitizer.accesses sz) in
+      let n = Array.length accs in
+      let clock i = accs.(i).Sanitizer.acc_clock in
+      let ok = ref (n >= 7 && Sanitizer.violations sz = []) in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if accs.(i).Sanitizer.acc_proc = accs.(j).Sanitizer.acc_proc then
+            ok :=
+              !ok && Vclock.compare_clocks (clock i) (clock j) = Vclock.Before
+        done
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            ok := !ok && Vclock.compare_clocks (clock i) (clock j) <> Vclock.Equal
+        done
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if Vclock.leq (clock i) (clock j) && Vclock.leq (clock j) (clock k)
+            then ok := !ok && Vclock.leq (clock i) (clock k)
+          done
+        done
+      done;
+      !ok)
+
+let test_sanitizer_digest_neutral () =
+  (* Attaching the sanitizer must not perturb the simulation: emission
+     never schedules events, so the run digest and dispatch count are
+     byte-for-byte those of the bare run. *)
+  let go ~sanitize =
+    let sz_ref = ref None in
+    Explore.exec ~setup:(hb_setup ~sanitize sz_ref) ~observe:(fun _ -> "") ()
+  in
+  let bare = go ~sanitize:false in
+  let monitored = go ~sanitize:true in
+  check int "same digest with and without the sanitizer" bare.Explore.digest
+    monitored.Explore.digest;
+  check int "same dispatch count" bare.Explore.dispatched
+    monitored.Explore.dispatched
+
+let test_seeded_race_both_passes () =
+  (* End-to-end negative control: the unlocked counter model is caught
+     by BOTH passes even under plain FIFO, and adding the lock silences
+     both. *)
+  let _, viols =
+    Explore.run_schedule (Scenarios.seeded_race_model ~locked:false ()) []
+  in
+  check bool "happens-before pass fires" true
+    (List.mem_assoc "sanitizer:data-race" viols);
+  check bool "lockset pass fires" true
+    (List.mem_assoc "sanitizer:lockset" viols);
+  let _, viols =
+    Explore.run_schedule (Scenarios.seeded_race_model ~locked:true ()) []
+  in
+  check int "locked variant is clean" 0 (List.length viols)
+
+let test_protocol_monitors_feed () =
+  (* Drive the lock-protocol monitors with the synthetic event stream
+     the real lock manager refuses to produce. *)
+  let sim = Sim.create () in
+  let sz = Sanitizer.create sim in
+  let item = Lm.File_item 7 in
+  let feed ev = Sanitizer.feed_lock_event sz ev in
+  feed (Lm.Ev_granted { txn = 1; item; mode = Lm.Iwrite });
+  feed (Lm.Ev_granted { txn = 2; item; mode = Lm.Iwrite });
+  (* incompatible: table1 *)
+  feed (Lm.Ev_granted { txn = 1; item; mode = Lm.Iwrite });
+  (* re-grant at a held rank: double-acquire *)
+  feed (Lm.Ev_released { txn = 3 });
+  (* nothing held: release-without-hold *)
+  feed (Lm.Ev_released { txn = 1 });
+  feed (Lm.Ev_granted { txn = 1; item; mode = Lm.Iread });
+  (* growing again after shrinking: 2pl *)
+  check (list string) "each monitor fired exactly once"
+    [ "2pl"; "double-acquire"; "release-without-hold"; "table1" ]
+    (sz_kinds sz)
+
+let test_sanitizer_ivar_double_fill () =
+  let sim = Sim.create () in
+  let sz = Sanitizer.create sim in
+  ignore
+    (Sim.spawn ~name:"filler" sim (fun () ->
+         let iv = Sim.Ivar.create sim in
+         Sim.Ivar.fill iv 1;
+         try Sim.Ivar.fill iv 2 with Invalid_argument _ -> ()));
+  Sim.run sim;
+  check (list string) "double fill reported" [ "ivar-double-fill" ] (sz_kinds sz)
+
+let test_sanitizer_use_after_evict () =
+  (* Same shape as the cache's own monitor test, but routed through
+     [Sanitizer.attach_cache]: the stale batch entry must surface as a
+     ["use-after-evict"] violation. *)
+  let sim = Sim.create () in
+  let sz = Sanitizer.create sim in
+  let writeback_batch entries =
+    List.iter
+      (fun (_, _, written) ->
+        Sim.sleep sim 1.0;
+        written ())
+      entries
+  in
+  let c =
+    Cache.create ~writeback_batch ~sim ~capacity:8
+      ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+      ~writeback:(fun _ _ -> ())
+      ()
+  in
+  Sanitizer.attach_cache sz ~name:"t" ~key_to_string:string_of_int c;
+  ignore
+    (Sim.spawn ~name:"flusher" sim (fun () ->
+         Cache.write c 0 (Bytes.make 4 'a');
+         Cache.write c 1 (Bytes.make 4 'b');
+         Cache.flush c));
+  ignore
+    (Sim.spawn_at ~name:"invalidator" sim ~at:1.5 (fun () ->
+         Cache.invalidate c 1));
+  Sim.run sim;
+  check (list string) "stale entry reported" [ "use-after-evict" ] (sz_kinds sz)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -617,6 +886,21 @@ let () =
           test_case "forbidden identifiers" `Quick test_lint_forbidden;
           test_case "acquire/release pairing" `Quick test_lint_pairing;
           test_case "bench profile" `Quick test_lint_bench_profile;
+          test_case "global mutable state" `Quick test_lint_global_state;
+          test_case "raw shared cell" `Quick test_lint_raw_cell;
           test_case "repo lib/ is clean" `Quick test_lint_repo_clean;
+        ] );
+      ( "race sanitizer",
+        [
+          test_case "vclock basics" `Quick test_vclock_basics;
+          test_case "lockset narrowing" `Quick test_lockset_narrowing;
+          QCheck_alcotest.to_alcotest prop_hb_partial_order;
+          test_case "digest neutral" `Quick test_sanitizer_digest_neutral;
+          test_case "seeded race caught by both passes" `Quick
+            test_seeded_race_both_passes;
+          test_case "protocol monitors" `Quick test_protocol_monitors_feed;
+          test_case "ivar double fill" `Quick test_sanitizer_ivar_double_fill;
+          test_case "use-after-evict via attach_cache" `Quick
+            test_sanitizer_use_after_evict;
         ] );
     ]

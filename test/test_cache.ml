@@ -272,6 +272,87 @@ let test_on_evict_hook () =
       check (Alcotest.list int) "invalidate is not an eviction" [ 1 ]
         (List.rev !evicted))
 
+let test_evict_during_flush_keeps_new_bytes () =
+  (* Regression for the flushing-flag eviction guard: a victim evicted
+     while its bytes sit in a blocking batch writeback used to get its
+     CURRENT bytes persisted by the eviction, marked clean and removed
+     — and then the batch clobbered the store with its OLDER snapshot,
+     with nothing left dirty to re-flush. The new bytes were silently
+     lost. Now mid-flush buffers are skipped by eviction (the pool
+     temporarily exceeds capacity instead), the identity check keeps
+     the rewritten buffer dirty, and the next flush persists the new
+     bytes. *)
+  let sim = Sim.create () in
+  let persisted : (int, bytes) Hashtbl.t = Hashtbl.create 8 in
+  let writeback k d = Hashtbl.replace persisted k (Bytes.copy d) in
+  let writeback_batch entries =
+    List.iter
+      (fun (k, d, written) ->
+        Sim.sleep sim 1.0;
+        written ();
+        Hashtbl.replace persisted k (Bytes.copy d))
+      entries
+  in
+  let c =
+    Cache.create ~name:"evflush" ~writeback_batch ~sim ~capacity:3
+      ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+      ~writeback ()
+  in
+  ignore
+    (Sim.spawn ~name:"flusher" sim (fun () ->
+         Cache.write c 0 (data 0);
+         Cache.write c 1 (data 1);
+         Cache.write c 2 (data 2);
+         Cache.flush c));
+  ignore
+    (Sim.spawn_at ~name:"mutator" sim ~at:0.5 (fun () ->
+         (* Mid-batch: rewrite key 0 with new bytes, then insert enough
+            keys that capacity pressure would (pre-fix) evict key 0 and
+            persist-then-clobber it. *)
+         Cache.write c 0 (data 9);
+         Cache.insert_clean c 3 (data 3);
+         Cache.insert_clean c 4 (data 4);
+         Cache.insert_clean c 5 (data 5);
+         Cache.insert_clean c 6 (data 6);
+         check bool "pool exceeds capacity rather than corrupting the flush"
+           true
+           (Cache.length c > Cache.capacity c)));
+  ignore (Sim.spawn_at ~name:"second-flush" sim ~at:10. (fun () -> Cache.flush c));
+  Sim.run sim;
+  check (Alcotest.option Alcotest.bytes) "key 0 durable with the NEW bytes"
+    (Some (data 9))
+    (Hashtbl.find_opt persisted 0)
+
+let test_use_after_evict_monitor () =
+  (* A batch entry whose buffer was invalidated before its thunk ran
+     is about to persist a stale snapshot: the protocol monitor must
+     say so. *)
+  let sim = Sim.create () in
+  let events = ref [] in
+  let writeback_batch entries =
+    List.iter
+      (fun (_, _, written) ->
+        Sim.sleep sim 1.0;
+        written ())
+      entries
+  in
+  let c =
+    Cache.create ~writeback_batch ~sim ~capacity:8
+      ~policy:(Cache.Delayed_write { flush_interval_ms = 0. })
+      ~writeback:(fun _ _ -> ())
+      ()
+  in
+  Cache.set_monitor c
+    (Some (fun (Cache.Use_after_evict k) -> events := k :: !events));
+  ignore
+    (Sim.spawn ~name:"flusher" sim (fun () ->
+         Cache.write c 0 (data 0);
+         Cache.write c 1 (data 1);
+         Cache.flush c));
+  ignore (Sim.spawn_at ~name:"invalidator" sim ~at:1.5 (fun () -> Cache.invalidate c 1));
+  Sim.run sim;
+  check (Alcotest.list int) "monitor saw the stale entry" [ 1 ] !events
+
 let delayed_write_coalesces_prop =
   (* N writes to the same key cost exactly one writeback on flush. *)
   QCheck.Test.make ~name:"delayed-write coalesces repeated writes" ~count:50
@@ -330,4 +411,11 @@ let () =
         ] );
       ( "failure",
         [ Alcotest.test_case "crash loses dirty window" `Quick test_crash_loses_dirty ] );
+      ( "flush races",
+        [
+          Alcotest.test_case "evict during flush keeps new bytes" `Quick
+            test_evict_during_flush_keeps_new_bytes;
+          Alcotest.test_case "use-after-evict monitor" `Quick
+            test_use_after_evict_monitor;
+        ] );
     ]
