@@ -1,36 +1,152 @@
-(* Repo lint driver: [rhodos_lint DIR...] lints every .ml under the
-   given directories (default: lib) and exits nonzero on any
-   violation. Directories named "bench" get the Bench profile (tables
-   print directly, executables carry no .mli, and every exp_*.ml must
-   register a JSON emitter); everything else is linted as Library.
-   Wired to the @lint alias, which is part of the tier-1 runtest
-   path. *)
+(* Repo lint driver.
+
+   [rhodos_lint DIR...] — token-based text lint over every .ml under
+   the given directories (default: lib). Directories named "bench"
+   get the Bench profile. Wired to the @lint alias on the tier-1
+   runtest path.
+
+   [rhodos_lint static [--json] [--baseline FILE] [--write-baseline
+   FILE] [--self-test DIR] [DIR...]] — the AST-based whole-program
+   analysis (call graph, may-block fixpoint, lock-order graph,
+   wire-protocol coverage, AST ports of the token rules; text-engine
+   fallback for unparseable files). Exit 0 when clean against the
+   baseline (if any), 1 on new findings, 2 on usage/IO errors. Wired
+   to the @staticcheck alias, part of @ci. *)
 
 module Lint = Rhodos_analysis.Lint
+module Static = Rhodos_static.Static
+module Finding = Rhodos_static.Finding
 
 let profile_of dir =
   if Filename.basename dir = "bench" then Lint.Bench else Lint.Library
 
-let () =
-  let dirs =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: d -> d
+let require_dir d =
+  if not (Sys.file_exists d && Sys.is_directory d) then begin
+    Format.eprintf "lint: no such directory: %s@." d;
+    exit 2
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let usage_static () =
+  Format.eprintf
+    "usage: rhodos_lint static [--json] [--baseline FILE] [--write-baseline \
+     FILE] [--self-test DIR] [DIR...]@.";
+  exit 2
+
+let run_static args =
+  let json = ref false in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let self_test = ref None in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--baseline" :: f :: rest ->
+      baseline := Some f;
+      parse rest
+    | "--write-baseline" :: f :: rest ->
+      write_baseline := Some f;
+      parse rest
+    | "--self-test" :: d :: rest ->
+      self_test := Some d;
+      parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage_static ()
+    | d :: rest ->
+      dirs := !dirs @ [ d ];
+      parse rest
   in
-  List.iter
-    (fun d ->
-      if not (Sys.file_exists d && Sys.is_directory d) then begin
-        Format.eprintf "lint: no such directory: %s@." d;
-        exit 2
-      end)
-    dirs;
+  parse args;
+  match !self_test with
+  | Some dir ->
+    require_dir dir;
+    let ok, lines = Static.self_test ~dir in
+    List.iter (fun l -> Format.printf "%s@." l) lines;
+    if ok then Format.printf "staticcheck: self-test passed@."
+    else begin
+      Format.eprintf "staticcheck: self-test FAILED@.";
+      exit 1
+    end
+  | None ->
+    let dirs = match !dirs with [] -> [ "lib" ] | ds -> ds in
+    List.iter require_dir dirs;
+    let report = Static.analyze ~dirs in
+    let baseline_keys =
+      match !baseline with
+      | None -> []
+      | Some f ->
+        if Sys.file_exists f then Finding.baseline_of_string (read_file f)
+        else begin
+          Format.eprintf "staticcheck: no such baseline: %s@." f;
+          exit 2
+        end
+    in
+    (match !write_baseline with
+    | None -> ()
+    | Some f ->
+      let oc = open_out_bin f in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Finding.baseline_to_string
+               (List.map Finding.key report.Static.findings))));
+    let fresh, stale = Static.against_baseline report ~baseline:baseline_keys in
+    if !json then
+      print_string
+        (Finding.list_to_json
+           ~suppressed:report.Static.suppressed
+           ~parse_failures:
+             (List.map
+                (fun (p, e) -> Printf.sprintf "%s: %s" p e)
+                report.Static.parse_failures)
+           fresh)
+    else begin
+      List.iter (fun f -> Format.printf "%a@." Finding.pp f) fresh;
+      List.iter
+        (fun (p, e) ->
+          Format.eprintf "staticcheck: parse failure (text fallback): %s: %s@."
+            p e)
+        report.Static.parse_failures;
+      List.iter
+        (fun k -> Format.eprintf "staticcheck: stale baseline entry: %s@." k)
+        stale
+    end;
+    if fresh = [] then begin
+      if not !json then
+        Format.printf
+          "staticcheck: %s clean (%d finding(s) baselined, %d suppressed)@."
+          (String.concat " " dirs)
+          (List.length baseline_keys)
+          report.Static.suppressed
+    end
+    else begin
+      Format.eprintf "staticcheck: %d new finding(s)@." (List.length fresh);
+      exit 1
+    end
+
+let run_text dirs =
+  let dirs = match dirs with [] -> [ "lib" ] | ds -> ds in
+  List.iter require_dir dirs;
   let violations =
     List.concat_map (fun d -> Lint.lint_dir ~profile:(profile_of d) d) dirs
   in
-  List.iter
-    (fun v -> Format.printf "%a@." Lint.pp_violation v)
-    violations;
+  List.iter (fun v -> Format.printf "%a@." Lint.pp_violation v) violations;
   match violations with
-  | [] ->
-    Format.printf "lint: %s clean@." (String.concat " " dirs)
+  | [] -> Format.printf "lint: %s clean@." (String.concat " " dirs)
   | vs ->
     Format.eprintf "lint: %d violation(s)@." (List.length vs);
     exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "static" :: rest -> run_static rest
+  | [] | [ _ ] -> run_text []
+  | _ :: dirs -> run_text dirs

@@ -255,6 +255,20 @@ let find_unsorted_hashtbl_iteration ~file stripped =
     let rec go i = i <= hi && (String.sub stripped i nl = needle || go (i + 1)) in
     go lo
   in
+  (* Like [has_sub], but the needle must start an identifier: "sorted"
+     and "sort_uniq" absolve, an identifier merely containing "sort"
+     ("resort_x") does not. *)
+  let has_token_prefix lo hi needle =
+    let nl = String.length needle in
+    let hi = min hi (n - nl) in
+    let rec go i =
+      i <= hi
+      && (((i = 0 || not (is_ident_char stripped.[i - 1]))
+          && String.sub stripped i nl = needle)
+         || go (i + 1))
+    in
+    go lo
+  in
   let vs = ref [] in
   List.iter
     (fun pat ->
@@ -269,7 +283,11 @@ let find_unsorted_hashtbl_iteration ~file stripped =
           let after = !i + plen in
           if
             has_sub after (after + cons_window) "::"
-            && not (has_sub after (after + sort_window) "sort")
+            (* the sort may also wrap the call — [List.sort compare
+               (Hashtbl.fold ...)] — so look a little way back too *)
+            && not
+                 (has_token_prefix (max 0 (!i - 200)) (after + sort_window)
+                    "sort")
           then
             vs :=
               {
@@ -481,17 +499,49 @@ let find_global_mutable_state ~file stripped =
       done;
       !found
     in
+    let indent_of line =
+      let i = ref 0 in
+      while !i < String.length line && line.[!i] = ' ' do
+        incr i
+      done;
+      !i
+    in
+    (* A binding whose [in] sits on a later line is still local:
+       continuation lines (deeper indent) may carry it anywhere, and
+       the first line back at the binding's indent closes it when it
+       leads with an [in] token. Without this lookahead a multi-line
+       [let x =\n  ref 0\nin] inside a function reads like module
+       state. *)
+    let in_on_later_line idx indent =
+      let res = ref false in
+      let scanning = ref true in
+      let j = ref (idx + 1) in
+      while !scanning && !j < Array.length arr do
+        let l = arr.(!j) in
+        if String.trim l = "" then incr j
+        else if indent_of l > indent then
+          if has_in_keyword l then begin
+            res := true;
+            scanning := false
+          end
+          else incr j
+        else begin
+          let t = String.trim l in
+          if t = "in" || starts_with "in " t then res := true;
+          scanning := false
+        end
+      done;
+      !res
+    in
     Array.iteri
       (fun idx line ->
-        let indent =
-          let i = ref 0 in
-          while !i < String.length line && line.[!i] = ' ' do
-            incr i
-          done;
-          !i
-        in
+        let indent = indent_of line in
         let body = String.trim line in
-        if indent <= 2 && starts_with "let " body && not (has_in_keyword line)
+        if
+          indent <= 2
+          && starts_with "let " body
+          && (not (has_in_keyword line))
+          && not (in_on_later_line idx indent)
         then
           match String.index_opt body '=' with
           | Some eq ->

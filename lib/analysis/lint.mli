@@ -51,6 +51,14 @@
 
 type violation = { file : string; line : int; rule : string; message : string }
 
+val global_state_allowlist : string list
+(** Basenames exempt from global-mutable-state (shared with the AST
+    engine in [Rhodos_static], which reimplements the rule). *)
+
+val instrumented_fields : (string * string list) list
+(** Basename -> [Sim.Cell]-instrumented record fields, the
+    raw-shared-cell rule's subject (shared with [Rhodos_static]). *)
+
 type profile =
   | Library  (** strict: all rules, including no-direct-print and missing-mli *)
   | Bench

@@ -1,0 +1,272 @@
+open Parsetree
+module Lint = Rhodos_analysis.Lint
+
+(* AST reimplementations of the token-based lint rules that exist in
+   [Lint]. Same rule names, so one baseline and one suppression syntax
+   cover both engines; the text versions remain the fallback for files
+   that do not parse. Being syntax-directed, these versions do not
+   trip over identifiers that merely contain a keyword, or over
+   multi-line [let ... in] bindings — the token engine's known weak
+   spots. *)
+
+let line_of = Callgraph.line_of_loc
+
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> strip e
+  | _ -> e
+
+let ident_path e =
+  match (strip e).pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Names.flatten txt)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* global-mutable-state                                                *)
+(* ------------------------------------------------------------------ *)
+
+let global_state_allowlist = Lint.global_state_allowlist
+
+let mutable_creator_paths =
+  [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Queue"; "create" ];
+    [ "Buffer"; "create" ] ]
+
+let is_mutable_creation e =
+  match (strip e).pexp_desc with
+  | Pexp_apply (f, _) -> (
+    match ident_path f with
+    | Some p -> List.mem p mutable_creator_paths
+    | None -> false)
+  | _ -> false
+
+let global_mutable_state (f : Source.file) items =
+  if List.mem (Filename.basename f.Source.path) global_state_allowlist then []
+  else begin
+    let acc = ref [] in
+    let rec walk items =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                if is_mutable_creation vb.pvb_expr then
+                  acc :=
+                    Finding.v ~rule:"global-mutable-state"
+                      ~file:f.Source.path ~line:(line_of vb.pvb_loc)
+                      ~slug:
+                        (match (strip vb.pvb_expr).pexp_desc with
+                        | Pexp_apply (g, _) -> (
+                          match ident_path g with
+                          | Some p -> String.concat "." p
+                          | None -> "ref")
+                        | _ -> "ref")
+                      "module-level mutable state is shared across \
+                       simulation worlds and invisible to the sanitizer; \
+                       move it into a per-world record (or a Sim.Cell)"
+                    :: !acc)
+              vbs
+          | Pstr_module { pmb_expr; _ } -> walk_mod pmb_expr
+          | Pstr_recmodule mbs ->
+            List.iter (fun mb -> walk_mod mb.pmb_expr) mbs
+          | _ -> ())
+        items
+    and walk_mod m =
+      match m.pmod_desc with
+      | Pmod_structure sub -> walk sub
+      | Pmod_constraint (m, _) -> walk_mod m
+      | _ -> ()
+    in
+    walk items;
+    List.rev !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* raw-shared-cell                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented_fields = Lint.instrumented_fields
+
+let raw_shared_cell (f : Source.file) items =
+  match List.assoc_opt (Filename.basename f.Source.path) instrumented_fields with
+  | None -> []
+  | Some fields ->
+    let acc = ref [] in
+    let add loc fld what =
+      acc :=
+        Finding.v ~rule:"raw-shared-cell" ~file:f.Source.path
+          ~line:(line_of loc) ~slug:fld
+          (Printf.sprintf
+             "raw %s of instrumented field t.%s bypasses the sanitizer; go \
+              through Sim.Cell.get/update (peek for analysis-only reads)"
+             what fld)
+        :: !acc
+    in
+    let field_of e =
+      match (strip e).pexp_desc with
+      | Pexp_field (_, { txt; _ }) ->
+        let fld = Names.last txt in
+        if List.mem fld fields then Some fld else None
+      | _ -> None
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_setfield (_, { txt; _ }, _)
+              when List.mem (Names.last txt) fields ->
+              add e.pexp_loc (Names.last txt) "mutation"
+            | Pexp_apply (g, (Asttypes.Nolabel, a0) :: _) -> (
+              match (ident_path g, field_of a0) with
+              | Some [ ":=" ], Some fld -> add e.pexp_loc fld "mutation"
+              | Some ("Hashtbl" :: _), Some fld ->
+                add e.pexp_loc fld "Hashtbl access"
+              | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    List.iter (fun item -> it.Ast_iterator.structure_item it item) items;
+    List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* no-unseeded-random                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let unseeded_random (f : Source.file) items =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+            match Names.flatten txt with
+            | "Random" :: callee :: _
+              when callee <> "State" && callee <> "self_init" ->
+              acc :=
+                Finding.v ~rule:"no-unseeded-random" ~file:f.Source.path
+                  ~line:(line_of e.pexp_loc) ~slug:callee
+                  (Printf.sprintf
+                     "Random.%s uses the unseeded global state; draw from a \
+                      seeded Random.State (see Rng) so runs stay replayable"
+                     callee)
+                :: !acc
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  List.iter (fun item -> it.Ast_iterator.structure_item it item) items;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* hashtbl-iter-order                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Scoped per top-level structure item: a [Hashtbl.iter]/[fold] whose
+   closure argument conses a list is flagged unless the enclosing item
+   mentions an identifier whose last component starts with "sort"
+   ([List.sort], [sort_uniq], a local [sorted_keys] helper). Unlike
+   the token rule's character windows, an identifier like [resort_x]
+   does not absolve (prefix match on the component, not substring). *)
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let subtree_has_sort item =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            if starts_with "sort" (Names.last txt) then found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.structure_item it item;
+  !found
+
+let expr_has_cons e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_construct ({ txt; _ }, Some _) when Names.last txt = "::" ->
+            found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.expr it e;
+  !found
+
+let hashtbl_iter_order (f : Source.file) items =
+  let acc = ref [] in
+  let check_item item =
+    if not (subtree_has_sort item) then begin
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_apply (g, args) -> (
+                match ident_path g with
+                | Some [ "Hashtbl"; ("iter" | "fold") ]
+                  when List.exists (fun (_, a) -> expr_has_cons a) args ->
+                  let which =
+                    match ident_path g with
+                    | Some p -> String.concat "." p
+                    | None -> "Hashtbl.iter"
+                  in
+                  acc :=
+                    Finding.v ~rule:"hashtbl-iter-order" ~file:f.Source.path
+                      ~line:(line_of e.pexp_loc) ~slug:which
+                      (Printf.sprintf
+                         "%s accumulates a list in hash-bucket order with \
+                          no sort in sight; sort before the result reaches \
+                          a digest or caller"
+                         which)
+                    :: !acc
+                | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      it.Ast_iterator.structure_item it item
+    end
+  in
+  List.iter check_item items;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+
+let migrated_rules =
+  [
+    "global-mutable-state"; "raw-shared-cell"; "no-unseeded-random";
+    "hashtbl-iter-order";
+  ]
+
+let run (files : Source.file list) =
+  Finding.sort
+    (List.concat_map
+       (fun (f : Source.file) ->
+         match f.Source.ast with
+         | None -> []
+         | Some items ->
+           global_mutable_state f items
+           @ raw_shared_cell f items
+           @ unseeded_random f items
+           @ hashtbl_iter_order f items)
+       files)

@@ -1,0 +1,9 @@
+(** AST ports of the token-based lint rules, sharing rule names (and
+    therefore suppressions and baselines) with the text engine in
+    [Lint]: [global-mutable-state], [raw-shared-cell],
+    [no-unseeded-random], [hashtbl-iter-order]. The text versions
+    stay on as the fallback for sources that fail to parse. *)
+
+val migrated_rules : string list
+
+val run : Source.file list -> Finding.t list

@@ -1,0 +1,489 @@
+open Parsetree
+
+(* A lock token names one statically identifiable lock: a
+   [Lock_manager] item rendered from its constructor and arguments
+   ("File_item 1", "Page_item(fid,i)"), or a semaphore identified by
+   the path expression it is acquired through ("sem:t.fetch_slots").
+   Items whose arguments cannot be rendered are dynamic: they still
+   set the held flag for the may-block pass but take no part in the
+   order graph (a dynamic item unifies with nothing). *)
+type token = string
+
+type summary = {
+  mutable acquires : (token * string list) list;
+      (** tokens this function may acquire, directly or transitively;
+          the chain starts at this function and ends at the acquiring
+          function *)
+  mutable holds_on_return : bool;  (** may return with a grant held *)
+  mutable releases : bool;  (** may call [release_all] *)
+}
+
+type edge = {
+  e_from : token;
+  e_to : token;
+  e_file : string;
+  e_line : int;
+  e_witness : string;
+}
+
+type result = {
+  findings : Finding.t list;
+  edges : edge list;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Token rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let item_ctors = [ "File_item"; "Page_item"; "Record_item" ]
+
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> strip e
+  | _ -> e
+
+let rec render_path e =
+  match (strip e).pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (String.concat "." (Names.flatten txt))
+  | Pexp_field (b, { txt; _ }) ->
+    Option.map (fun p -> p ^ "." ^ Names.last txt) (render_path b)
+  | _ -> None
+
+let render_scalar e =
+  match (strip e).pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) -> Some s
+  | _ -> render_path e
+
+let render_item e =
+  match (strip e).pexp_desc with
+  | Pexp_construct ({ txt; _ }, arg) when List.mem (Names.last txt) item_ctors
+    -> (
+    let c = Names.last txt in
+    match arg with
+    | None -> Some c
+    | Some a -> (
+      match (strip a).pexp_desc with
+      | Pexp_tuple parts ->
+        let rs = List.map render_scalar parts in
+        if List.for_all Option.is_some rs then
+          Some
+            (c ^ "("
+            ^ String.concat "," (List.map (Option.value ~default:"?") rs)
+            ^ ")")
+        else None
+      | _ -> Option.map (fun s -> c ^ " " ^ s) (render_scalar a)))
+  | _ -> None
+
+let render_sem e = Option.map (fun p -> "sem:" ^ p) (render_path e)
+
+let is_sem_token tok =
+  String.length tok >= 4 && String.sub tok 0 4 = "sem:"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical callee groups                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lm_acquires = [ "Lock_manager.acquire"; "Lock_manager.try_acquire" ]
+let lm_release = "Lock_manager.release_all"
+let sem_acquire = "Sim.Semaphore.acquire"
+let sem_release = "Sim.Semaphore.release"
+let cell_update = "Sim.Cell.update"
+
+let nolabel_args args =
+  List.filter_map
+    (fun (l, e) -> match l with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+(* ------------------------------------------------------------------ *)
+(* Per-function scan                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable lm_held : bool; mutable toks : token list }
+
+type ctx = {
+  graph : Callgraph.t;
+  mb : Mayblock.t;
+  summaries : (string, summary) Hashtbl.t;
+  emit : bool;
+  mutable findings : Finding.t list;
+  mutable edges : edge list;
+  mutable changed : bool;
+}
+
+let summary_of ctx fn =
+  match Hashtbl.find_opt ctx.summaries fn with
+  | Some s -> s
+  | None ->
+    let s = { acquires = []; holds_on_return = false; releases = false } in
+    Hashtbl.replace ctx.summaries fn s;
+    s
+
+let scan_node ctx (node : Callgraph.node) =
+  let fn = node.fn in
+  let s = summary_of ctx fn in
+  let st = { lm_held = false; toks = [] } in
+  let cell_depth = ref 0 in
+  let add_acquire tok chain =
+    if not (List.mem_assoc tok s.acquires) then begin
+      s.acquires <- (tok, chain) :: s.acquires;
+      ctx.changed <- true
+    end
+  in
+  let add_edge u v line chain =
+    if u <> v && ctx.emit then
+      ctx.edges <-
+        {
+          e_from = u;
+          e_to = v;
+          e_file = node.file;
+          e_line = line;
+          e_witness =
+            Printf.sprintf "%s -> %s via %s (%s:%d)" u v
+              (String.concat " -> " chain)
+              node.file line;
+        }
+        :: ctx.edges
+  in
+  let finding f = if ctx.emit then ctx.findings <- f :: ctx.findings in
+  let on_new_token tok line chain =
+    List.iter (fun u -> add_edge u tok line chain) st.toks;
+    if not (List.mem tok st.toks) then st.toks <- st.toks @ [ tok ]
+  in
+  let check_blocking callee line =
+    let all = Mayblock.reasons ctx.mb callee in
+    if !cell_depth > 0 && all <> [] then
+      finding
+        (Finding.v ~symbol:fn
+           ~witness:
+             (List.filteri
+                (fun i _ -> i < 2)
+                (List.map
+                   (fun (seed, cls) ->
+                     Printf.sprintf "blocking path (%s): %s"
+                       (Mayblock.cls_to_string cls)
+                       (String.concat " -> "
+                          (fn :: Mayblock.chain ctx.mb callee seed)))
+                   all))
+           ~rule:"may-block-in-cell-update" ~file:node.file ~line ~slug:callee
+           (Printf.sprintf
+              "call to %s may block inside a Sim.Cell.update critical \
+               section; the read-modify-write must stay atomic"
+              callee));
+    if st.lm_held && not (List.mem callee Mayblock.acquire_specials) then begin
+      let hazardous =
+        Mayblock.may_block ctx.mb callee
+          ~classes:[ Mayblock.Time; Mayblock.Remote ]
+      in
+      if hazardous <> [] then
+        finding
+          (Finding.v ~symbol:fn
+             ~witness:
+               (List.filteri
+                  (fun i _ -> i < 2)
+                  (List.map
+                     (fun (seed, cls) ->
+                       Printf.sprintf "blocking path (%s): %s"
+                         (Mayblock.cls_to_string cls)
+                         (String.concat " -> "
+                            (fn :: Mayblock.chain ctx.mb callee seed)))
+                     hazardous))
+             ~rule:"may-block-under-lock" ~file:node.file ~line ~slug:callee
+             (Printf.sprintf
+                "call to %s may block while a Lock_manager grant is held \
+                 (lock-held-across-%s); release first, or suppress with a \
+                 static-ok justification"
+                callee
+                (if
+                   List.exists (fun (_, c) -> c = Mayblock.Remote) hazardous
+                 then "RPC"
+                 else "wait")))
+    end
+  in
+  let snap () = (st.lm_held, st.toks) in
+  let restore (h, t) =
+    st.lm_held <- h;
+    st.toks <- t
+  in
+  let rec scan e =
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) ->
+      scan a;
+      scan b
+    | Pexp_ifthenelse (c, th, el) ->
+      scan c;
+      branch (th :: Option.to_list el)
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      scan scrut;
+      branch_cases cases
+    | Pexp_function cases -> branch_cases cases
+    | Pexp_while (c, b) ->
+      scan c;
+      scan b
+    | Pexp_record (fields, base) ->
+      (* Record fields do not execute at construction time — the
+         typical case is a record of RPC stub closures
+         ([Service_conn]) which run much later on someone else's
+         path (and are modelled there via the conn-field
+         pseudo-callees). Scan each field for hazards under the
+         construction-time state, but let no state leak between
+         fields or out of the record. *)
+      let pre = snap () in
+      Option.iter scan base;
+      List.iter
+        (fun (_, fe) ->
+          restore pre;
+          scan fe)
+        fields;
+      restore pre
+    | Pexp_apply (f, args) -> apply e f args
+    | _ -> fallback e
+  and fallback e =
+    let it =
+      { Ast_iterator.default_iterator with expr = (fun _ e' -> scan e') }
+    in
+    Ast_iterator.default_iterator.expr it e
+  and branch exprs =
+    match exprs with
+    | [] -> ()
+    | _ ->
+      let pre = snap () in
+      let posts =
+        List.map
+          (fun e ->
+            restore pre;
+            scan e;
+            snap ())
+          exprs
+      in
+      st.lm_held <- List.exists (fun (h, _) -> h) posts;
+      st.toks <-
+        List.fold_left
+          (fun acc (_, ts) ->
+            List.fold_left
+              (fun acc t -> if List.mem t acc then acc else acc @ [ t ])
+              acc ts)
+          [] posts
+  and branch_cases cases =
+    branch
+      (List.concat_map
+         (fun c -> Option.to_list c.pc_guard @ [ c.pc_rhs ])
+         cases)
+  and apply e f args =
+    let line = Callgraph.line_of_loc e.pexp_loc in
+    let callee = Callgraph.callee_name ctx.graph node.env f in
+    match callee with
+    | Some n when List.mem n Callgraph.spawn_like -> ()
+    | Some "Fun.protect" ->
+      (* The body runs first, the finally closure last — scan in
+         execution order, not argument order. *)
+      List.iter scan (nolabel_args args);
+      List.iter
+        (fun (l, a) ->
+          match l with
+          | Asttypes.Labelled "finally" | Asttypes.Optional "finally" ->
+            scan a
+          | _ -> ())
+        args
+    | Some n when n = cell_update ->
+      incr cell_depth;
+      List.iter (fun (_, a) -> scan a) args;
+      decr cell_depth
+    | Some n when List.mem n lm_acquires ->
+      List.iter (fun (_, a) -> scan a) args;
+      st.lm_held <- true;
+      (match nolabel_args args with
+      | _ :: item :: _ -> (
+        match render_item item with
+        | Some tok ->
+          add_acquire tok [ fn ];
+          on_new_token tok line [ fn ]
+        | None -> ())
+      | _ -> ())
+    | Some n when n = lm_release ->
+      List.iter (fun (_, a) -> scan a) args;
+      st.lm_held <- false;
+      st.toks <- List.filter is_sem_token st.toks;
+      if not s.releases then begin
+        s.releases <- true;
+        ctx.changed <- true
+      end
+    | Some n when n = sem_acquire ->
+      List.iter (fun (_, a) -> scan a) args;
+      (match nolabel_args args with
+      | sem :: _ -> (
+        match render_sem sem with
+        | Some tok ->
+          add_acquire tok [ fn ];
+          on_new_token tok line [ fn ]
+        | None -> ())
+      | _ -> ())
+    | Some n when n = sem_release ->
+      List.iter (fun (_, a) -> scan a) args;
+      (match nolabel_args args with
+      | sem :: _ -> (
+        match render_sem sem with
+        | Some tok -> st.toks <- List.filter (fun t -> t <> tok) st.toks
+        | None -> ())
+      | _ -> ())
+    | Some n ->
+      List.iter (fun (_, a) -> scan a) args;
+      check_blocking n line;
+      (match Hashtbl.find_opt ctx.summaries n with
+      | Some gs when Callgraph.defined ctx.graph n ->
+        List.iter
+          (fun u ->
+            List.iter
+              (fun (v, chain) -> add_edge u v line (fn :: chain))
+              gs.acquires)
+          st.toks;
+        List.iter (fun (v, chain) -> add_acquire v (fn :: chain)) gs.acquires;
+        if gs.holds_on_return then begin
+          st.lm_held <- true;
+          List.iter
+            (fun (v, _) ->
+              if not (List.mem v st.toks) then st.toks <- st.toks @ [ v ])
+            gs.acquires
+        end
+        else if gs.releases then begin
+          st.lm_held <- false;
+          st.toks <- List.filter is_sem_token st.toks
+        end
+      | _ -> ())
+    | None ->
+      scan f;
+      List.iter (fun (_, a) -> scan a) args
+  in
+  (match node.body with Some b -> scan b | None -> ());
+  let holds = st.lm_held || List.exists is_sem_token st.toks in
+  if holds && not s.holds_on_return then begin
+    s.holds_on_return <- true;
+    ctx.changed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cycle detection over the order graph                                *)
+(* ------------------------------------------------------------------ *)
+
+let cycle_findings edges =
+  let adj = Hashtbl.create 32 in
+  let nodes = ref [] in
+  let add_node n = if not (List.mem n !nodes) then nodes := n :: !nodes in
+  List.iter
+    (fun e ->
+      add_node e.e_from;
+      add_node e.e_to;
+      let cur = try Hashtbl.find adj e.e_from with Not_found -> [] in
+      if not (List.exists (fun (v, _) -> v = e.e_to) cur) then
+        Hashtbl.replace adj e.e_from ((e.e_to, e) :: cur))
+    edges;
+  let nodes = List.sort compare !nodes in
+  let succs u = try Hashtbl.find adj u with Not_found -> [] in
+  (* Tarjan's SCC. *)
+  let index = Hashtbl.create 32 in
+  let lowlink = Hashtbl.create 32 in
+  let on_stack = Hashtbl.create 32 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let scc = ref [] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          scc := w :: !scc;
+          if w = v then continue := false
+        | [] -> continue := false
+      done;
+      if List.length !scc >= 2 then sccs := List.sort compare !scc :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* For each SCC, extract one witnessing simple cycle by DFS from its
+     smallest node back to itself, restricted to SCC members. *)
+  let find_cycle scc =
+    let start = List.hd scc in
+    let rec dfs path visited u =
+      List.fold_left
+        (fun found (v, e) ->
+          match found with
+          | Some _ -> found
+          | None ->
+            if not (List.mem v scc) then None
+            else if v = start then Some (List.rev (e :: path))
+            else if List.mem v visited then None
+            else dfs (e :: path) (v :: visited) v)
+        None (succs u)
+    in
+    dfs [] [ start ] start
+  in
+  List.filter_map
+    (fun scc ->
+      match find_cycle scc with
+      | None -> None
+      | Some cycle_edges ->
+        let first = List.hd cycle_edges in
+        let ring =
+          String.concat " -> "
+            (List.map (fun e -> e.e_from) cycle_edges @ [ first.e_from ])
+        in
+        Some
+          (Finding.v
+             ~witness:(List.map (fun e -> e.e_witness) cycle_edges)
+             ~rule:"lock-order-cycle" ~file:first.e_file ~line:first.e_line
+             ~slug:(String.concat "|" scc)
+             (Printf.sprintf
+                "potential ABBA deadlock: locks are acquired in a cycle %s"
+                ring)))
+    (List.sort compare !sccs)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run graph mb =
+  let ctx =
+    {
+      graph;
+      mb;
+      summaries = Hashtbl.create 256;
+      emit = false;
+      findings = [];
+      edges = [];
+      changed = true;
+    }
+  in
+  let rounds = ref 0 in
+  while ctx.changed && !rounds < 16 do
+    ctx.changed <- false;
+    incr rounds;
+    List.iter (scan_node ctx) (Callgraph.nodes_in_order graph)
+  done;
+  let ctx = { ctx with emit = true; changed = false } in
+  List.iter (scan_node ctx) (Callgraph.nodes_in_order graph);
+  let edges = List.rev ctx.edges in
+  {
+    findings = Finding.sort (ctx.findings @ cycle_findings edges);
+    edges;
+    summaries = ctx.summaries;
+  }

@@ -1,0 +1,132 @@
+type cls = Lock | Time | Remote
+
+let cls_to_string = function
+  | Lock -> "lock"
+  | Time -> "time"
+  | Remote -> "remote"
+
+(* Blocking primitives of the simulator and the RPC layer. Everything
+   else that blocks does so by calling one of these, which the
+   fixpoint discovers by propagation — the disk's [Sim.sleep], the
+   RPC stub's [Net.Rpc.call], and so on. *)
+let seeds =
+  [
+    ("Sim.sleep", Time);
+    ("Sim.suspend", Time);
+    ("Sim.suspend_full", Time);
+    ("Sim.Mailbox.recv", Time);
+    ("Sim.Mailbox.recv_timeout", Time);
+    ("Sim.Condition.wait", Time);
+    ("Sim.Condition.wait_timeout", Time);
+    ("Sim.Ivar.read", Time);
+    ("Sim.Semaphore.acquire", Lock);
+    ("Lock_manager.acquire", Lock);
+    ("Lock_manager.try_acquire", Lock);
+    ("Net.recv", Remote);
+    ("Net.recv_timeout", Remote);
+    ("Net.Rpc.call", Remote);
+  ]
+
+(* Taking another lock while holding one is ordinary 2PL, judged by
+   the lock-order pass, not the may-block pass. These are therefore
+   opaque in the fixpoint: a caller inherits only their [Lock] class,
+   never the [Time] reasons of their implementations (the lock
+   manager's simulated search cost would otherwise paint every
+   multi-lock transaction as time-blocking). *)
+let acquire_specials =
+  [ "Lock_manager.acquire"; "Lock_manager.try_acquire";
+    "Sim.Semaphore.acquire" ]
+
+let seed_class name =
+  if List.exists (fun f -> name = "Service_conn." ^ f) Callgraph.conn_fields
+  then Some Remote
+  else List.assoc_opt name seeds
+
+type info = {
+  (* seed -> (class, next hop on a witness path: None = called
+     directly by this function) *)
+  mutable reasons : (string * (cls * string option)) list;
+}
+
+type t = {
+  graph : Callgraph.t;
+  infos : (string, info) Hashtbl.t;
+}
+
+let info t fn =
+  match Hashtbl.find_opt t.infos fn with
+  | Some i -> i
+  | None ->
+    let i = { reasons = [] } in
+    Hashtbl.replace t.infos fn i;
+    i
+
+let add_reason i seed cls via =
+  if not (List.mem_assoc seed i.reasons) then begin
+    i.reasons <- (seed, (cls, via)) :: i.reasons;
+    true
+  end
+  else false
+
+let compute graph =
+  let t = { graph; infos = Hashtbl.create 256 } in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n : Callgraph.node) ->
+        let i = info t n.fn in
+        List.iter
+          (fun (callee, _) ->
+            if List.mem callee acquire_specials then begin
+              if add_reason i callee Lock None then changed := true
+            end
+            else
+              match seed_class callee with
+              | Some cls ->
+                if add_reason i callee cls None then changed := true
+              | None -> (
+                match Hashtbl.find_opt t.infos callee with
+                | None -> ()
+                | Some ci ->
+                  List.iter
+                    (fun (seed, (cls, _)) ->
+                      if add_reason i seed cls (Some callee) then
+                        changed := true)
+                    ci.reasons))
+          n.calls)
+      (Callgraph.nodes_in_order graph)
+  done;
+  t
+
+let reasons t fn =
+  (* Direct seed names double as pseudo-functions: asking for the
+     reasons of "Sim.sleep" itself yields its own class. *)
+  match seed_class fn with
+  | Some cls -> [ (fn, cls) ]
+  | None -> (
+    if List.mem fn acquire_specials then [ (fn, Lock) ]
+    else
+      match Hashtbl.find_opt t.infos fn with
+      | None -> []
+      | Some i -> List.map (fun (s, (c, _)) -> (s, c)) i.reasons)
+
+let may_block t fn ~classes =
+  List.filter (fun (_, c) -> List.mem c classes) (reasons t fn)
+
+(* Witness path fn -> ... -> seed, following the [via] links recorded
+   during propagation. Bounded in case of (impossible) via cycles. *)
+let chain t fn seed =
+  let rec go acc fn depth =
+    if depth > 64 then List.rev acc
+    else if fn = seed || seed_class fn <> None then List.rev (fn :: acc)
+    else
+      match Hashtbl.find_opt t.infos fn with
+      | None -> List.rev (fn :: acc)
+      | Some i -> (
+        match List.assoc_opt seed i.reasons with
+        | Some (_, Some via) -> go (fn :: acc) via (depth + 1)
+        | Some (_, None) -> List.rev (seed :: fn :: acc)
+        | None -> List.rev (fn :: acc))
+  in
+  go [] fn 0

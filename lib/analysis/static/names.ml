@@ -1,0 +1,66 @@
+module SS = Set.Make (String)
+
+type env = {
+  current_module : string;
+  aliases : (string * string list) list;
+  known_roots : SS.t;
+}
+
+let flatten lid = Longident.flatten lid
+
+let last lid = Longident.last lid
+
+let make_env ~current_module ~aliases ~known_roots =
+  { current_module; aliases; known_roots = SS.of_list known_roots }
+
+(* The dune libraries wrap each directory under an umbrella module
+   (Rhodos_sim.Sim, Rhodos_txn.Lock_manager, ...). Canonical names
+   drop the wrapper so that "Rhodos_sim.Sim.sleep", "Sim.sleep" and an
+   aliased "S.sleep" all resolve to the same node. *)
+let is_wrapper c =
+  String.length c > 7 && String.sub c 0 7 = "Rhodos_"
+
+let expand_alias env components =
+  match components with
+  | head :: rest -> (
+    match List.assoc_opt head env.aliases with
+    | Some expansion -> expansion @ rest
+    | None -> components)
+  | [] -> []
+
+(* Canonical form of a (possibly aliased, possibly wrapped) path:
+   expand the head alias, drop library wrappers, then cut the path at
+   the first component that names a module we have sources for — the
+   canonical root. "Rhodos_txn.Lock_manager.acquire" and
+   "Lm.acquire" both become "Lock_manager.acquire"; paths with no
+   known root (List.iter, Hashtbl.create) keep their full form. *)
+let canonical env components =
+  let components = expand_alias env components in
+  let components = List.filter (fun c -> not (is_wrapper c)) components in
+  let rec cut = function
+    | [] -> []
+    | c :: _ as l when SS.mem c env.known_roots -> l
+    | _ :: rest -> cut rest
+  in
+  let cut_path = cut components in
+  String.concat "." (if cut_path = [] then components else cut_path)
+
+let canonical_lid env lid = canonical env (flatten lid)
+
+(* Resolve a use site against the set of defined function nodes:
+   an unqualified or locally-qualified name prefers a definition in
+   the current module ("Mailbox.recv" inside sim.ml is
+   "Sim.Mailbox.recv"); otherwise the canonical form is used as-is,
+   whether or not it names a node (seeds like "Sim.sleep" and
+   externals like "List.iter" stay resolvable by name). *)
+let resolve env ~defined components =
+  let joined = String.concat "." components in
+  let in_module = env.current_module ^ "." ^ joined in
+  if defined in_module then in_module
+  else
+    let c = canonical env components in
+    if defined c then c
+    else if List.length components = 1 && not (defined joined) then joined
+    else c
+
+let resolve_lid env ~defined lid = resolve env ~defined (flatten lid)

@@ -1,0 +1,33 @@
+(** Name canonicalisation for the whole-program passes.
+
+    Call sites reach the same function under many spellings:
+    [Rhodos_txn.Lock_manager.acquire], [Lock_manager.acquire], or an
+    aliased [Lm.acquire] (from a top-level [module Lm = ...]). Every
+    pass works on one canonical form: alias-expanded, library-wrapper
+    ([Rhodos_*]) components dropped, and cut at the first component
+    naming a module whose source was parsed. *)
+
+type env
+
+val make_env :
+  current_module:string ->
+  aliases:(string * string list) list ->
+  known_roots:string list ->
+  env
+(** [aliases] are the file's top-level [module X = Path] bindings;
+    [known_roots] the module names of every parsed source file. *)
+
+val flatten : Longident.t -> string list
+
+val last : Longident.t -> string
+
+val canonical : env -> string list -> string
+
+val canonical_lid : env -> Longident.t -> string
+
+val resolve : env -> defined:(string -> bool) -> string list -> string
+(** Resolution for call sites: prefer a definition in the current
+    module for unqualified / inner-module paths, else the canonical
+    form (which may name a seed primitive or an external). *)
+
+val resolve_lid : env -> defined:(string -> bool) -> Longident.t -> string

@@ -1,0 +1,174 @@
+open Parsetree
+
+(* Wire-protocol coverage: match the constructors of the RPC
+   [request] / [response] variant types against the match arms of the
+   server-side dispatcher. A new request constructor with no handler
+   arm silently falls into the dispatcher's wildcard and answers
+   [Err]; this pass makes that a lint failure instead of a runtime
+   surprise. *)
+
+type decl = {
+  d_module : string;
+  d_type : string;  (* "request" or "response" *)
+  d_file : string;
+  d_line : int;
+  d_ctors : string list;
+}
+
+type site = {
+  s_fn : string;
+  s_file : string;
+  s_line : int;
+  s_ctors : string list;  (* head constructors matched *)
+  s_wildcard : bool;
+}
+
+let protocol_type_names = [ "request"; "response" ]
+
+let decls_of_file (f : Source.file) =
+  match f.Source.ast with
+  | None -> []
+  | Some items ->
+    let acc = ref [] in
+    let rec walk_items prefix items =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_type (_, tds) ->
+            List.iter
+              (fun td ->
+                if List.mem td.ptype_name.txt protocol_type_names then
+                  match td.ptype_kind with
+                  | Ptype_variant ctors when ctors <> [] ->
+                    acc :=
+                      {
+                        d_module = prefix;
+                        d_type = td.ptype_name.txt;
+                        d_file = f.Source.path;
+                        d_line = Callgraph.line_of_loc td.ptype_loc;
+                        d_ctors =
+                          List.map (fun c -> c.pcd_name.txt) ctors;
+                      }
+                      :: !acc
+                  | _ -> ())
+              tds
+          | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ }
+            -> (
+            match pmb_expr.pmod_desc with
+            | Pmod_structure sub -> walk_items (prefix ^ "." ^ name) sub
+            | _ -> ())
+          | _ -> ())
+        items
+    in
+    walk_items f.Source.module_name items;
+    List.rev !acc
+
+(* Head constructor of a match-arm pattern, looking through or-patterns,
+   aliases and constraints. An or-pattern contributes every branch. *)
+let rec head_ctors pat =
+  match pat.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> [ Names.last txt ]
+  | Ppat_or (a, b) -> head_ctors a @ head_ctors b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
+    head_ctors p
+  | _ -> []
+
+let rec is_wildcard pat =
+  match pat.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_or (a, b) -> is_wildcard a || is_wildcard b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
+    is_wildcard p
+  | _ -> false
+
+let sites_of_node (n : Callgraph.node) =
+  match n.Callgraph.body with
+  | None -> []
+  | Some body ->
+    let acc = ref [] in
+    let add loc cases =
+      let ctors = List.concat_map (fun c -> head_ctors c.pc_lhs) cases in
+      let wildcard = List.exists (fun c -> is_wildcard c.pc_lhs) cases in
+      if ctors <> [] then
+        acc :=
+          {
+            s_fn = n.Callgraph.fn;
+            s_file = n.Callgraph.file;
+            s_line = Callgraph.line_of_loc loc;
+            s_ctors = List.sort_uniq compare ctors;
+            s_wildcard = wildcard;
+          }
+          :: !acc
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_match (_, cases) | Pexp_function cases ->
+              add e.pexp_loc cases
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.Ast_iterator.expr it body;
+    List.rev !acc
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* The dispatcher for a protocol type is the match site covering the
+   most of its constructors. The rule only fires when that site covers
+   at least half of them but not all: a site matching one or two
+   constructors (an [expect_int]-style result extractor) is not a
+   dispatcher, and reporting against it would be noise. *)
+let check_decl sites (d : decl) =
+  let scored =
+    List.map (fun s -> (List.length (inter s.s_ctors d.d_ctors), s)) sites
+  in
+  let best =
+    List.fold_left
+      (fun acc (k, s) ->
+        match acc with
+        | Some (bk, _) when bk >= k -> acc
+        | _ -> Some (k, s))
+      None scored
+  in
+  match best with
+  | Some (covered, site)
+    when covered * 2 >= List.length d.d_ctors
+         && covered < List.length d.d_ctors ->
+    let missing =
+      List.filter (fun c -> not (List.mem c site.s_ctors)) d.d_ctors
+    in
+    List.map
+      (fun ctor ->
+        Finding.v ~symbol:site.s_fn
+          ~witness:
+            [
+              Printf.sprintf "%s.%s declared at %s:%d" d.d_module d.d_type
+                d.d_file d.d_line;
+              Printf.sprintf "dispatcher %s (%s:%d) matches %d/%d \
+                              constructors%s"
+                site.s_fn site.s_file site.s_line covered
+                (List.length d.d_ctors)
+                (if site.s_wildcard then " plus a wildcard arm" else "");
+            ]
+          ~rule:"wire-protocol-coverage" ~file:site.s_file ~line:site.s_line
+          ~slug:ctor
+          (Printf.sprintf
+             "constructor %s of %s.%s has no arm in dispatcher %s%s" ctor
+             d.d_module d.d_type site.s_fn
+             (if site.s_wildcard then
+                " (it falls into the wildcard arm)"
+              else ""))
+      )
+      missing
+  | _ -> []
+
+let run (graph : Callgraph.t) =
+  let decls = List.concat_map decls_of_file graph.Callgraph.files in
+  let sites =
+    List.concat_map sites_of_node (Callgraph.nodes_in_order graph)
+  in
+  Finding.sort (List.concat_map (check_decl sites) decls)

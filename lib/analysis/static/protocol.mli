@@ -1,0 +1,8 @@
+(** Wire-protocol coverage: every constructor of a variant type named
+    [request] or [response] must have an arm in its dispatcher — the
+    match site covering the most of that type's constructors. The
+    rule fires per missing constructor, but only when the best site
+    covers at least half of the type (small result-extractor matches
+    like [expect_int] are not dispatchers). *)
+
+val run : Callgraph.t -> Finding.t list

@@ -1,0 +1,167 @@
+(* Driver for the AST-based whole-program analysis: load sources,
+   build the call graph, run the passes, apply suppressions, and
+   compare against a committed baseline. Pure — printing and exit
+   codes live in bin/rhodos_lint. *)
+
+module Lint = Rhodos_analysis.Lint
+
+type report = {
+  findings : Finding.t list;
+  suppressed : int;
+  parse_failures : (string * string) list;
+  files : Source.file list;
+}
+
+let finding_of_violation (v : Lint.violation) =
+  Finding.v ~rule:v.Lint.rule ~file:v.Lint.file ~line:v.Lint.line
+    ~slug:"text-fallback" v.Lint.message
+
+let analyze_files files =
+  let graph = Callgraph.build files in
+  let mb = Mayblock.compute graph in
+  let lock = Lockpass.run graph mb in
+  let proto = Protocol.run graph in
+  let ast = Ast_rules.run files in
+  (* Files the compiler frontend rejects still get the token engine:
+     a syntax error must not hide a file from analysis. *)
+  let fallback =
+    List.concat_map
+      (fun (f : Source.file) ->
+        match f.Source.ast with
+        | Some _ -> []
+        | None ->
+          List.map finding_of_violation
+            (Lint.lint_source ~file:f.Source.path f.Source.src))
+      files
+  in
+  let all = Finding.sort (lock.Lockpass.findings @ proto @ ast @ fallback) in
+  let suppressions_for path =
+    match
+      List.find_opt (fun (f : Source.file) -> f.Source.path = path) files
+    with
+    | Some f -> f.Source.suppressions
+    | None -> []
+  in
+  let kept, dropped =
+    List.partition
+      (fun (f : Finding.t) ->
+        not
+          (Source.suppressed
+             (suppressions_for f.Finding.file)
+             ~line:f.Finding.line ~rule:f.Finding.rule))
+      all
+  in
+  {
+    findings = kept;
+    suppressed = List.length dropped;
+    parse_failures =
+      List.filter_map
+        (fun (f : Source.file) ->
+          Option.map (fun e -> (f.Source.path, e)) f.Source.parse_error)
+        files;
+    files;
+  }
+
+let analyze ~dirs = analyze_files (List.concat_map Source.load_dir dirs)
+
+let against_baseline report ~baseline =
+  let keys = List.map Finding.key report.findings in
+  let fresh =
+    List.filter
+      (fun f -> not (List.mem (Finding.key f) baseline))
+      report.findings
+  in
+  let stale = List.filter (fun k -> not (List.mem k keys)) baseline in
+  (fresh, stale)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture self-test                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixtures carry their expectations in comments:
+   [(* expect: rule-a rule-b *)] — the findings in this file must be
+   exactly that rule set; no directive (or [expect-clean]) — the file
+   must be silent. *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let index_of hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let expected_rules src =
+  match index_of src "expect:" with
+  | None -> []
+  | Some i ->
+    let rest = String.sub src (i + 7) (String.length src - i - 7) in
+    let stop =
+      match index_of rest "*)" with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    List.sort_uniq compare
+      (List.filter
+         (fun w -> w <> "")
+         (String.split_on_char ' '
+            (String.map (fun c -> if c = '\n' then ' ' else c) stop)))
+
+let self_test ~dir =
+  let report = analyze ~dirs:[ dir ] in
+  let ok = ref true in
+  let out = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun (f : Source.file) ->
+      let base = Filename.basename f.Source.path in
+      let expected = expected_rules f.Source.src in
+      let found =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (x : Finding.t) ->
+               if x.Finding.file = f.Source.path then Some x.Finding.rule
+               else None)
+             report.findings)
+      in
+      let expected =
+        if expected = [] && contains f.Source.src "expect-clean" then []
+        else expected
+      in
+      if found = expected then
+        say "fixture %s: ok (%s)" base
+          (if expected = [] then "clean"
+           else String.concat ", " expected)
+      else begin
+        ok := false;
+        say "fixture %s: FAIL expected [%s] got [%s]" base
+          (String.concat ", " expected)
+          (String.concat ", " found)
+      end)
+    report.files;
+  (* The headline rules must come with evidence: a finding without a
+     witness chain is useless to the reader and a regression here. *)
+  List.iter
+    (fun (x : Finding.t) ->
+      if
+        (x.Finding.rule = "may-block-under-lock"
+        || x.Finding.rule = "lock-order-cycle")
+        && x.Finding.witness = []
+      then begin
+        ok := false;
+        say "finding %s at %s:%d has no witness chain" x.Finding.rule
+          x.Finding.file x.Finding.line
+      end)
+    report.findings;
+  List.iter
+    (fun (path, err) ->
+      ok := false;
+      say "fixture %s failed to parse: %s" (Filename.basename path) err)
+    report.parse_failures;
+  (!ok, List.rev !out)

@@ -1,0 +1,27 @@
+(** Driver for the AST-based static analysis: load, parse, build the
+    call graph, run the passes ({!Mayblock} + {!Lockpass},
+    {!Protocol}, {!Ast_rules}, token-engine fallback for unparseable
+    sources), apply [static-ok] suppressions, and diff against the
+    committed baseline. Pure — printing and exit codes belong to
+    [bin/rhodos_lint]. *)
+
+type report = {
+  findings : Finding.t list;  (** after suppressions, sorted *)
+  suppressed : int;
+  parse_failures : (string * string) list;  (** path, error *)
+  files : Source.file list;
+}
+
+val analyze_files : Source.file list -> report
+
+val analyze : dirs:string list -> report
+
+val against_baseline :
+  report -> baseline:string list -> Finding.t list * string list
+(** (new findings not in the baseline, stale baseline keys). *)
+
+val self_test : dir:string -> bool * string list
+(** Run the engine over a fixture directory and check each file's
+    [expect: rule ...] / [expect-clean] directive; also asserts that
+    every [may-block-under-lock] / [lock-order-cycle] finding carries
+    a witness chain. Returns pass/fail and a report line per file. *)

@@ -179,6 +179,7 @@ let fifo_wake_order () =
                  woken := !woken @ [ id ];
                  Lm.release_all lm ~txn:id)))
         [ 2; 3; 4 ];
+      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order *)
       Sim.sleep sim 1.;
       Lm.release_all lm ~txn:1;
       Sim.sleep sim 1.;
@@ -203,6 +204,7 @@ let no_overtaking () =
              match Lm.acquire lm ~txn:3 item Lm.Read_only with
              | () -> woken := !woken @ [ 3 ]
              | exception Lm.Wait_cancelled _ -> ()));
+      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order *)
       Sim.sleep sim 1.;
       Lm.release_all lm ~txn:1;
       Sim.sleep sim 1.;
@@ -232,6 +234,7 @@ let upgrade_priority () =
              match Lm.acquire lm ~txn:3 item Lm.Iwrite with
              | () -> woken := !woken @ [ 3 ]
              | exception Lm.Wait_cancelled _ -> ()));
+      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order *)
       Sim.sleep sim 1.;
       Lm.release_all lm ~txn:1;
       Sim.sleep sim 1.;
@@ -266,6 +269,7 @@ let no_new_ro_after_ir () =
 
 let run () =
   matrix_checks () @ conversion_checks () @ coholder_checks ()
+  (* static-ok: may-block-under-lock each scenario runs in its own in_sim world; a grant left held when a scenario ends cannot outlive that world, so it is not held across the next scenario's sleeps *)
   @ [ fifo_wake_order (); no_overtaking (); upgrade_priority ();
       no_new_ro_after_ir () ]
 

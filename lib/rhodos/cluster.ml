@@ -514,6 +514,7 @@ let make_fs_conn t ~from : Conn.fs_conn =
             let missing = ref (max 0 expected) in
             let timed_out = ref false in
             while (not !timed_out) && !missing > 0 do
+              (* static-ok: may-block-under-lock branch-union artifact: holds-on-return of handle_request is unioned over all request arms, but the R_pread_stream arm this stub just invoked takes no locks *)
               match Net.recv_timeout sink grace with
               | None -> timed_out := true
               | Some (coff, data) ->

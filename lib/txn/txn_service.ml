@@ -271,12 +271,14 @@ let tread_impl ~intent t txn file ~off ~len =
   acquire_all t txn (items_for t file ~off ~len) mode;
   check_active t txn;
   let fid = Fs.id_to_int file in
+  (* static-ok: may-block-under-lock 2PL by design: a tread holds its page/file grants across the committed-state disk read; deadlock is covered by the 6.4 lock-wait timeouts *)
   let committed_size = Fs.file_size t.fs file in
   let eff_size = max committed_size (tentative_end txn ~file:fid) in
   let len = max 0 (min len (eff_size - off)) in
   if len = 0 then Bytes.empty
   else begin
     let buf = Bytes.make len '\000' in
+    (* static-ok: may-block-under-lock 2PL by design: a tread holds its page/file grants across the committed-state disk read; deadlock is covered by the 6.4 lock-wait timeouts *)
     let committed = Fs.pread t.fs file ~off ~len in
     Bytes.blit committed 0 buf 0 (Bytes.length committed);
     if txn.writes <> [] then Counter.incr t.counters "tentative_reads";

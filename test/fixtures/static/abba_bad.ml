@@ -1,0 +1,14 @@
+(* Negative control: two workers take the same two locks in opposite
+   orders — the classic ABBA deadlock. The lock-order pass must
+   report a cycle with a witnessing chain for each edge. *)
+(* expect: lock-order-cycle *)
+
+let thread_one lm txn =
+  Lock_manager.acquire lm ~txn (File_item 11) Iwrite;
+  Lock_manager.acquire lm ~txn (File_item 12) Iwrite;
+  Lock_manager.release_all lm ~txn
+
+let thread_two lm txn =
+  Lock_manager.acquire lm ~txn (File_item 12) Iwrite;
+  Lock_manager.acquire lm ~txn (File_item 11) Iwrite;
+  Lock_manager.release_all lm ~txn

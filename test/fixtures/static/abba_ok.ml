@@ -1,0 +1,14 @@
+(* Corrected variant of abba_bad: both workers honour one global
+   lock order, so the order graph is a DAG and the pass stays
+   silent. *)
+(* expect-clean *)
+
+let thread_one lm txn =
+  Lock_manager.acquire lm ~txn (File_item 21) Iwrite;
+  Lock_manager.acquire lm ~txn (File_item 22) Iwrite;
+  Lock_manager.release_all lm ~txn
+
+let thread_two lm txn =
+  Lock_manager.acquire lm ~txn (File_item 21) Iwrite;
+  Lock_manager.acquire lm ~txn (File_item 22) Iwrite;
+  Lock_manager.release_all lm ~txn

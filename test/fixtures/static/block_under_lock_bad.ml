@@ -1,0 +1,14 @@
+(* Negative control: an RPC round trip issued while a Lock_manager
+   grant is held — the headline lock-held-across-RPC hazard. The
+   blocking call is one hop down the call graph, so the finding must
+   come with the interprocedural witness chain
+   read_locked -> fetch_remote -> Service_conn.pread. *)
+(* expect: may-block-under-lock *)
+
+let fetch_remote conn fid = conn.Service_conn.pread fid 0 4096
+
+let read_locked lm txn conn fid =
+  Lock_manager.acquire lm ~txn (Record_item 31) Iread;
+  let data = fetch_remote conn fid in
+  Lock_manager.release_all lm ~txn;
+  data

@@ -1,0 +1,11 @@
+(* Corrected variant of block_under_lock_bad: the grant is released
+   before the RPC round trip, so nothing blocks under the lock and
+   the pass stays silent. *)
+(* expect-clean *)
+
+let fetch_remote conn fid = conn.Service_conn.pread fid 0 4096
+
+let read_unlocked lm txn conn fid =
+  Lock_manager.acquire lm ~txn (Record_item 41) Iread;
+  Lock_manager.release_all lm ~txn;
+  fetch_remote conn fid

@@ -1,0 +1,9 @@
+(* Negative control: blocking inside a Sim.Cell.update closure. The
+   read-modify-write must stay atomic; a sleep inside it yields the
+   scheduler mid-update. *)
+(* expect: may-block-in-cell-update *)
+
+let bump cell =
+  Sim.Cell.update cell (fun h ->
+      Sim.sleep 1.0;
+      h)

@@ -1,0 +1,12 @@
+(* Negative control: a request constructor with no arm in the
+   dispatcher — it silently falls into the wildcard, exactly the
+   regression the wire-protocol pass exists to catch. *)
+(* expect: wire-protocol-coverage *)
+
+type request = Ping | Pong of int | Fetch of string | Evict of int
+
+let handle = function
+  | Ping -> 0
+  | Pong n -> n
+  | Fetch _ -> 1
+  | _ -> -1

@@ -1,0 +1,11 @@
+(* Corrected variant of proto_bad: every constructor of the protocol
+   type has a dispatcher arm. *)
+(* expect-clean *)
+
+type request = Attach | Detach of int | Stat of string | Sync of int
+
+let handle = function
+  | Attach -> 0
+  | Detach n -> n
+  | Stat _ -> 1
+  | Sync n -> n + 1

@@ -1,0 +1,13 @@
+(* The same blocking-under-lock shape as block_under_lock_bad, but
+   carrying a static-ok justification — the suppression mechanism
+   itself under test. *)
+(* expect-clean *)
+
+let fetch conn fid = conn.Service_conn.pread fid 0 4096
+
+let read_locked lm txn conn fid =
+  Lock_manager.acquire lm ~txn (Record_item 51) Iread;
+  (* static-ok: may-block-under-lock fixture justification: 2PL holds the grant across the read by design *)
+  let data = fetch conn fid in
+  Lock_manager.release_all lm ~txn;
+  data

@@ -1,0 +1,22 @@
+(* Differential fixture for the migrated token rules. The three true
+   positives below must be caught by the AST engine (and by the text
+   engine). The two baits at the bottom are historical token-engine
+   weak spots: a multi-line [let ... in] local binding (not module
+   state) and an identifier that merely contains "sort" (must not
+   absolve the fold). The AST engine must flag exactly the three. *)
+(* expect: global-mutable-state hashtbl-iter-order no-unseeded-random *)
+
+let table = Hashtbl.create 16
+
+let pick () = Random.int 10
+
+let keys () = Hashtbl.fold (fun k _ acc -> k :: acc) table []
+
+let resort_marker = 0
+
+let local_state () =
+  let state =
+    ref 0
+  in
+  incr state;
+  !state

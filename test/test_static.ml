@@ -1,0 +1,445 @@
+(* Unit tests for the AST-based static analysis: call-graph
+   construction and name canonicalisation, the may-block fixpoint,
+   the lock pass (held-state scan + lock-order cycles), wire-protocol
+   coverage, suppressions and baselines — all on inline programs —
+   plus the token-engine regression fixes and the AST-vs-token
+   differential over lib/ and the committed fixtures. *)
+
+module Source = Rhodos_static.Source
+module Callgraph = Rhodos_static.Callgraph
+module Mayblock = Rhodos_static.Mayblock
+module Lockpass = Rhodos_static.Lockpass
+module Finding = Rhodos_static.Finding
+module Static = Rhodos_static.Static
+module Ast_rules = Rhodos_static.Ast_rules
+module Lint = Rhodos_analysis.Lint
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let build srcs =
+  Callgraph.build
+    (List.map (fun (path, src) -> Source.of_string ~path src) srcs)
+
+let analyze srcs =
+  Static.analyze_files
+    (List.map (fun (path, src) -> Source.of_string ~path src) srcs)
+
+let rules report =
+  List.sort_uniq compare
+    (List.map (fun (f : Finding.t) -> f.Finding.rule) report.Static.findings)
+
+let has_rule report rule = List.mem rule (rules report)
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_edges () =
+  let g =
+    build
+      [ ("a.ml", "let g () = Sim.sleep 1.0\nlet f () = g ()\n") ]
+  in
+  let calls name =
+    match Callgraph.node g name with
+    | Some n -> List.map fst n.Callgraph.calls
+    | None -> Alcotest.failf "node %s missing" name
+  in
+  check bool "f calls A.g" true (List.mem "A.g" (calls "A.f"));
+  check bool "g calls Sim.sleep" true (List.mem "Sim.sleep" (calls "A.g"))
+
+let test_alias_canonicalisation () =
+  let g =
+    build
+      [
+        ( "a.ml",
+          "module Lm = Rhodos_txn.Lock_manager\n\
+           let f lm = Lm.acquire lm ~txn:1 (Lm.File_item 1) Lm.Iwrite\n" );
+      ]
+  in
+  match Callgraph.node g "A.f" with
+  | Some n ->
+    check bool "aliased acquire canonicalised" true
+      (List.mem "Lock_manager.acquire" (List.map fst n.Callgraph.calls))
+  | None -> Alcotest.fail "A.f missing"
+
+let test_spawn_args_excluded () =
+  let g =
+    build
+      [
+        ( "a.ml",
+          "let f sim = ignore (Sim.spawn sim (fun () -> Sim.sleep 1.0))\n" );
+      ]
+  in
+  match Callgraph.node g "A.f" with
+  | Some n ->
+    check bool "spawned closure's sleep not attributed to f" false
+      (List.mem "Sim.sleep" (List.map fst n.Callgraph.calls))
+  | None -> Alcotest.fail "A.f missing"
+
+(* ------------------------------------------------------------------ *)
+(* May-block fixpoint                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mayblock_propagation () =
+  let g =
+    build [ ("a.ml", "let g () = Sim.sleep 1.0\nlet f () = g ()\n") ]
+  in
+  let mb = Mayblock.compute g in
+  check bool "f may block (time), transitively" true
+    (Mayblock.may_block mb "A.f" ~classes:[ Mayblock.Time ] <> []);
+  check bool "witness chain ends at the seed" true
+    (Mayblock.chain mb "A.f" "Sim.sleep" = [ "A.f"; "A.g"; "Sim.sleep" ])
+
+let test_acquire_opaque () =
+  let g =
+    build
+      [
+        ( "a.ml",
+          "let f lm = Lock_manager.acquire lm ~txn:1 (File_item 1) 0\n" );
+      ]
+  in
+  let mb = Mayblock.compute g in
+  check bool "acquirer blocks with Lock class" true
+    (Mayblock.may_block mb "A.f" ~classes:[ Mayblock.Lock ] <> []);
+  check bool "lock manager internals do not leak Time reasons" true
+    (Mayblock.may_block mb "A.f" ~classes:[ Mayblock.Time; Mayblock.Remote ]
+    = [])
+
+(* ------------------------------------------------------------------ *)
+(* Lock pass                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bad_block_src =
+  "let fetch conn fid = conn.Service_conn.pread fid 0 10\n\
+   let locked lm conn fid =\n\
+  \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+  \  let d = fetch conn fid in\n\
+  \  Lock_manager.release_all lm ~txn:1;\n\
+  \  d\n"
+
+let test_block_under_lock_caught () =
+  let report = analyze [ ("a.ml", bad_block_src) ] in
+  check bool "may-block-under-lock found" true
+    (has_rule report "may-block-under-lock");
+  List.iter
+    (fun (f : Finding.t) ->
+      if f.Finding.rule = "may-block-under-lock" then
+        check bool "witness chain present" true (f.Finding.witness <> []))
+    report.Static.findings
+
+let test_release_before_block_silent () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let fetch conn fid = conn.Service_conn.pread fid 0 10\n\
+           let locked lm conn fid =\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+          \  Lock_manager.release_all lm ~txn:1;\n\
+          \  fetch conn fid\n" );
+      ]
+  in
+  check bool "no finding after release" false
+    (has_rule report "may-block-under-lock")
+
+let test_abba_cycle_caught () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let one lm =\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 2) 0;\n\
+          \  Lock_manager.release_all lm ~txn:1\n\
+           let two lm =\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 2) 0;\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 1) 0;\n\
+          \  Lock_manager.release_all lm ~txn:2\n" );
+      ]
+  in
+  check bool "ABBA cycle found" true (has_rule report "lock-order-cycle")
+
+let test_lock_order_dag_silent () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let one lm =\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 2) 0;\n\
+          \  Lock_manager.release_all lm ~txn:1\n\
+           let two lm =\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 1) 0;\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 2) 0;\n\
+          \  Lock_manager.release_all lm ~txn:2\n" );
+      ]
+  in
+  check bool "consistent order is silent" false
+    (has_rule report "lock-order-cycle")
+
+let test_interprocedural_cycle () =
+  (* one takes A then (through a helper) B; two takes B then A — the
+     cycle only exists once acquire sites compose through the call
+     graph. *)
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let helper lm = Lock_manager.acquire lm ~txn:1 (File_item 2) 0\n\
+           let one lm =\n\
+          \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+          \  helper lm;\n\
+          \  Lock_manager.release_all lm ~txn:1\n\
+           let two lm =\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 2) 0;\n\
+          \  Lock_manager.acquire lm ~txn:2 (File_item 1) 0;\n\
+          \  Lock_manager.release_all lm ~txn:2\n" );
+      ]
+  in
+  check bool "interprocedural ABBA found" true
+    (has_rule report "lock-order-cycle")
+
+let test_self_edge_not_a_cycle () =
+  (* Re-acquiring the same rendered token (a per-page loop) must not
+     read as a one-node "cycle". *)
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let loop lm =\n\
+          \  Lock_manager.acquire lm ~txn:1 (Page_item p) 0;\n\
+          \  Lock_manager.acquire lm ~txn:1 (Page_item p) 0;\n\
+          \  Lock_manager.release_all lm ~txn:1\n" );
+      ]
+  in
+  check bool "self edge is not a cycle" false
+    (has_rule report "lock-order-cycle")
+
+let test_cell_update_blocking () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "let bump cell = Sim.Cell.update cell (fun h -> Sim.sleep 1.0; h)\n"
+        );
+      ]
+  in
+  check bool "blocking inside Cell.update found" true
+    (has_rule report "may-block-in-cell-update")
+
+(* ------------------------------------------------------------------ *)
+(* Wire-protocol coverage                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_missing_arm () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "type request = P | Q of int | R of string | S of int\n\
+           let handle = function P -> 0 | Q n -> n | R _ -> 1 | _ -> 2\n" );
+      ]
+  in
+  let missing =
+    List.filter
+      (fun (f : Finding.t) -> f.Finding.rule = "wire-protocol-coverage")
+      report.Static.findings
+  in
+  check int "exactly the one missing constructor" 1 (List.length missing);
+  check bool "it names S" true
+    (List.for_all (fun (f : Finding.t) -> f.Finding.slug = "S") missing)
+
+let test_protocol_full_coverage_silent () =
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "type request = P | Q of int | R of string\n\
+           let handle = function P -> 0 | Q n -> n | R _ -> 1\n" );
+      ]
+  in
+  check bool "full coverage is silent" false
+    (has_rule report "wire-protocol-coverage")
+
+let test_protocol_extractor_not_dispatcher () =
+  (* A single-constructor match ([expect_int]-style) is not the
+     dispatcher; it must not make the other constructors "missing". *)
+  let report =
+    analyze
+      [
+        ( "a.ml",
+          "type response = A | B of int | C of string | D of int\n\
+           let expect_b = function B n -> n | _ -> 0\n" );
+      ]
+  in
+  check bool "result extractor is not a dispatcher" false
+    (has_rule report "wire-protocol-coverage")
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions and baseline                                           *)
+(* ------------------------------------------------------------------ *)
+
+let suppressed_src =
+  "let fetch conn fid = conn.Service_conn.pread fid 0 10\n\
+   let locked lm conn fid =\n\
+  \  Lock_manager.acquire lm ~txn:1 (File_item 1) 0;\n\
+  \  (* static-ok: may-block-under-lock held across the read by design *)\n\
+  \  let d = fetch conn fid in\n\
+  \  Lock_manager.release_all lm ~txn:1;\n\
+  \  d\n"
+
+let test_suppression () =
+  let report = analyze [ ("a.ml", suppressed_src) ] in
+  check bool "suppressed finding dropped" false
+    (has_rule report "may-block-under-lock");
+  check int "and counted" 1 report.Static.suppressed
+
+let test_baseline_round_trip () =
+  let report = analyze [ ("a.ml", bad_block_src) ] in
+  let keys = List.map Finding.key report.Static.findings in
+  check bool "some findings to baseline" true (keys <> []);
+  let parsed = Finding.baseline_of_string (Finding.baseline_to_string keys) in
+  check bool "baseline round-trips" true
+    (List.sort_uniq compare keys = parsed);
+  let fresh, stale = Static.against_baseline report ~baseline:parsed in
+  check int "baselined run is clean" 0 (List.length fresh);
+  check int "no stale keys" 0 (List.length stale);
+  let fresh, stale =
+    Static.against_baseline report ~baseline:[ "bogus|key|x|y" ]
+  in
+  check bool "unbaselined findings are fresh" true (fresh <> []);
+  check bool "unknown key is stale" true (stale = [ "bogus|key|x|y" ])
+
+(* ------------------------------------------------------------------ *)
+(* Token-engine regression fixes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let token_rules src =
+  List.map
+    (fun (v : Lint.violation) -> v.Lint.rule)
+    (Lint.lint_source ~file:"x.ml" src)
+
+let test_multiline_let_in_not_global () =
+  let src =
+    "let f () =\n  let state =\n    ref 0\n  in\n  incr state;\n  !state\n"
+  in
+  check bool "multi-line local let is not module state" false
+    (List.mem "global-mutable-state" (token_rules src))
+
+let test_multiline_global_still_caught () =
+  let src = "let table =\n  Hashtbl.create 16\n\nlet g () = 1\n" in
+  check bool "multi-line module binding still flagged" true
+    (List.mem "global-mutable-state" (token_rules src))
+
+let test_sort_needs_token_boundary () =
+  let flagged src = List.mem "hashtbl-iter-order" (token_rules src) in
+  check bool "resort_marker does not absolve" true
+    (flagged
+       "let keys t = Hashtbl.fold (fun k _ a -> k :: a) t []\n\
+        let resort_marker = 0\n");
+  check bool "a real sort absolves" false
+    (flagged
+       "let keys t = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) t [])\n")
+
+(* ------------------------------------------------------------------ *)
+(* Differential: AST findings cover the token engine's true positives  *)
+(* ------------------------------------------------------------------ *)
+
+let differential dir =
+  let files = Source.load_dir dir in
+  let report = Static.analyze_files files in
+  List.iter
+    (fun (f : Source.file) ->
+      match f.Source.ast with
+      | None -> () (* token engine is the only engine there *)
+      | Some _ ->
+        List.iter
+          (fun (v : Lint.violation) ->
+            if List.mem v.Lint.rule Ast_rules.migrated_rules then
+              check bool
+                (Printf.sprintf "AST engine covers %s at %s:%d" v.Lint.rule
+                   v.Lint.file v.Lint.line)
+                true
+                (List.exists
+                   (fun (x : Finding.t) ->
+                     x.Finding.rule = v.Lint.rule
+                     && x.Finding.file = v.Lint.file
+                     && x.Finding.line = v.Lint.line)
+                   report.Static.findings))
+          (Lint.lint_source ~file:f.Source.path f.Source.src))
+    files
+
+let test_differential_lib () = differential "../lib"
+let test_differential_fixtures () = differential "fixtures/static"
+
+let test_fixture_self_test () =
+  let ok, lines = Static.self_test ~dir:"fixtures/static" in
+  if not ok then
+    Alcotest.failf "fixture self-test failed:\n%s" (String.concat "\n" lines)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "static"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "edges" `Quick test_callgraph_edges;
+          Alcotest.test_case "alias canonicalisation" `Quick
+            test_alias_canonicalisation;
+          Alcotest.test_case "spawn args excluded" `Quick
+            test_spawn_args_excluded;
+        ] );
+      ( "mayblock",
+        [
+          Alcotest.test_case "propagation + chain" `Quick
+            test_mayblock_propagation;
+          Alcotest.test_case "acquire opaqueness" `Quick test_acquire_opaque;
+        ] );
+      ( "lockpass",
+        [
+          Alcotest.test_case "block under lock caught" `Quick
+            test_block_under_lock_caught;
+          Alcotest.test_case "release first silent" `Quick
+            test_release_before_block_silent;
+          Alcotest.test_case "ABBA cycle caught" `Quick test_abba_cycle_caught;
+          Alcotest.test_case "DAG silent" `Quick test_lock_order_dag_silent;
+          Alcotest.test_case "interprocedural cycle" `Quick
+            test_interprocedural_cycle;
+          Alcotest.test_case "self edge not a cycle" `Quick
+            test_self_edge_not_a_cycle;
+          Alcotest.test_case "blocking in Cell.update" `Quick
+            test_cell_update_blocking;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "missing arm" `Quick test_protocol_missing_arm;
+          Alcotest.test_case "full coverage silent" `Quick
+            test_protocol_full_coverage_silent;
+          Alcotest.test_case "extractor is not a dispatcher" `Quick
+            test_protocol_extractor_not_dispatcher;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "baseline round trip" `Quick
+            test_baseline_round_trip;
+          Alcotest.test_case "fixture self-test" `Quick test_fixture_self_test;
+        ] );
+      ( "token-engine",
+        [
+          Alcotest.test_case "multi-line let ... in" `Quick
+            test_multiline_let_in_not_global;
+          Alcotest.test_case "multi-line global caught" `Quick
+            test_multiline_global_still_caught;
+          Alcotest.test_case "sort token boundary" `Quick
+            test_sort_needs_token_boundary;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "lib/" `Quick test_differential_lib;
+          Alcotest.test_case "fixtures" `Quick test_differential_fixtures;
+        ] );
+    ]
