@@ -1,0 +1,176 @@
+(* P0 — the sim-core self-benchmark behind the @perf gate.
+
+   Two loads, both run under the profiler (lib/obs/profiler):
+
+   - the E15 shape: a cold 512 KiB sequential scan in 8 KiB
+     application reads through the whole cluster stack — the
+     representative "real work" mix of RPCs, disk events, cache fills
+     and process wakeups;
+
+   - 10k-process churn: 5000 mailbox ping-pong pairs on a bare Sim,
+     interleaving sends, receives, yields and timers — the scheduler
+     hot path with nothing else attached.
+
+   Each reports dispatched events/sec of host time and minor words
+   allocated per event. `--perf-write` commits them to
+   BENCH_simcore.json; `--perf-check` (the @perf alias, part of @ci)
+   re-measures and fails on regression beyond tolerance: events/sec
+   is wall-clock noisy, so the floor is generous (a quarter of
+   baseline); allocations are deterministic for a given binary, so
+   words/event gets a tight ceiling. *)
+
+open Common
+module Fa = Rhodos_agent.File_agent
+module Profiler = Rhodos_obs.Profiler
+
+let () = Json_out.register "P0"
+
+(* Cold 512 KiB sequential scan (the E15 shape), profiled. *)
+let e15_load () =
+  Cluster.run (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let d = Cluster.create_file ws "/data" in
+      Cluster.pwrite ws d ~off:0 ~data:(pattern (kib 512));
+      Fa.flush (Cluster.file_agent ws);
+      Fs.drop_caches (Cluster.file_service t);
+      Fa.invalidate_file (Cluster.file_agent ws)
+        ~file:(Fa.descriptor_file (Cluster.file_agent ws) d);
+      ignore (Cluster.lseek ws d (`Set 0));
+      let (), report =
+        Profiler.profile sim (fun () ->
+            for _ = 1 to kib 512 / kib 8 do
+              ignore (Cluster.read ws d (kib 8))
+            done)
+      in
+      report)
+
+let churn_pairs = 5_000
+let churn_rounds = 30
+
+(* 10k processes of pure scheduler churn on a bare Sim. *)
+let churn_load () =
+  let sim = Sim.create () in
+  let prof = Profiler.create () in
+  let finished = ref 0 in
+  Profiler.arm prof sim;
+  for i = 0 to churn_pairs - 1 do
+    let a = Sim.Mailbox.create sim and b = Sim.Mailbox.create sim in
+    ignore
+      (Sim.spawn ~name:(Printf.sprintf "ping%d" i) sim (fun () ->
+           for r = 1 to churn_rounds do
+             Sim.Mailbox.send a r;
+             ignore (Sim.Mailbox.recv b);
+             if r mod 8 = 0 then Sim.sleep sim 0.01 else Sim.yield sim
+           done;
+           incr finished));
+    ignore
+      (Sim.spawn ~name:(Printf.sprintf "pong%d" i) sim (fun () ->
+           for _ = 1 to churn_rounds do
+             Sim.Mailbox.send b (Sim.Mailbox.recv a)
+           done))
+  done;
+  Sim.run sim;
+  let report = Profiler.disarm prof sim in
+  assert (!finished = churn_pairs);
+  report
+
+let report_load label (r : Profiler.report) =
+  note "%s:" label;
+  print_string (Profiler.report_table r);
+  print_newline ()
+
+let emit prefix (r : Profiler.report) =
+  Json_out.metric "P0" (prefix ^ "_dispatches") (float_of_int r.dispatches);
+  Json_out.metric "P0" (prefix ^ "_events_per_sec") r.events_per_sec;
+  Json_out.metric "P0" (prefix ^ "_words_per_event") r.words_per_event
+
+let run_reports () =
+  header "P0 — sim-core benchmark: events/sec and allocations/event";
+  let e15 = e15_load () in
+  report_load "E15-shaped load (cold 512 KiB scan, full stack)" e15;
+  let churn = churn_load () in
+  report_load
+    (Printf.sprintf "scheduler churn (%d processes, mailbox ping-pong)"
+       (2 * churn_pairs))
+    churn;
+  emit "e15" e15;
+  emit "churn" churn;
+  (e15, churn)
+
+let run () = ignore (run_reports ())
+
+(* ------------------------------------------------------------------ *)
+(* The @perf regression gate                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_simcore.json holds a single "P0" object written by our own
+   Json_out, so a line scan for ["key": number] pairs is a complete
+   parse of it. *)
+let parse_baseline path =
+  let ic = open_in path in
+  let kvs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match String.index_opt line ':' with
+       | Some i when String.length line > 2 && line.[0] = '"' ->
+         let key = String.sub line 1 (i - 2) in
+         let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+         let v =
+           if String.length v > 0 && v.[String.length v - 1] = ',' then
+             String.sub v 0 (String.length v - 1)
+           else v
+         in
+         (match float_of_string_opt v with
+         | Some f -> kvs := (key, f) :: !kvs
+         | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !kvs
+
+(* events/sec must stay above [rate_floor] x baseline (wall-clock
+   noisy, CI machines vary); words/event must stay below
+   [alloc_ceiling] x baseline + a small absolute slack (deterministic
+   for a given binary, so a tight bound holds). *)
+let rate_floor = 0.25
+let alloc_ceiling = 1.25
+let alloc_slack_words = 16.
+
+let check ~baseline () =
+  let base = parse_baseline baseline in
+  let e15, churn = run_reports () in
+  let ok = ref true in
+  let gate name ~current ~against =
+    match List.assoc_opt name base with
+    | None ->
+      note "perf: %-22s SKIP (not in baseline %s)" name baseline;
+      ()
+    | Some b ->
+      let pass, bound = against b in
+      if pass then note "perf: %-22s ok    %.1f (baseline %.1f)" name current b
+      else begin
+        ok := false;
+        note "perf: %-22s FAIL  %.1f vs bound %.1f (baseline %.1f)" name
+          current bound b
+      end
+  in
+  let rate name current =
+    gate name ~current ~against:(fun b ->
+        let bound = rate_floor *. b in
+        (current >= bound, bound))
+  in
+  let alloc name current =
+    gate name ~current ~against:(fun b ->
+        let bound = (alloc_ceiling *. b) +. alloc_slack_words in
+        (current <= bound, bound))
+  in
+  rate "e15_events_per_sec" e15.Profiler.events_per_sec;
+  alloc "e15_words_per_event" e15.Profiler.words_per_event;
+  rate "churn_events_per_sec" churn.Profiler.events_per_sec;
+  alloc "churn_words_per_event" churn.Profiler.words_per_event;
+  if !ok then note "perf: gate passed (floor %.2fx rate, ceiling %.2fx allocs)"
+      rate_floor alloc_ceiling
+  else note "perf: gate FAILED against %s" baseline;
+  !ok

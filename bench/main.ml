@@ -33,6 +33,7 @@ let experiments =
     ("A3", "ablation: fetch window / coalescing / read-ahead", Exp_a3.run);
     ("A4", "ablation: controlled scheduling / exploration depth", Exp_a4.run);
     ("A5", "ablation: race/protocol sanitizer overhead", Exp_a5.run);
+    ("P0", "sim-core benchmark: events/sec, allocations/event", Exp_p0.run);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 
@@ -49,18 +50,38 @@ let () =
       exit 1)
   | "--json" :: rest ->
     (* Run every experiment that registered a JSON emitter (micro is
-       wall-clock, so it stays out of the deterministic record) and
-       write the collected key metrics. *)
+       wall-clock, so it stays out of the deterministic record; P0
+       reports host-time rates, so it lives in its own
+       BENCH_simcore.json via --perf-write) and write the collected
+       key metrics, each with its Gc deltas appended. *)
     let name = match rest with [ name ] -> name | _ -> "run" in
-    List.iter
-      (fun (id, _, run) -> if Json_out.registered id then run ())
-      experiments;
-    Printf.printf "\nwrote %s\n" (Json_out.write ~name)
+    let ids =
+      List.filter_map
+        (fun (id, _, run) ->
+          if id <> "P0" && Json_out.registered id then begin
+            Json_out.with_gc id run;
+            Some id
+          end
+          else None)
+        experiments
+    in
+    Printf.printf "\nwrote %s\n" (Json_out.write ~only:ids ~name ())
+  | [ "--perf-write" ] ->
+    (* Measure the sim-core loads and (re)write the committed perf
+       baseline the @perf alias gates against. *)
+    Exp_p0.run ();
+    Printf.printf "\nwrote %s\n" (Json_out.write ~only:[ "P0" ] ~name:"simcore" ())
+  | [ "--perf-check"; baseline ] ->
+    (* The @perf alias: re-measure and compare against the committed
+       BENCH_simcore.json; non-zero exit on regression. *)
+    if not (Exp_p0.check ~baseline ()) then exit 1
   | [] ->
     Printf.printf
       "RHODOS distributed file facility — evaluation harness\n\
        (Panadiwal & Goscinski, ICDCS 1994; see EXPERIMENTS.md)\n";
     List.iter (fun (_, _, run) -> run ()) experiments
   | _ ->
-    Printf.eprintf "usage: main.exe [--list | --only <id> | --json [name]]\n";
+    Printf.eprintf
+      "usage: main.exe [--list | --only <id> | --json [name] | --perf-write \
+       | --perf-check <baseline>]\n";
     exit 1

@@ -274,6 +274,53 @@ let trace_action tree check =
   else print_string (Export.chrome_json spans)
 
 (* ------------------------------------------------------------------ *)
+(* profile / top: host-time and allocation self-profiling              *)
+(* ------------------------------------------------------------------ *)
+
+module Profiler = Rhodos_obs.Profiler
+
+(* The standard profiling workload — the P0/E15 shape: a cold 512 KiB
+   sequential scan in 8 KiB reads through the whole stack, with the
+   profiler armed around the scan. [traced] also collects spans so
+   --chrome can overlay the profiler's counter tracks on the trace. *)
+let profiled_scan ~traced () =
+  Cluster.run (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let payload = Bytes.init (512 * 1024) (fun i -> Char.chr (i mod 251)) in
+      let d = Cluster.create_file ws "/scan" in
+      Cluster.pwrite ws d ~off:0 ~data:payload;
+      Fa.flush (Cluster.file_agent ws);
+      Fs.drop_caches (Cluster.file_service t);
+      Fa.invalidate_file (Cluster.file_agent ws)
+        ~file:(Fa.descriptor_file (Cluster.file_agent ws) d);
+      ignore (Cluster.lseek ws d (`Set 0));
+      let tracer = Cluster.tracer t in
+      let collector = if traced then Some (Trace.collect tracer) else None in
+      let (), report =
+        Profiler.profile ~interval:64 sim (fun () ->
+            for _ = 1 to 64 do
+              ignore (Cluster.read ws d (8 * 1024))
+            done)
+      in
+      Option.iter (Trace.stop tracer) collector;
+      let spans = match collector with Some c -> Trace.spans c | None -> [] in
+      (report, spans))
+
+let profile_action collapsed chrome =
+  Rhodos_util.Logging.setup_from_env ();
+  let report, spans = profiled_scan ~traced:chrome () in
+  if chrome then
+    print_string
+      (Export.chrome_json ~counters:(Profiler.counter_series report) spans)
+  else if collapsed then print_string (Profiler.collapsed report)
+  else print_string (Profiler.report_table report)
+
+let top_action limit =
+  Rhodos_util.Logging.setup_from_env ();
+  let report, _ = profiled_scan ~traced:false () in
+  print_string (Profiler.top_table ~limit report)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -366,8 +413,45 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_action $ tree $ check)
 
+let profile_cmd =
+  let doc =
+    "profile the engine itself on a cold 512 KiB scan: host time per \
+     process/service, allocations per event, queue waits and scheduler \
+     overhead. Emits a summary table (default), flamegraph folded stacks \
+     (--collapsed), or Chrome JSON with profiler counter tracks (--chrome)"
+  in
+  let collapsed =
+    Arg.(
+      value & flag
+      & info [ "collapsed" ]
+          ~doc:
+            "Print flamegraph folded stacks (host ns per process, plus the \
+             sim-core scheduler residual) instead of the table.")
+  in
+  let chrome =
+    Arg.(
+      value & flag
+      & info [ "chrome" ]
+          ~doc:
+            "Print Chrome trace_event JSON of the traced scan with the \
+             profiler's counter series (queue length, events/sec, Gc words) \
+             as \"C\" tracks.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile_action $ collapsed $ chrome)
+
+let top_cmd =
+  let doc = "hottest processes by host time on the standard profiling scan" in
+  let limit =
+    Arg.(
+      value & opt int 10
+      & info [ "limit" ] ~docv:"N" ~doc:"How many processes to show.")
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const top_action $ limit)
+
 let () =
   let doc = "drive a simulated RHODOS distributed file facility" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "rhodos_cli" ~doc) [ run_cmd; info_cmd; trace_cmd ]))
+       (Cmd.group
+          (Cmd.info "rhodos_cli" ~doc)
+          [ run_cmd; info_cmd; trace_cmd; profile_cmd; top_cmd ]))

@@ -138,6 +138,61 @@ let find_forbidden ~file stripped =
   List.rev !vs
 
 (* ------------------------------------------------------------------ *)
+(* Rule: host clocks only inside the profiler                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Host time is allowed in exactly one library module: the profiler
+   ([lib/obs/profiler.ml]), whose readings flow only into its own
+   accumulators. Anywhere else a host clock can leak into simulated
+   state, digests or event ordering and silently break replay — the
+   general [no-wall-clock] rule catches the [Unix.]/[Sys.time] forms,
+   but this rule names the hygiene contract explicitly and also
+   covers the monotonic clock the profiler itself uses. *)
+let host_clock_idents =
+  [
+    "Unix.gettimeofday"; "Unix.time"; "Unix.times"; "Sys.time";
+    "Monotonic_clock.";
+  ]
+
+let find_host_clock ~file stripped =
+  if Filename.basename file = "profiler.ml" then []
+  else begin
+    let n = String.length stripped in
+    let vs = ref [] in
+    List.iter
+      (fun pat ->
+        let plen = String.length pat in
+        let i = ref 0 in
+        while !i <= n - plen do
+          if
+            String.sub stripped !i plen = pat
+            && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+            && (pat.[plen - 1] = '.'
+               || !i + plen >= n
+               || not (is_ident_char stripped.[!i + plen]))
+          then begin
+            vs :=
+              {
+                file;
+                line = line_of stripped !i;
+                rule = "host-clock-hygiene";
+                message =
+                  Printf.sprintf
+                    "%s: host clocks are confined to the profiler \
+                     (lib/obs/profiler.ml); anywhere else host time can \
+                     leak into simulated state or digests"
+                    (String.trim pat);
+              }
+              :: !vs;
+            i := !i + plen
+          end
+          else incr i
+        done)
+      host_clock_idents;
+    List.rev !vs
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Rule: no direct printing from library code                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -703,7 +758,8 @@ let lint_source ?(profile = Library) ~file src =
   find_forbidden ~file stripped
   @ (match profile with
     | Library ->
-      find_direct_prints ~file stripped
+      find_host_clock ~file stripped
+      @ find_direct_prints ~file stripped
       @ find_unseeded_random ~file stripped
       @ find_unsorted_hashtbl_iteration ~file stripped
       @ find_global_mutable_state ~file stripped

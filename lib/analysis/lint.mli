@@ -8,6 +8,12 @@
       [Random.self_init] in library code — everything must run on
       simulated time and seeded randomness or runs stop being
       replayable;
+    - {b host-clock-hygiene} (Library profile): no host-clock
+      identifier ([Unix.gettimeofday], [Unix.time], [Unix.times],
+      [Sys.time], [Monotonic_clock.*]) outside [profiler.ml] — the
+      profiler is the single sanctioned host-time reader, and its
+      readings flow only into profiler-private accumulators, so host
+      time can never leak into simulated state or digests;
     - {b no-direct-print}: library code never writes to stdout/stderr
       directly ([print_string], [Printf.printf], [prerr_endline], ...)
       — output goes through [Logging] or an observability exporter

@@ -76,7 +76,9 @@ let send ?(size_bytes = 256) t ~from ep v =
     Counter.incr t.counters "drops"
   else begin
     let deliver delay =
+      Counter.incr t.counters "wire_enqueued";
       Sim.schedule t.sim ~at:(Sim.now t.sim +. delay) (fun () ->
+          Counter.incr t.counters "deliveries";
           Sim.Mailbox.send ep.mb v)
     in
     let delay = transfer_ms t ~size_bytes in
@@ -91,6 +93,12 @@ let send ?(size_bytes = 256) t ~from ep v =
 
 let recv ep = Sim.Mailbox.recv ep.mb
 let recv_timeout ep d = Sim.Mailbox.recv_timeout ep.mb d
+
+(* Messages on the wire right now: enqueued for delivery (lost and
+   partition-dropped sends never enqueue) minus delivered. Gives the
+   wire's current queue depth to the profiler's counter tracks. *)
+let in_flight t =
+  Counter.get t.counters "wire_enqueued" - Counter.get t.counters "deliveries"
 
 module Rpc = struct
   type ('req, 'resp) envelope = {

@@ -34,8 +34,15 @@ val sim : t -> Rhodos_sim.Sim.t
 
 val stats : t -> Rhodos_util.Stats.Counter.t
 (** Counters: ["sends"], ["drops"] (loss + partitions), ["dups"],
-    ["rpc_calls"], ["rpc_retries"], ["rpc_replays"] (deduplicated
-    reply replays), ["rpc_timeouts"], ["handler_execs"]. *)
+    ["wire_enqueued"] / ["deliveries"] (messages put on / taken off
+    the wire), ["rpc_calls"], ["rpc_retries"], ["rpc_replays"]
+    (deduplicated reply replays), ["rpc_timeouts"],
+    ["handler_execs"]. *)
+
+val in_flight : t -> int
+(** Inter-node messages currently on the wire (enqueued for delivery
+    and not yet delivered; lost or partition-dropped sends never
+    count). A queue-depth gauge for profiler counter tracks. *)
 
 val add_node : t -> string -> node
 

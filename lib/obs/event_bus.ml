@@ -32,8 +32,18 @@ let unsubscribe t tok = t.subs <- List.filter (fun (k, _) -> k <> tok) t.subs
 let has_subscribers t = t.subs <> []
 let subscriber_count t = List.length t.subs
 
+(* Publish over a snapshot, re-checking membership per delivery:
+   subscribers added during a publish first see the *next* event, and
+   a subscriber unsubscribed mid-publish (by an earlier subscriber's
+   callback) is skipped rather than called after its unsubscribe
+   returned. Both choices keep delivery deterministic under observer
+   self-modification. *)
 let publish t ev =
   match t.subs with
   | [] -> ()
   | [ (_, f) ] -> f ev
-  | subs -> List.iter (fun (_, f) -> f ev) (List.rev subs)
+  | subs ->
+    List.iter
+      (fun (tok, f) ->
+        if List.exists (fun (k, _) -> k = tok) t.subs then f ev)
+      (List.rev subs)

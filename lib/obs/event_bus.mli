@@ -31,4 +31,7 @@ val subscriber_count : 'a t -> int
 
 val publish : 'a t -> 'a -> unit
 (** Deliver an event to all subscribers in subscription order.  A no-op
-    when no subscriber is attached. *)
+    when no subscriber is attached.  Self-modification during a publish
+    is well-defined: a subscriber added by a callback first sees the
+    {e next} event, and a subscriber removed by an earlier callback in
+    the same publish is skipped, not called. *)

@@ -38,8 +38,11 @@ let json_value = function
 (* Perfetto/chrome://tracing "complete" events: one "X" record per
    span, timestamps in microseconds of simulated time. Services map to
    thread lanes of a single process, named via "M" metadata records, so
-   the per-layer nesting is visible as stacked lanes. *)
-let chrome_json spans =
+   the per-layer nesting is visible as stacked lanes. [counters] are
+   named (sim-ms, value) series rendered as "C" counter events — the
+   profiler's periodic samples (queue length, event rate, Gc words)
+   plot as tracks alongside the span lanes. *)
+let chrome_json ?(counters = []) spans =
   let tids = Hashtbl.create 8 in
   let order = ref [] in
   let tid_of service =
@@ -72,6 +75,17 @@ let chrome_json spans =
       (dur_ms sp *. 1000.) (tid_of sp.service) args_s
   in
   let events = List.map event spans in
+  let counter_events =
+    List.concat_map
+      (fun (name, series) ->
+        List.map
+          (fun (ts_ms, v) ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"args\":{\"%s\":%.6g}}"
+              (json_escape name) (ts_ms *. 1000.) (json_escape name) v)
+          series)
+      counters
+  in
   let meta =
     Printf.sprintf
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rhodos\"}}"
@@ -83,7 +97,7 @@ let chrome_json spans =
          !order
   in
   Printf.sprintf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[%s]}\n"
-    (String.concat ",\n" (meta @ events))
+    (String.concat ",\n" (meta @ events @ counter_events))
 
 (* ------------------------------------------------------------------ *)
 (* Plain-text span tree                                                *)
@@ -129,6 +143,42 @@ let span_tree spans =
     List.iter (emit (depth + 1)) (children sp)
   in
   List.iter (emit 0) (roots spans);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Collapsed stacks (flamegraph folded format)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One "frame;frame;... weight" line per span with positive self time,
+   in span-list order. Frames are the service.op chain up the parent
+   links; the weight is the span's simulated self time in integer
+   microseconds (inclusive minus direct children), so the output feeds
+   straight into standard flamegraph tooling. *)
+let collapsed_stacks spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (sp : Trace.span) -> Hashtbl.replace by_id sp.id sp) spans;
+  let children = children_of spans in
+  let frame (sp : Trace.span) = Printf.sprintf "%s.%s" sp.service sp.op in
+  let rec stack (sp : Trace.span) =
+    match sp.parent with
+    | Some p -> (
+      match Hashtbl.find_opt by_id p with
+      | Some parent -> stack parent ^ ";" ^ frame sp
+      | None -> frame sp)
+    | None -> frame sp
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let child_incl =
+        List.fold_left (fun acc c -> acc +. dur_ms c) 0. (children sp)
+      in
+      let self_us =
+        int_of_float (Float.max 0. (dur_ms sp -. child_incl) *. 1000.)
+      in
+      if self_us > 0 then
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" (stack sp) self_us))
+    spans;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -80,6 +80,19 @@ let histogram_stats h = h
 let register_source t ?(node = "") ~name read =
   t.sources <- (node, name, read) :: t.sources
 
+(* Zero every owned instrument in place so handles held by services
+   stay valid. Registered sources read live external tables and are
+   untouched — callers owning those tables reset them directly
+   ([Stats.Counter.reset]). *)
+let reset t =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | I_counter r -> r := 0
+      | I_gauge r -> r := 0.
+      | I_histogram s -> Stats.clear s)
+    t.owned
+
 (* A histogram expands into a handful of derived samples so a plain
    (name, value) dump still carries its shape. *)
 let histogram_samples name (s : Stats.t) =

@@ -50,6 +50,14 @@ val of_counter_table :
   Rhodos_util.Stats.Counter.t -> unit -> (string * float) list
 (** Ready-made source reader for a [Stats.Counter] table. *)
 
+val reset : t -> unit
+(** Zero every owned instrument in place — counters to 0, gauges to
+    0., histograms cleared ({!Rhodos_util.Stats.clear}) — so repeated
+    benchmark iterations in one process start from a clean slate
+    instead of double-counting. Instrument handles held by callers
+    remain valid. Registered sources are untouched: they read live
+    external tables, which their owners reset directly. *)
+
 val snapshot : t -> sample list
 (** All current samples — owned instruments (histograms expand to
     [.count]/[.mean]/[.p50]/[.p95]/[.max]) plus registered sources —

@@ -1,0 +1,422 @@
+(* Host-time / allocation profiler for the simulator engine.
+
+   This is the one module in lib/ allowed to read host clocks (the
+   host-clock-hygiene lint enforces it). It arms the [Sim.probe]
+   hooks: the simulator calls back here around every dispatched event
+   with monotonic-clock stamps, and we accumulate host time, queue
+   wait, wakeups and Gc deltas into per-process and per-service
+   buckets. Nothing flows back into the simulation — the probe
+   callbacks only write profiler-private accumulators — so an armed
+   profiler is digest-neutral, and with the profiler off the hooks
+   cost a single match on [None] (see DESIGN, "Profiler
+   digest-neutrality").
+
+   Attribution model: each dispatched event is owned by the process
+   whose effect scheduled it ("fa-fetch", "server0-disk", "d0", ...,
+   or "top" for top-level work). The service bucket is the leading
+   name segment with trailing digits stripped, so "server0" and
+   "server1" both land in "server". Host time not inside any thunk —
+   heap pushes/pops, the dispatch loop itself — is the residual
+   [overhead_ns] and is reported as the "sim-core" bucket. *)
+
+module Sim = Rhodos_sim.Sim
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type agg = {
+  key : string;
+  dispatches : int;
+  host_ns : int;
+  wakeups : int;
+  queue_wait_ns : int;
+  queue_waits : int;
+}
+
+type sample = {
+  s_sim_ms : float;
+  s_host_ms : float;
+  s_queue_len : int;
+  s_events_per_sec : float;
+  s_minor_words : float;
+  s_major_words : float;
+  s_minor_collections : int;
+  s_major_collections : int;
+}
+
+type report = {
+  wall_ns : int;
+  dispatch_ns : int;
+  overhead_ns : int;
+  dispatches : int;
+  wakeups : int;
+  events_per_sec : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  words_per_event : float;
+  sim_ms_advanced : float;
+  queue_len_mean : float;
+  queue_len_max : int;
+  burst_mean : float;
+  burst_max : int;
+  by_process : agg list;
+  by_bucket : agg list;
+  samples : sample list;
+}
+
+(* Mutable accumulator per attribution key. *)
+type pstat = {
+  mutable p_dispatches : int;
+  mutable p_host_ns : int;
+  mutable p_wakeups : int;
+  mutable p_qwait_ns : int;
+  mutable p_qwaits : int;
+}
+
+type gc_mark = {
+  g_minor : float;
+  g_major : float;
+  g_promoted : float;
+  g_minor_c : int;
+  g_major_c : int;
+}
+
+let gc_mark () =
+  let s = Gc.quick_stat () in
+  {
+    (* [quick_stat]'s minor_words only advances at minor collections;
+       [Gc.minor_words] reads the allocation pointer, so short windows
+       (fewer dispatches than one minor heap) still measure. *)
+    g_minor = Gc.minor_words ();
+    g_major = s.Gc.major_words;
+    g_promoted = s.Gc.promoted_words;
+    g_minor_c = s.Gc.minor_collections;
+    g_major_c = s.Gc.major_collections;
+  }
+
+type t = {
+  interval : int;
+  procs : (string, pstat) Hashtbl.t;
+  buckets : (string, pstat) Hashtbl.t;
+  mutable dispatches : int;
+  mutable wakeups : int;
+  mutable dispatch_ns : int;
+  mutable queue_len_sum : int;
+  mutable queue_len_max : int;
+  (* run-length of consecutive dispatches at the same sim time: the
+     honest "ready set size" a heap-based queue can observe in O(1) *)
+  mutable burst_at : float;
+  mutable burst : int;
+  mutable burst_sum : int;
+  mutable bursts : int;
+  mutable burst_max : int;
+  mutable sim_first : float;
+  mutable sim_last : float;
+  mutable arm_ns : int;
+  mutable arm_gc : gc_mark;
+  mutable last_sample_ns : int;
+  mutable last_sample_gc : gc_mark;
+  mutable last_sample_dispatches : int;
+  mutable samples_rev : sample list;
+}
+
+let create ?(interval = 1024) () =
+  if interval < 1 then invalid_arg "Profiler.create: interval < 1";
+  let zero = { g_minor = 0.; g_major = 0.; g_promoted = 0.; g_minor_c = 0; g_major_c = 0 } in
+  {
+    interval;
+    procs = Hashtbl.create 64;
+    buckets = Hashtbl.create 16;
+    dispatches = 0;
+    wakeups = 0;
+    dispatch_ns = 0;
+    queue_len_sum = 0;
+    queue_len_max = 0;
+    burst_at = nan;
+    burst = 0;
+    burst_sum = 0;
+    bursts = 0;
+    burst_max = 0;
+    sim_first = nan;
+    sim_last = nan;
+    arm_ns = 0;
+    arm_gc = zero;
+    last_sample_ns = 0;
+    last_sample_gc = zero;
+    last_sample_dispatches = 0;
+    samples_rev = [];
+  }
+
+let stat_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+    let s =
+      { p_dispatches = 0; p_host_ns = 0; p_wakeups = 0; p_qwait_ns = 0;
+        p_qwaits = 0 }
+    in
+    Hashtbl.add tbl key s;
+    s
+
+(* "server0-disk" -> "server"; "d0" -> "d"; "top" -> "top" *)
+let bucket_of name =
+  let seg =
+    match String.index_opt name '-' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let n = String.length seg in
+  let rec first_digit i =
+    if i = 0 then 0
+    else
+      match seg.[i - 1] with '0' .. '9' -> first_digit (i - 1) | _ -> i
+  in
+  let cut = first_digit n in
+  if cut = 0 || cut = n then seg else String.sub seg 0 cut
+
+let take_sample t ~sim_ms ~queue_len =
+  let now = now_ns () in
+  let gc = gc_mark () in
+  let span_ns = now - t.last_sample_ns in
+  let span_ev = t.dispatches - t.last_sample_dispatches in
+  let rate =
+    if span_ns <= 0 then 0.
+    else float_of_int span_ev /. (float_of_int span_ns /. 1e9)
+  in
+  let s =
+    {
+      s_sim_ms = sim_ms;
+      s_host_ms = float_of_int (now - t.arm_ns) /. 1e6;
+      s_queue_len = queue_len;
+      s_events_per_sec = rate;
+      s_minor_words = gc.g_minor -. t.last_sample_gc.g_minor;
+      s_major_words = gc.g_major -. t.last_sample_gc.g_major;
+      s_minor_collections = gc.g_minor_c - t.last_sample_gc.g_minor_c;
+      s_major_collections = gc.g_major_c - t.last_sample_gc.g_major_c;
+    }
+  in
+  t.samples_rev <- s :: t.samples_rev;
+  t.last_sample_ns <- now;
+  t.last_sample_gc <- gc;
+  t.last_sample_dispatches <- t.dispatches
+
+let on_dispatch t ~proc:_ ~name ~at ~queue_len ~queued_host_ns ~start_ns
+    ~end_ns =
+  let d = end_ns - start_ns in
+  t.dispatches <- t.dispatches + 1;
+  t.dispatch_ns <- t.dispatch_ns + d;
+  t.queue_len_sum <- t.queue_len_sum + queue_len;
+  if queue_len > t.queue_len_max then t.queue_len_max <- queue_len;
+  if Float.is_nan t.sim_first then t.sim_first <- at;
+  t.sim_last <- at;
+  (* same-sim-time dispatch burst = observed ready-set size *)
+  if at = t.burst_at then t.burst <- t.burst + 1
+  else begin
+    if t.burst > 0 then begin
+      t.burst_sum <- t.burst_sum + t.burst;
+      t.bursts <- t.bursts + 1;
+      if t.burst > t.burst_max then t.burst_max <- t.burst
+    end;
+    t.burst_at <- at;
+    t.burst <- 1
+  end;
+  let ps = stat_of t.procs name in
+  ps.p_dispatches <- ps.p_dispatches + 1;
+  ps.p_host_ns <- ps.p_host_ns + d;
+  let bs = stat_of t.buckets (bucket_of name) in
+  bs.p_dispatches <- bs.p_dispatches + 1;
+  bs.p_host_ns <- bs.p_host_ns + d;
+  if queued_host_ns > 0 then begin
+    let w = start_ns - queued_host_ns in
+    let w = if w < 0 then 0 else w in
+    ps.p_qwait_ns <- ps.p_qwait_ns + w;
+    ps.p_qwaits <- ps.p_qwaits + 1;
+    bs.p_qwait_ns <- bs.p_qwait_ns + w;
+    bs.p_qwaits <- bs.p_qwaits + 1
+  end;
+  if t.dispatches mod t.interval = 0 then
+    take_sample t ~sim_ms:at ~queue_len
+
+let on_wake t ~target:_ ~name =
+  t.wakeups <- t.wakeups + 1;
+  let ps = stat_of t.procs name in
+  ps.p_wakeups <- ps.p_wakeups + 1;
+  let bs = stat_of t.buckets (bucket_of name) in
+  bs.p_wakeups <- bs.p_wakeups + 1
+
+let arm t sim =
+  let now = now_ns () in
+  let gc = gc_mark () in
+  t.arm_ns <- now;
+  t.arm_gc <- gc;
+  t.last_sample_ns <- now;
+  t.last_sample_gc <- gc;
+  t.last_sample_dispatches <- t.dispatches;
+  Sim.set_probe sim
+    (Some
+       {
+         Sim.pr_clock = now_ns;
+         pr_dispatch = on_dispatch t;
+         pr_wake = on_wake t;
+       })
+
+let aggs tbl =
+  let l =
+    Hashtbl.fold
+      (fun key s acc ->
+        {
+          key;
+          dispatches = s.p_dispatches;
+          host_ns = s.p_host_ns;
+          wakeups = s.p_wakeups;
+          queue_wait_ns = s.p_qwait_ns;
+          queue_waits = s.p_qwaits;
+        }
+        :: acc)
+      tbl []
+  in
+  List.sort
+    (fun a b ->
+      match compare b.host_ns a.host_ns with
+      | 0 -> String.compare a.key b.key
+      | c -> c)
+    l
+
+let disarm t sim =
+  Sim.set_probe sim None;
+  let now = now_ns () in
+  let gc = gc_mark () in
+  (* close the trailing burst *)
+  if t.burst > 0 then begin
+    t.burst_sum <- t.burst_sum + t.burst;
+    t.bursts <- t.bursts + 1;
+    if t.burst > t.burst_max then t.burst_max <- t.burst;
+    t.burst <- 0;
+    t.burst_at <- nan
+  end;
+  let wall_ns = now - t.arm_ns in
+  let dispatches = t.dispatches in
+  let minor_words = gc.g_minor -. t.arm_gc.g_minor in
+  let major_words = gc.g_major -. t.arm_gc.g_major in
+  let fdiv a b = if b = 0 then 0. else a /. float_of_int b in
+  {
+    wall_ns;
+    dispatch_ns = t.dispatch_ns;
+    overhead_ns = (let o = wall_ns - t.dispatch_ns in if o < 0 then 0 else o);
+    dispatches;
+    wakeups = t.wakeups;
+    events_per_sec =
+      (if wall_ns <= 0 then 0.
+       else float_of_int dispatches /. (float_of_int wall_ns /. 1e9));
+    minor_words;
+    major_words;
+    promoted_words = gc.g_promoted -. t.arm_gc.g_promoted;
+    minor_collections = gc.g_minor_c - t.arm_gc.g_minor_c;
+    major_collections = gc.g_major_c - t.arm_gc.g_major_c;
+    words_per_event = fdiv minor_words dispatches;
+    sim_ms_advanced =
+      (if Float.is_nan t.sim_first then 0. else t.sim_last -. t.sim_first);
+    queue_len_mean = fdiv (float_of_int t.queue_len_sum) dispatches;
+    queue_len_max = t.queue_len_max;
+    burst_mean = fdiv (float_of_int t.burst_sum) t.bursts;
+    burst_max = t.burst_max;
+    by_process = aggs t.procs;
+    by_bucket = aggs t.buckets;
+    samples = List.rev t.samples_rev;
+  }
+
+let profile ?interval sim f =
+  let t = create ?interval () in
+  arm t sim;
+  let finally () = Sim.set_probe sim None in
+  let x = Fun.protect ~finally f in
+  let r = disarm t sim in
+  (x, r)
+
+(* ---------- renderers ---------- *)
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let pct part whole =
+  if whole <= 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let agg_rows ~total_ns aggs =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "  %-24s %10s %10s %6s %9s %12s\n" "key" "dispatches"
+       "host ms" "%" "wakeups" "qwait ms/ev");
+  List.iter
+    (fun a ->
+      let mean_wait =
+        if a.queue_waits = 0 then 0.
+        else ns_to_ms a.queue_wait_ns /. float_of_int a.queue_waits
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-24s %10d %10.3f %5.1f%% %9d %12.4f\n" a.key
+           a.dispatches (ns_to_ms a.host_ns)
+           (pct a.host_ns total_ns)
+           a.wakeups mean_wait))
+    aggs;
+  Buffer.contents b
+
+let summary_lines r =
+  Printf.sprintf
+    "wall %.3f ms | in-thunk %.3f ms | sim-core overhead %.3f ms (%.1f%%)\n\
+     %d dispatches (%.0f events/sec host) | %d wakeups | sim advanced %.3f \
+     ms\n\
+     gc: %.0f minor words (%.1f words/event), %.0f major, %.0f promoted, \
+     %d/%d minor/major collections\n\
+     queue len mean %.1f max %d | ready-burst mean %.2f max %d\n"
+    (ns_to_ms r.wall_ns) (ns_to_ms r.dispatch_ns) (ns_to_ms r.overhead_ns)
+    (pct r.overhead_ns r.wall_ns)
+    r.dispatches r.events_per_sec r.wakeups r.sim_ms_advanced r.minor_words
+    r.words_per_event r.major_words r.promoted_words r.minor_collections
+    r.major_collections r.queue_len_mean r.queue_len_max r.burst_mean
+    r.burst_max
+
+let report_table r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (summary_lines r);
+  Buffer.add_string b "service buckets (host time in dispatched thunks):\n";
+  Buffer.add_string b (agg_rows ~total_ns:r.wall_ns r.by_bucket);
+  Buffer.contents b
+
+let top_table ?(limit = 10) r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (summary_lines r);
+  Buffer.add_string b
+    (Printf.sprintf "top %d processes by host time:\n" limit);
+  let take n l =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: go (n - 1) tl
+    in
+    go n l
+  in
+  Buffer.add_string b (agg_rows ~total_ns:r.wall_ns (take limit r.by_process));
+  Buffer.contents b
+
+let collapsed r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun a ->
+      if a.host_ns > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "rhodos;%s;%s %d\n" (bucket_of a.key) a.key
+             a.host_ns))
+    r.by_process;
+  if r.overhead_ns > 0 then
+    Buffer.add_string b (Printf.sprintf "rhodos;sim-core %d\n" r.overhead_ns);
+  Buffer.contents b
+
+let counter_series r =
+  let pick f = List.map (fun s -> (s.s_sim_ms, f s)) r.samples in
+  [
+    ("queue_len", pick (fun s -> float_of_int s.s_queue_len));
+    ("events_per_sec", pick (fun s -> s.s_events_per_sec));
+    ("minor_words", pick (fun s -> s.s_minor_words));
+    ("major_words", pick (fun s -> s.s_major_words));
+  ]

@@ -54,6 +54,37 @@ type mon_event =
   | M_cell_read of { proc : int; cell : int; role : cell_role }
   | M_cell_write of { proc : int; cell : int; role : cell_role }
 
+(* Profiler hooks: like the monitor, a synchronous feed — but of the
+   dispatch loop itself rather than of synchronisation primitives. The
+   probe supplies its own host clock ([pr_clock], monotonic
+   nanoseconds) so the simulator never reads host time directly (the
+   host-clock-hygiene lint keeps host clocks confined to the profiler
+   module); readings flow only into the probe's accumulators, never
+   into simulated state, so an armed probe cannot perturb the run
+   digest. With no probe installed each hook site is a single match on
+   [None]. *)
+type probe = {
+  pr_clock : unit -> int;
+      (** monotonic host nanoseconds, read at event creation and
+          around each dispatched thunk *)
+  pr_dispatch :
+    proc:int ->
+    name:string ->
+    at:float ->
+    queue_len:int ->
+    queued_host_ns:int ->
+    start_ns:int ->
+    end_ns:int ->
+    unit;
+      (** called after a dispatched event's thunk returns: owning
+          process ([-1]/"top" outside any process), dispatch sim time,
+          event-queue length after the dispatch, the host stamp taken
+          when the event was enqueued (0 = enqueued before arming) and
+          the host stamps around the thunk *)
+  pr_wake : target:int -> name:string -> unit;
+      (** a parked process was resumed (same edge as [M_wake]) *)
+}
+
 (* [live] lets a cancelled timer (say, the sleep of a killed process)
    be skipped without advancing the clock to its deadline. [id] is the
    creation sequence number, folded into the run digest at dispatch so
@@ -62,12 +93,15 @@ type mon_event =
    the event belongs to (the one that scheduled it, or the one it will
    resume) — carried only so a recorded run can be pretty-printed as
    an interleaving; a proc pointer, not a string, so the hot path pays
-   no formatting cost. *)
+   no formatting cost. [queued_host_ns] is the probe's enqueue stamp
+   (0 when no probe is armed) — an immediate int field, so the event
+   record allocates nothing extra on the probe-off path. *)
 type event = {
   id : int;
   origin : proc option;
   live : unit -> bool;
   thunk : unit -> unit;
+  queued_host_ns : int;
 }
 
 type t = {
@@ -87,6 +121,7 @@ type t = {
   mutable choice_rev : (int * int) list; (* (n_ready, chosen), newest first *)
   mutable dispatch_rev : (float * string) list; (* only when [record] *)
   mutable monitor : (mon_event -> unit) option;
+  mutable probe : probe option;
   mutable next_obj : int; (* mailbox/ivar/semaphore/cell id allocator *)
 }
 
@@ -103,11 +138,15 @@ let create ?(tie_break = Prio_queue.Fifo) ?(track = false) ?scheduler
   { clock = 0.; events = Prio_queue.create ~tie:tie_break (); failure = None;
     next_pid = 0; current = None; next_event_id = 0; digest = 0; dispatched = 0;
     track; procs = []; scheduler; record; n_choices = 0; choice_rev = [];
-    dispatch_rev = []; monitor = None; next_obj = 0 }
+    dispatch_rev = []; monitor = None; probe = None; next_obj = 0 }
 
 let now t = t.clock
 
 let set_monitor t f = t.monitor <- f
+
+let set_probe t p = t.probe <- p
+
+let queue_length t = Prio_queue.length t.events
 
 let cur_id t = match t.current with Some p -> p.id | None -> -1
 
@@ -127,7 +166,10 @@ let schedule_event ?origin t ~at ~live thunk =
   let id = t.next_event_id in
   t.next_event_id <- t.next_event_id + 1;
   let origin = match origin with Some _ as o -> o | None -> t.current in
-  Prio_queue.add t.events ~prio:at { id; origin; live; thunk }
+  let queued_host_ns =
+    match t.probe with None -> 0 | Some p -> p.pr_clock ()
+  in
+  Prio_queue.add t.events ~prio:at { id; origin; live; thunk; queued_host_ns }
 
 let schedule t ~at thunk = schedule_event t ~at ~live:always_live thunk
 
@@ -166,6 +208,9 @@ let run_process t proc f =
                       proc.state <- Ready;
                       (match t.monitor with
                       | Some f -> f (M_wake { by = cur_id t; target = proc.id })
+                      | None -> ());
+                      (match t.probe with
+                      | Some p -> p.pr_wake ~target:proc.id ~name:proc.name
                       | None -> ());
                       schedule_event ~origin:proc t ~at:t.clock
                         ~live:always_live (fun () ->
@@ -214,7 +259,18 @@ let dispatch t time ev =
   t.dispatched <- t.dispatched + 1;
   t.digest <- Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time);
   if t.record then t.dispatch_rev <- (time, proc_label ev.origin) :: t.dispatch_rev;
-  ev.thunk ();
+  (match t.probe with
+  | None -> ev.thunk ()
+  | Some p ->
+    let start_ns = p.pr_clock () in
+    ev.thunk ();
+    let end_ns = p.pr_clock () in
+    let proc, name =
+      match ev.origin with Some pr -> (pr.id, pr.name) | None -> (-1, "top")
+    in
+    p.pr_dispatch ~proc ~name ~at:time
+      ~queue_len:(Prio_queue.length t.events)
+      ~queued_host_ns:ev.queued_host_ns ~start_ns ~end_ns);
   match t.failure with
   | Some e ->
     t.failure <- None;

@@ -168,6 +168,50 @@ val set_monitor : t -> (mon_event -> unit) option -> unit
 (** Install (or clear) the monitor. At most one monitor per world;
     install it before creating the objects it should know by name. *)
 
+(** {2 Profiler hooks}
+
+    A probe is the dispatch loop's self-instrumentation: armed by
+    [Rhodos_obs.Profiler], it receives one callback per dispatched
+    event carrying the owning process, dispatch sim time, event-queue
+    length and host-time stamps (from the probe's own monotonic clock
+    — the simulator never reads host time itself; the
+    host-clock-hygiene lint confines host clocks to the profiler
+    module). Host readings flow only into the probe's accumulators,
+    never into simulated state or the event queue, so an armed probe
+    is digest-neutral; with no probe installed each hook site is a
+    single match on [None] and the per-event [queued_host_ns] stamp is
+    the immediate [0] — no allocation, no clock read. *)
+
+type probe = {
+  pr_clock : unit -> int;
+      (** monotonic host nanoseconds; called at event creation and
+          around each dispatched thunk *)
+  pr_dispatch :
+    proc:int ->
+    name:string ->
+    at:float ->
+    queue_len:int ->
+    queued_host_ns:int ->
+    start_ns:int ->
+    end_ns:int ->
+    unit;
+      (** after each dispatched event's thunk returns: [proc]/[name]
+          identify the owning process ([-1]/["top"] outside any),
+          [at] is the dispatch sim time, [queue_len] the event-queue
+          length after the dispatch, [queued_host_ns] the enqueue
+          stamp (0 = enqueued before the probe was armed), and
+          [start_ns]/[end_ns] bracket the thunk *)
+  pr_wake : target:int -> name:string -> unit;
+      (** a parked process was resumed — the same edge as [M_wake] *)
+}
+
+val set_probe : t -> probe option -> unit
+(** Install (or clear) the probe. At most one probe per world. *)
+
+val queue_length : t -> int
+(** Current number of pending events (live or cancelled) in the
+    queue. O(1). *)
+
 (** {2 Determinism sanitizer hooks}
 
     Used by [Rhodos_analysis.Determinism]. *)

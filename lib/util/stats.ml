@@ -27,6 +27,18 @@ let create ?(max_samples = 100_000) ?(seed = default_seed) () =
     rng = Rng.create seed;
   }
 
+(* Back to the freshly-created state; retains the sample array's
+   capacity and the rng position (re-seeding mid-process would make a
+   second run's reservoir correlate with the first). *)
+let clear t =
+  t.count <- 0;
+  t.mean <- 0.;
+  t.m2 <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.sum <- 0.;
+  t.n_samples <- 0
+
 let add t x =
   t.count <- t.count + 1;
   t.sum <- t.sum +. x;

@@ -16,6 +16,13 @@ val create : ?max_samples:int -> ?seed:int -> unit -> t
 
 val add : t -> float -> unit
 
+val clear : t -> unit
+(** Back to the freshly-created state (count, moments, min/max, sum,
+    retained samples all zeroed). The sample array's capacity and the
+    reservoir rng position are kept, so repeated
+    measure-[clear]-measure cycles in one process stay independent
+    rather than re-correlating through a re-seeded rng. *)
+
 val count : t -> int
 
 val sum : t -> float

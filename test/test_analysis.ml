@@ -505,11 +505,13 @@ let test_lint_catch_all_negatives () =
           "let f x = try (match x with _ -> 1) with Failure _ -> 0"))
 
 let test_lint_forbidden () =
-  check (list string) "Unix. flagged" [ "no-wall-clock" ]
+  (* a host clock trips both the general rule and the hygiene rule *)
+  check (list string) "Unix. flagged" [ "no-wall-clock"; "host-clock-hygiene" ]
     (rules (Lint.lint_source ~file:"t.ml" "let t = Unix.gettimeofday ()"));
   check (list string) "Random.self_init flagged" [ "no-wall-clock" ]
     (rules (Lint.lint_source ~file:"t.ml" "let () = Random.self_init ()"));
-  check (list string) "Sys.time flagged" [ "no-wall-clock" ]
+  check (list string) "Sys.time flagged"
+    [ "no-wall-clock"; "host-clock-hygiene" ]
     (rules (Lint.lint_source ~file:"t.ml" "let t = Sys.time ()"));
   check (list string) "in a string literal, allowed" []
     (rules (Lint.lint_source ~file:"t.ml" "let s = \"Unix.stat\""));
@@ -517,6 +519,25 @@ let test_lint_forbidden () =
     (rules (Lint.lint_source ~file:"t.ml" "(* Unix.stat *) let x = 1"));
   check (list string) "prefix of another ident, allowed" []
     (rules (Lint.lint_source ~file:"t.ml" "let t = My_unix.now ()"))
+
+let test_lint_host_clock () =
+  check (list string) "monotonic clock outside the profiler flagged"
+    [ "host-clock-hygiene" ]
+    (rules
+       (Lint.lint_source ~file:"t.ml" "let t = Monotonic_clock.now ()"));
+  check (list string) "Unix.times flagged"
+    [ "no-wall-clock"; "host-clock-hygiene" ]
+    (rules (Lint.lint_source ~file:"t.ml" "let t = Unix.times ()"));
+  check (list string) "the profiler module is the sanctioned reader" []
+    (rules
+       (Lint.lint_source ~file:"lib/obs/profiler.ml"
+          "let now_ns () = Int64.to_int (Monotonic_clock.now ())"));
+  check (list string) "in a comment, allowed" []
+    (rules (Lint.lint_source ~file:"t.ml" "(* Monotonic_clock.now *) let x = 1"));
+  check (list string) "bench profile may time itself" []
+    (rules
+       (Lint.lint_source ~profile:Lint.Bench ~file:"micro.ml"
+          "let run () = ()\nlet t = Monotonic_clock.now ()"))
 
 let test_lint_pairing () =
   check (list string) "acquire without release flagged" [ "paired-release" ]
@@ -884,6 +905,7 @@ let () =
           test_case "catch-all try" `Quick test_lint_catch_all;
           test_case "catch-all negatives" `Quick test_lint_catch_all_negatives;
           test_case "forbidden identifiers" `Quick test_lint_forbidden;
+          test_case "host-clock hygiene" `Quick test_lint_host_clock;
           test_case "acquire/release pairing" `Quick test_lint_pairing;
           test_case "bench profile" `Quick test_lint_bench_profile;
           test_case "global mutable state" `Quick test_lint_global_state;

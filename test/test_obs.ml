@@ -285,11 +285,226 @@ let test_cluster_metrics_snapshot () =
   check bool "file service wrote extents" true
     (value "server" "fs.extent_writes" > 0.)
 
+(* ------------------------------------------------------------------ *)
+(* Event bus self-modification during publish                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_unsubscribe_during_publish () =
+  let bus = Event_bus.create () in
+  let seen_b = ref 0 and seen_c = ref 0 in
+  let tb = ref None in
+  (* a (first subscriber) removes b mid-publish: b must be skipped,
+     not called after its unsubscribe returned. *)
+  let _ta =
+    Event_bus.subscribe bus (fun () ->
+        match !tb with
+        | Some tok ->
+          Event_bus.unsubscribe bus tok;
+          tb := None
+        | None -> ())
+  in
+  tb := Some (Event_bus.subscribe bus (fun () -> incr seen_b));
+  let _tc = Event_bus.subscribe bus (fun () -> incr seen_c) in
+  Event_bus.publish bus ();
+  check int "b skipped after mid-publish unsubscribe" 0 !seen_b;
+  check int "c still delivered" 1 !seen_c;
+  check int "two subscribers remain" 2 (Event_bus.subscriber_count bus);
+  Event_bus.publish bus ();
+  check int "b stays detached" 0 !seen_b;
+  check int "c keeps receiving" 2 !seen_c
+
+let test_bus_self_unsubscribe_during_publish () =
+  let bus = Event_bus.create () in
+  let calls = ref 0 in
+  let tok = ref None in
+  tok :=
+    Some
+      (Event_bus.subscribe bus (fun () ->
+           incr calls;
+           Option.iter (Event_bus.unsubscribe bus) !tok;
+           tok := None));
+  let other = ref 0 in
+  let _ = Event_bus.subscribe bus (fun () -> incr other) in
+  Event_bus.publish bus ();
+  Event_bus.publish bus ();
+  check int "self-unsubscriber ran once" 1 !calls;
+  check int "other subscriber saw both" 2 !other
+
+let test_bus_subscribe_during_publish () =
+  let bus = Event_bus.create () in
+  let late = ref 0 in
+  let added = ref false in
+  let _ =
+    Event_bus.subscribe bus (fun () ->
+        if not !added then begin
+          added := true;
+          ignore (Event_bus.subscribe bus (fun () -> incr late))
+        end)
+  in
+  let _ = Event_bus.subscribe bus (fun () -> ()) in
+  Event_bus.publish bus ();
+  check int "late subscriber misses the current event" 0 !late;
+  Event_bus.publish bus ();
+  check int "late subscriber sees the next event" 1 !late
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Profiler = Rhodos_obs.Profiler
+
+let profiled_cold_read ~profiled =
+  Cluster.run (fun sim t ->
+      let ws = Cluster.add_client t ~name:"ws" in
+      let payload = Bytes.init (64 * 1024) (fun i -> Char.chr (i mod 251)) in
+      let d = Cluster.create_file ws "/p" in
+      Cluster.pwrite ws d ~off:0 ~data:payload;
+      Fa.flush (Cluster.file_agent ws);
+      Fs.drop_caches (Cluster.file_service t);
+      ignore (Fa.crash (Cluster.file_agent ws));
+      let d = Cluster.open_file ws "/p" in
+      let body () = ignore (Cluster.pread ws d ~off:0 ~len:(64 * 1024)) in
+      let report =
+        if profiled then begin
+          let (), r = Profiler.profile ~interval:16 sim body in
+          Some r
+        end
+        else begin
+          body ();
+          None
+        end
+      in
+      (report, Sim.run_digest sim))
+
+let test_profiler_digest_neutral () =
+  let r1, d_on = profiled_cold_read ~profiled:true in
+  let _, d_off = profiled_cold_read ~profiled:false in
+  let r2, d_on2 = profiled_cold_read ~profiled:true in
+  check bool "profiling leaves the digest unchanged" true (d_on = d_off);
+  check bool "profiled runs repeat exactly" true (d_on = d_on2);
+  match (r1, r2) with
+  | Some r1, Some r2 ->
+    check int "same dispatch count across profiled runs" r1.Profiler.dispatches
+      r2.Profiler.dispatches
+  | _ -> Alcotest.fail "profiled runs returned no report"
+
+let test_profiler_report_sanity () =
+  let report, _ = profiled_cold_read ~profiled:true in
+  let r = match report with Some r -> r | None -> Alcotest.fail "no report" in
+  check bool "dispatches counted" true (r.Profiler.dispatches > 0);
+  check bool "host wall time advanced" true (r.Profiler.wall_ns > 0);
+  check bool "thunk time within wall time" true
+    (r.Profiler.dispatch_ns <= r.Profiler.wall_ns);
+  check bool "overhead is the residual" true
+    (r.Profiler.overhead_ns = r.Profiler.wall_ns - r.Profiler.dispatch_ns);
+  check bool "sim time advanced" true (r.Profiler.sim_ms_advanced > 0.);
+  check bool "minor words measured" true (r.Profiler.minor_words > 0.);
+  check bool "per-process attribution present" true
+    (r.Profiler.by_process <> []);
+  (* per-process dispatches add back up to the total *)
+  let sum =
+    List.fold_left
+      (fun acc (a : Profiler.agg) -> acc + a.Profiler.dispatches)
+      0 r.Profiler.by_process
+  in
+  check int "process dispatches sum to total" r.Profiler.dispatches sum;
+  (* bucketing strips instance digits and suffixes *)
+  check string "bucket of server0-disk" "server"
+    (Profiler.bucket_of "server0-disk");
+  check string "bucket of fa-fetch" "fa" (Profiler.bucket_of "fa-fetch");
+  check string "bucket of d0" "d" (Profiler.bucket_of "d0");
+  check string "bucket of top" "top" (Profiler.bucket_of "top");
+  (* samples were taken (interval 16 over hundreds of dispatches) *)
+  check bool "periodic samples taken" true (r.Profiler.samples <> []);
+  (* renderers produce non-empty output and the folded export carries
+     the scheduler residual *)
+  check bool "report table renders" true
+    (String.length (Profiler.report_table r) > 0);
+  check bool "top table renders" true
+    (String.length (Profiler.top_table ~limit:3 r) > 0);
+  let folded = Profiler.collapsed r in
+  let has needle s =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "folded stacks include sim-core" true
+    (has "rhodos;sim-core " folded)
+
+let test_chrome_counters_and_folded_spans () =
+  let spans, _ = cold_read ~traced:true in
+  let counters = [ ("queue_len", [ (0.5, 3.); (1.5, 7.) ]) ] in
+  let json = Export.chrome_json ~counters spans in
+  let has needle s =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "counter events emitted" true (has "\"ph\":\"C\"" json);
+  check bool "counter carries its series name" true
+    (has "{\"name\":\"queue_len\",\"ph\":\"C\",\"ts\":500.000" json);
+  check string "no counters, byte-identical to the plain export"
+    (Export.chrome_json spans)
+    (Export.chrome_json ~counters:[] spans);
+  let folded = Export.collapsed_stacks spans in
+  check bool "folded spans non-empty" true (String.length folded > 0);
+  check bool "root frame present" true (has "client.pread" folded);
+  check bool "stacks chain through the layers" true
+    (has "client.pread;file_agent." folded);
+  (* each line is "frames weight" with an integer microsecond weight *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "folded line without weight: %s" line
+        | Some i ->
+          let w = String.sub line (i + 1) (String.length line - i - 1) in
+          check bool "integer weight" true (int_of_string_opt w <> None))
+    (String.split_on_char '\n' folded)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~node:"ws" "reads" in
+  let g = Metrics.gauge m ~node:"ws" "depth" in
+  let h = Metrics.histogram m ~node:"server" "lat" in
+  Metrics.incr ~by:5 c;
+  Metrics.set g 2.5;
+  Metrics.observe h 4.;
+  Metrics.register_source m ~name:"ext" (fun () -> [ ("v", 9.) ]);
+  Metrics.reset m;
+  check int "counter zeroed" 0 (Metrics.counter_value c);
+  check (Alcotest.float 1e-9) "gauge zeroed" 0. (Metrics.gauge_value g);
+  check int "histogram cleared" 0
+    (Rhodos_util.Stats.count (Metrics.histogram_stats h));
+  (* handles stay live: a second iteration counts from scratch *)
+  Metrics.incr ~by:2 c;
+  Metrics.observe h 1.;
+  Metrics.observe h 3.;
+  check int "counter recounts" 2 (Metrics.counter_value c);
+  check (Alcotest.float 1e-9) "histogram recounts" 2.
+    (let s =
+       List.find_opt
+         (fun s -> s.Metrics.name = "lat.count")
+         (Metrics.snapshot m)
+     in
+     match s with Some s -> s.Metrics.value | None -> -1.);
+  (* sources are untouched by reset *)
+  check bool "source still read" true
+    (List.exists (fun s -> s.Metrics.name = "ext.v") (Metrics.snapshot m))
+
 let () =
   Alcotest.run "obs"
     [
       ( "event_bus",
-        [ Alcotest.test_case "multi-subscriber" `Quick test_bus_multi_subscriber ] );
+        [
+          Alcotest.test_case "multi-subscriber" `Quick test_bus_multi_subscriber;
+          Alcotest.test_case "unsubscribe during publish" `Quick
+            test_bus_unsubscribe_during_publish;
+          Alcotest.test_case "self-unsubscribe during publish" `Quick
+            test_bus_self_unsubscribe_during_publish;
+          Alcotest.test_case "subscribe during publish" `Quick
+            test_bus_subscribe_during_publish;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "zero-subscriber fast path" `Quick
@@ -305,10 +520,20 @@ let () =
         [
           Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
           Alcotest.test_case "span tree render" `Quick test_span_tree_render;
+          Alcotest.test_case "chrome counters + folded spans" `Quick
+            test_chrome_counters_and_folded_spans;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "digest neutral" `Quick
+            test_profiler_digest_neutral;
+          Alcotest.test_case "report sanity" `Quick
+            test_profiler_report_sanity;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
           Alcotest.test_case "cluster snapshot" `Quick
             test_cluster_metrics_snapshot;
         ] );

@@ -323,6 +323,97 @@ let determinism_prop =
       in
       trace () = trace ())
 
+(* ------------------------------------------------------------------ *)
+(* Profiler probe hooks                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic fake host clock (an incrementing counter): the
+   probe contract only needs monotonicity, so the hooks can be tested
+   without reading real host time. *)
+let fake_probe () =
+  let clock = ref 0 in
+  let dispatches = ref [] and wakes = ref [] in
+  let probe =
+    {
+      Sim.pr_clock =
+        (fun () ->
+          incr clock;
+          !clock);
+      pr_dispatch =
+        (fun ~proc ~name ~at:_ ~queue_len ~queued_host_ns ~start_ns ~end_ns ->
+          dispatches :=
+            (proc, name, queue_len, queued_host_ns, start_ns, end_ns)
+            :: !dispatches);
+      pr_wake = (fun ~target:_ ~name -> wakes := name :: !wakes);
+    }
+  in
+  (probe, dispatches, wakes)
+
+let probe_workload sim =
+  let mb = Sim.Mailbox.create sim in
+  let _ =
+    Sim.spawn ~name:"ping" sim (fun () ->
+        Sim.sleep sim 1.;
+        Sim.Mailbox.send mb 1;
+        Sim.sleep sim 2.;
+        Sim.Mailbox.send mb 2)
+  in
+  let _ =
+    Sim.spawn ~name:"pong" sim (fun () ->
+        ignore (Sim.Mailbox.recv mb);
+        Sim.yield sim;
+        ignore (Sim.Mailbox.recv mb))
+  in
+  Sim.run sim
+
+let test_probe_dispatch_accounting () =
+  let sim = Sim.create () in
+  let probe, dispatches, wakes = fake_probe () in
+  Sim.set_probe sim (Some probe);
+  probe_workload sim;
+  let ds = List.rev !dispatches in
+  check int "every dispatch observed" (Sim.events_dispatched sim)
+    (List.length ds);
+  List.iter
+    (fun (_, _, queue_len, queued_host_ns, start_ns, end_ns) ->
+      check bool "thunk bracketed by clock reads" true (end_ns > start_ns);
+      check bool "queue length non-negative" true (queue_len >= 0);
+      (* the probe was armed before anything was scheduled, so every
+         event carries an enqueue stamp, and it precedes the dispatch *)
+      check bool "enqueue stamped" true (queued_host_ns > 0);
+      check bool "enqueue precedes dispatch" true (queued_host_ns < start_ns))
+    ds;
+  check bool "named processes attributed" true
+    (List.exists (fun (_, name, _, _, _, _) -> name = "ping") ds);
+  check bool "mailbox send woke the receiver" true
+    (List.mem "pong" !wakes)
+
+let test_probe_queue_length () =
+  let sim = Sim.create () in
+  check int "empty queue" 0 (Sim.queue_length sim);
+  Sim.schedule sim ~at:5. (fun () -> ());
+  Sim.schedule sim ~at:6. (fun () -> ());
+  check int "two pending events" 2 (Sim.queue_length sim);
+  Sim.run sim;
+  check int "drained" 0 (Sim.queue_length sim)
+
+(* The core neutrality claim: an armed probe changes neither the
+   digest nor the event count of a run. *)
+let test_probe_digest_parity () =
+  let run ~probed =
+    let sim = Sim.create () in
+    if probed then begin
+      let probe, _, _ = fake_probe () in
+      Sim.set_probe sim (Some probe)
+    end;
+    probe_workload sim;
+    (Sim.run_digest sim, Sim.events_dispatched sim)
+  in
+  let d_off, n_off = run ~probed:false in
+  let d_on, n_on = run ~probed:true in
+  check int "same event count" n_off n_on;
+  check bool "same digest" true (d_off = d_on)
+
 let () =
   Alcotest.run "rhodos_sim"
     [
@@ -368,5 +459,13 @@ let () =
           Alcotest.test_case "suspend primitive" `Quick test_suspend_custom_primitive;
           Alcotest.test_case "many processes" `Quick test_many_processes;
           QCheck_alcotest.to_alcotest determinism_prop;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "dispatch accounting" `Quick
+            test_probe_dispatch_accounting;
+          Alcotest.test_case "queue length" `Quick test_probe_queue_length;
+          Alcotest.test_case "digest parity armed vs off" `Quick
+            test_probe_digest_parity;
         ] );
     ]

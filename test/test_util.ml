@@ -223,6 +223,21 @@ let test_stats_percentile () =
   check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile s 99.);
   check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile s 100.)
 
+let test_stats_clear () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Stats.clear s;
+  check int "count back to zero" 0 (Stats.count s);
+  check (Alcotest.float 0.) "mean of cleared" 0. (Stats.mean s);
+  check (Alcotest.float 0.) "sum of cleared" 0. (Stats.sum s);
+  check (Alcotest.float 0.) "percentile of cleared" 0. (Stats.percentile s 50.);
+  (* a second measurement cycle counts from scratch *)
+  List.iter (Stats.add s) [ 10.; 20. ];
+  check int "recounts" 2 (Stats.count s);
+  check (Alcotest.float 1e-9) "fresh mean" 15. (Stats.mean s);
+  check (Alcotest.float 1e-9) "fresh min" 10. (Stats.min_value s);
+  check (Alcotest.float 1e-9) "fresh p50" 10. (Stats.percentile s 50.)
+
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
   List.iter (Stats.add a) [ 1.; 2. ];
@@ -326,6 +341,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "clear" `Quick test_stats_clear;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "counter" `Quick test_counter;
           QCheck_alcotest.to_alcotest stats_mean_prop;
