@@ -1,6 +1,6 @@
 (* P0 — the sim-core self-benchmark behind the @perf gate.
 
-   Two loads, both run under the profiler (lib/obs/profiler):
+   Two loads:
 
    - the E15 shape: a cold 512 KiB sequential scan in 8 KiB
      application reads through the whole cluster stack — the
@@ -11,22 +11,78 @@
      interleaving sends, receives, yields and timers — the scheduler
      hot path with nothing else attached.
 
-   Each reports dispatched events/sec of host time and minor words
-   allocated per event. `--perf-write` commits them to
-   BENCH_simcore.json; `--perf-check` (the @perf alias, part of @ci)
-   re-measures and fails on regression beyond tolerance: events/sec
-   is wall-clock noisy, so the floor is generous (a quarter of
-   baseline); allocations are deterministic for a given binary, so
-   words/event gets a tight ceiling. *)
+   Each load is measured twice, for two different purposes:
+
+   - the *timed* run executes with no profiler probe installed and
+     takes wall time and [Gc.minor_words] around [Sim.run] only (the
+     build/spawn phase is excluded). It is repeated [timed_runs] times
+     and the best rate kept: wall clock measures the machine as much
+     as the code, and the minimum wall time is the closest estimate of
+     the code's own cost. These are the numbers committed to
+     BENCH_simcore.json and gated by `--perf-check`.
+
+   - the *profiled* run arms lib/obs/profiler and prints the per-name
+     attribution table. The probe adds two monotonic-clock reads and a
+     stats update per dispatch (~190 ns here), so its rate is reported
+     in the table for context but is not the gated metric.
+
+   (Earlier revisions armed the profiler around the whole load,
+   spawn phase included, and gated on its numbers — conflating probe
+   overhead and setup allocation with the event loop being measured.)
+
+   `--perf-write` commits the timed numbers to BENCH_simcore.json;
+   `--perf-check` (the @perf alias, part of @ci) re-measures and fails
+   on regression beyond tolerance: events/sec is wall-clock noisy, so
+   the floor is 0.6x baseline; allocations are deterministic for a
+   given binary, so words/event gets a tight ceiling.
+
+   The bench binary sizes the minor heap to the workload (see the
+   [Gc.set] in bench/main.ml): parked continuations survive until
+   their wake event fires, so the live set scales with pending events
+   and the 256k-word default minor heap promotes roughly half of all
+   allocation on the 10k-process loads. *)
 
 open Common
 module Fa = Rhodos_agent.File_agent
 module Profiler = Rhodos_obs.Profiler
 
 let () = Json_out.register "P0"
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let timed_runs = 3
 
-(* Cold 512 KiB sequential scan (the E15 shape), profiled. *)
-let e15_load () =
+(* Probe-off measurement of [loop ()] on [sim]: host rate and minor
+   words per dispatched event. *)
+type timing = { dispatches : int; rate : float; words : float }
+
+let timed sim loop =
+  let d0 = Sim.events_dispatched sim in
+  let t0 = now_ns () in
+  let m0 = Gc.minor_words () in
+  loop ();
+  let m1 = Gc.minor_words () in
+  let t1 = now_ns () in
+  let d = Sim.events_dispatched sim - d0 in
+  {
+    dispatches = d;
+    rate = float_of_int d /. (float_of_int (t1 - t0) /. 1e9);
+    words = (m1 -. m0) /. float_of_int d;
+  }
+
+let best_of n f =
+  let best = ref (f ()) in
+  for _ = 2 to n do
+    let t = f () in
+    if t.rate > !best.rate then best := t
+  done;
+  !best
+
+(* A load measured both ways. *)
+type measured = { timing : timing; report : Profiler.report }
+
+(* ------------------------------------------------------------------ *)
+(* The E15 shape: cold 512 KiB sequential scan through the stack.      *)
+
+let e15_with measure =
   Cluster.run (fun sim t ->
       let ws = Cluster.add_client t ~name:"ws" in
       let d = Cluster.create_file ws "/data" in
@@ -36,23 +92,23 @@ let e15_load () =
       Fa.invalidate_file (Cluster.file_agent ws)
         ~file:(Fa.descriptor_file (Cluster.file_agent ws) d);
       ignore (Cluster.lseek ws d (`Set 0));
-      let (), report =
-        Profiler.profile sim (fun () ->
-            for _ = 1 to kib 512 / kib 8 do
-              ignore (Cluster.read ws d (kib 8))
-            done)
-      in
-      report)
+      measure sim (fun () ->
+          for _ = 1 to kib 512 / kib 8 do
+            ignore (Cluster.read ws d (kib 8))
+          done))
+
+let e15_load () =
+  let timing = best_of timed_runs (fun () -> e15_with timed) in
+  let report = e15_with (fun sim loop -> snd (Profiler.profile sim loop)) in
+  { timing; report }
+
+(* ------------------------------------------------------------------ *)
+(* 10k processes of pure scheduler churn on a bare Sim.                *)
 
 let churn_pairs = 5_000
 let churn_rounds = 30
 
-(* 10k processes of pure scheduler churn on a bare Sim. *)
-let churn_load () =
-  let sim = Sim.create () in
-  let prof = Profiler.create () in
-  let finished = ref 0 in
-  Profiler.arm prof sim;
+let churn_build sim finished =
   for i = 0 to churn_pairs - 1 do
     let a = Sim.Mailbox.create sim and b = Sim.Mailbox.create sim in
     ignore
@@ -68,21 +124,78 @@ let churn_load () =
            for _ = 1 to churn_rounds do
              Sim.Mailbox.send b (Sim.Mailbox.recv a)
            done))
-  done;
-  Sim.run sim;
-  let report = Profiler.disarm prof sim in
-  assert (!finished = churn_pairs);
-  report
+  done
 
-let report_load label (r : Profiler.report) =
+let churn_with measure =
+  let sim = Sim.create () in
+  let finished = ref 0 in
+  churn_build sim finished;
+  let r = measure sim (fun () -> Sim.run sim) in
+  assert (!finished = churn_pairs);
+  r
+
+let churn_load () =
+  let timing = best_of timed_runs (fun () -> churn_with timed) in
+  let report =
+    churn_with (fun sim loop ->
+        let prof = Profiler.create () in
+        Profiler.arm prof sim;
+        loop ();
+        Profiler.disarm prof sim)
+  in
+  { timing; report }
+
+(* ------------------------------------------------------------------ *)
+(* Queue microbenchmark: steady-state pop-min / re-add against each
+   backend at three pending-set sizes. The re-add lands a small random
+   delta past the popped minimum, so the heap keeps sifting through
+   its full depth and the wheel keeps rotating through its window —
+   the sustained-load shape of each structure, not the cold fill. *)
+
+let qbench_ops = 200_000
+
+let queue_bench backend n =
+  let q = Rhodos_util.Prio_queue.create ~backend () in
+  let module PQ = Rhodos_util.Prio_queue in
+  let st = Random.State.make [| 0x5eed; n |] in
+  for _ = 1 to n do
+    PQ.add q ~prio:(Random.State.float st 10.) 0
+  done;
+  let t0 = now_ns () in
+  for _ = 1 to qbench_ops do
+    let p = PQ.unsafe_min_prio q in
+    let v = PQ.pop_into q in
+    PQ.add q ~prio:(p +. Random.State.float st 0.02) v
+  done;
+  let t1 = now_ns () in
+  float_of_int qbench_ops /. (float_of_int (t1 - t0) /. 1e9)
+
+let qbench_sizes = [ ("1k", 1_000); ("100k", 100_000); ("1m", 1_000_000) ]
+
+let queue_bench_all () =
+  List.concat_map
+    (fun (bname, backend) ->
+      List.map
+        (fun (sname, n) ->
+          (Printf.sprintf "qbench_%s_%s_ops_per_sec" bname sname,
+           queue_bench backend n))
+        qbench_sizes)
+    [ ("heap", Rhodos_util.Prio_queue.Heap); ("wheel", Rhodos_util.Prio_queue.Wheel) ]
+
+(* ------------------------------------------------------------------ *)
+
+let report_load label (m : measured) =
   note "%s:" label;
-  print_string (Profiler.report_table r);
+  note "timed (no probe, best of %d): %d events, %.0f events/s, %.1f words/event"
+    timed_runs m.timing.dispatches m.timing.rate m.timing.words;
+  note "profiled (probe armed, attribution below):";
+  print_string (Profiler.report_table m.report);
   print_newline ()
 
-let emit prefix (r : Profiler.report) =
-  Json_out.metric "P0" (prefix ^ "_dispatches") (float_of_int r.dispatches);
-  Json_out.metric "P0" (prefix ^ "_events_per_sec") r.events_per_sec;
-  Json_out.metric "P0" (prefix ^ "_words_per_event") r.words_per_event
+let emit prefix (m : measured) =
+  Json_out.metric "P0" (prefix ^ "_dispatches") (float_of_int m.timing.dispatches);
+  Json_out.metric "P0" (prefix ^ "_events_per_sec") m.timing.rate;
+  Json_out.metric "P0" (prefix ^ "_words_per_event") m.timing.words
 
 let run_reports () =
   header "P0 — sim-core benchmark: events/sec and allocations/event";
@@ -95,7 +208,14 @@ let run_reports () =
     churn;
   emit "e15" e15;
   emit "churn" churn;
-  (e15, churn)
+  let qb = queue_bench_all () in
+  note "queue microbench (steady-state pop+re-add, ops/s):";
+  List.iter
+    (fun (k, v) ->
+      note "  %-28s %12.0f" k v;
+      Json_out.metric "P0" k v)
+    qb;
+  (e15, churn, qb)
 
 let run () = ignore (run_reports ())
 
@@ -131,16 +251,18 @@ let parse_baseline path =
   List.rev !kvs
 
 (* events/sec must stay above [rate_floor] x baseline (wall-clock
-   noisy, CI machines vary); words/event must stay below
-   [alloc_ceiling] x baseline + a small absolute slack (deterministic
-   for a given binary, so a tight bound holds). *)
-let rate_floor = 0.25
+   noisy, CI machines vary — but the timed-run methodology is min-of-N
+   with no probe, so 0.6x holds comfortably on a quiet machine);
+   words/event must stay below [alloc_ceiling] x baseline + a small
+   absolute slack (deterministic for a given binary, so a tight bound
+   holds). *)
+let rate_floor = 0.6
 let alloc_ceiling = 1.25
 let alloc_slack_words = 16.
 
 let check ~baseline () =
   let base = parse_baseline baseline in
-  let e15, churn = run_reports () in
+  let e15, churn, qb = run_reports () in
   let ok = ref true in
   let gate name ~current ~against =
     match List.assoc_opt name base with
@@ -166,10 +288,11 @@ let check ~baseline () =
         let bound = (alloc_ceiling *. b) +. alloc_slack_words in
         (current <= bound, bound))
   in
-  rate "e15_events_per_sec" e15.Profiler.events_per_sec;
-  alloc "e15_words_per_event" e15.Profiler.words_per_event;
-  rate "churn_events_per_sec" churn.Profiler.events_per_sec;
-  alloc "churn_words_per_event" churn.Profiler.words_per_event;
+  rate "e15_events_per_sec" e15.timing.rate;
+  alloc "e15_words_per_event" e15.timing.words;
+  rate "churn_events_per_sec" churn.timing.rate;
+  alloc "churn_words_per_event" churn.timing.words;
+  List.iter (fun (k, v) -> rate k v) qb;
   if !ok then note "perf: gate passed (floor %.2fx rate, ceiling %.2fx allocs)"
       rate_floor alloc_ceiling
   else note "perf: gate FAILED against %s" baseline;

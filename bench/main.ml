@@ -37,6 +37,15 @@ let experiments =
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 
+(* Size the minor heap to the workloads (32M words): the simulator's
+   live set scales with pending events — a parked continuation and its
+   waker survive until the wake event fires, which on the 10k-process
+   loads is several default-sized minor collections away. Under the
+   256k-word default roughly half of all allocation was promoted and
+   the major GC dominated the event loop; at 32M words the same runs
+   promote almost nothing. See DESIGN.md "Event-core memory layout". *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 32 * 1024 * 1024 }
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with

@@ -718,6 +718,115 @@ let find_raw_shared_cell ~file stripped =
     List.rev !vs
 
 (* ------------------------------------------------------------------ *)
+(* Rule: the event-loop hot path stays allocation-free                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The dispatch path earned its flat layout: [Sim.dispatch], [step]
+   and [run] must stick to the allocation-free queue accessors
+   ([unsafe_min_prio], [pop_into], [is_empty], [length]). The
+   option/list-returning API ([pop], [peek], [min_prio], [ready],
+   [pop_nth], [drain], [ready_count]) allocates or scans per call and
+   belongs to the analysis/explorer paths ([controlled_step]), not the
+   per-event loop. The rule is a token scan over the top-level
+   let-regions of those three functions in sim.ml; a raw source line
+   carrying a [static-ok: reason] comment is exempt, for a reviewed
+   use that the scan cannot judge. *)
+let hot_path_functions = [ "dispatch"; "step"; "run" ]
+
+let hot_path_forbidden =
+  [
+    "Prio_queue.pop"; "Prio_queue.pop_nth"; "Prio_queue.peek";
+    "Prio_queue.min_prio"; "Prio_queue.ready"; "Prio_queue.ready_count";
+    "Prio_queue.drain";
+  ]
+
+let find_hot_path_alloc ~file ~raw stripped =
+  if Filename.basename file <> "sim.ml" then []
+  else begin
+    let n = String.length stripped in
+    let raw_lines = Array.of_list (String.split_on_char '\n' raw) in
+    let line_exempt ln =
+      ln - 1 >= 0
+      && ln - 1 < Array.length raw_lines
+      && contains raw_lines.(ln - 1) "static-ok:"
+    in
+    (* Top-level let-regions: a column-0 [let [rec] <name>]; the region
+       runs to the next column-0 [let]. *)
+    let is_line_start i = i = 0 || stripped.[i - 1] = '\n' in
+    let ident_at i =
+      let j = ref i in
+      while !j < n && is_ident_char stripped.[!j] do
+        incr j
+      done;
+      (String.sub stripped i (!j - i), !j)
+    in
+    let region_starts = ref [] in
+    let i = ref 0 in
+    while !i <= n - 4 do
+      (if is_line_start !i && String.sub stripped !i 4 = "let " then begin
+         let name, j = ident_at (!i + 4) in
+         let name, _ =
+           if name = "rec" then
+             let k = ref j in
+             let () =
+               while !k < n && stripped.[!k] = ' ' do
+                 incr k
+               done
+             in
+             ident_at !k
+           else (name, j)
+         in
+         region_starts := (!i, name) :: !region_starts
+       end);
+      incr i
+    done;
+    let regions = List.rev !region_starts in
+    let rec bounds = function
+      | [] -> []
+      | (start, name) :: rest ->
+        let stop = match rest with (s, _) :: _ -> s | [] -> n in
+        if List.mem name hot_path_functions then (name, start, stop) :: bounds rest
+        else bounds rest
+    in
+    let vs = ref [] in
+    List.iter
+      (fun (fname, start, stop) ->
+        List.iter
+          (fun pat ->
+            let plen = String.length pat in
+            let i = ref start in
+            while !i <= stop - plen do
+              if
+                String.sub stripped !i plen = pat
+                && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
+                && (!i + plen >= n || not (is_ident_char stripped.[!i + plen]))
+              then begin
+                let ln = line_of stripped !i in
+                if not (line_exempt ln) then
+                  vs :=
+                    {
+                      file;
+                      line = ln;
+                      rule = "hot-path-alloc";
+                      message =
+                        Printf.sprintf
+                          "%s in Sim.%s: the event loop must use the \
+                           allocation-free queue accessors (unsafe_min_prio, \
+                           pop_into, is_empty); annotate the line with \
+                           (* static-ok: reason *) if this use is reviewed"
+                          pat fname;
+                    }
+                    :: !vs;
+                i := !i + plen
+              end
+              else incr i
+            done)
+          hot_path_forbidden)
+      (bounds regions);
+    List.rev !vs
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Rule: every bench experiment registers a JSON emitter               *)
 (* ------------------------------------------------------------------ *)
 
@@ -764,6 +873,7 @@ let lint_source ?(profile = Library) ~file src =
       @ find_unsorted_hashtbl_iteration ~file stripped
       @ find_global_mutable_state ~file stripped
       @ find_raw_shared_cell ~file stripped
+      @ find_hot_path_alloc ~file ~raw:src stripped
     | Bench -> find_unregistered_experiment ~file stripped)
   @ find_catch_alls ~file stripped
   @ find_unpaired ~file stripped

@@ -46,6 +46,12 @@
       mutates the payload without the access reaching the sanitizer;
       go through [Cell.get]/[Cell.update] ([peek] for analysis-only
       reads);
+    - {b hot-path-alloc} (Library profile, sim.ml only): the
+      top-level let-regions of [Sim.dispatch], [step] and [run] must
+      use only the allocation-free queue accessors — any
+      [Prio_queue.pop]/[pop_nth]/[peek]/[min_prio]/[ready]/
+      [ready_count]/[drain] token there is flagged unless its raw
+      source line carries a [static-ok: reason] comment;
     - {b missing-mli}: every [.ml] under the linted tree has a
       matching [.mli];
     - {b paired-release}: a file that acquires ([Semaphore.acquire],

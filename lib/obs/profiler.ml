@@ -96,6 +96,14 @@ let gc_mark () =
     g_major_c = s.Gc.major_collections;
   }
 
+(* [burst_at]/[sim_first]/[sim_last] are [float ref]s, not mutable
+   float fields: in this mixed record a float field would be boxed and
+   the per-dispatch stores would each allocate. The [c1_*]/[c2_*]
+   fields are a two-entry attribution cache keyed by physical string
+   identity — a process's [name] field is one stable string across its
+   life, and the dominant dispatch pattern alternates between at most
+   two processes, so the per-dispatch Hashtbl lookups almost always
+   collapse to two pointer compares. *)
 type t = {
   interval : int;
   procs : (string, pstat) Hashtbl.t;
@@ -107,24 +115,38 @@ type t = {
   mutable queue_len_max : int;
   (* run-length of consecutive dispatches at the same sim time: the
      honest "ready set size" a heap-based queue can observe in O(1) *)
-  mutable burst_at : float;
+  burst_at : float ref;
   mutable burst : int;
   mutable burst_sum : int;
   mutable bursts : int;
   mutable burst_max : int;
-  mutable sim_first : float;
-  mutable sim_last : float;
+  sim_first : float ref;
+  sim_last : float ref;
   mutable arm_ns : int;
   mutable arm_gc : gc_mark;
   mutable last_sample_ns : int;
   mutable last_sample_gc : gc_mark;
   mutable last_sample_dispatches : int;
   mutable samples_rev : sample list;
+  mutable c1_name : string;
+  mutable c1_ps : pstat;
+  mutable c1_bs : pstat;
+  mutable c2_name : string;
+  mutable c2_ps : pstat;
+  mutable c2_bs : pstat;
 }
+
+let new_pstat () =
+  { p_dispatches = 0; p_host_ns = 0; p_wakeups = 0; p_qwait_ns = 0;
+    p_qwaits = 0 }
 
 let create ?(interval = 1024) () =
   if interval < 1 then invalid_arg "Profiler.create: interval < 1";
   let zero = { g_minor = 0.; g_major = 0.; g_promoted = 0.; g_minor_c = 0; g_major_c = 0 } in
+  (* freshly allocated sentinel strings: physically distinct from any
+     process name, so the cache starts cold even for a process whose
+     name is [""] *)
+  let sentinel () = Bytes.to_string (Bytes.make 1 '\000') in
   {
     interval;
     procs = Hashtbl.create 64;
@@ -134,29 +156,34 @@ let create ?(interval = 1024) () =
     dispatch_ns = 0;
     queue_len_sum = 0;
     queue_len_max = 0;
-    burst_at = nan;
+    burst_at = ref nan;
     burst = 0;
     burst_sum = 0;
     bursts = 0;
     burst_max = 0;
-    sim_first = nan;
-    sim_last = nan;
+    sim_first = ref nan;
+    sim_last = ref nan;
     arm_ns = 0;
     arm_gc = zero;
     last_sample_ns = 0;
     last_sample_gc = zero;
     last_sample_dispatches = 0;
     samples_rev = [];
+    c1_name = sentinel ();
+    c1_ps = new_pstat ();
+    c1_bs = new_pstat ();
+    c2_name = sentinel ();
+    c2_ps = new_pstat ();
+    c2_bs = new_pstat ();
   }
 
+(* Exception-style lookup: [Hashtbl.find_opt] would allocate a [Some]
+   per dispatch. *)
 let stat_of tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some s -> s
-  | None ->
-    let s =
-      { p_dispatches = 0; p_host_ns = 0; p_wakeups = 0; p_qwait_ns = 0;
-        p_qwaits = 0 }
-    in
+  match Hashtbl.find tbl key with
+  | s -> s
+  | exception Not_found ->
+    let s = new_pstat () in
     Hashtbl.add tbl key s;
     s
 
@@ -202,6 +229,29 @@ let take_sample t ~sim_ms ~queue_len =
   t.last_sample_gc <- gc;
   t.last_sample_dispatches <- t.dispatches
 
+(* Ensure the [c1] cache slot holds [name]'s stats. Physical equality
+   only: a miss on an equal-but-distinct string just falls back to the
+   Hashtbl, which is structural. *)
+let fill_cache t name =
+  if name != t.c1_name then
+    if name == t.c2_name then begin
+      let n = t.c1_name and p = t.c1_ps and b = t.c1_bs in
+      t.c1_name <- t.c2_name;
+      t.c1_ps <- t.c2_ps;
+      t.c1_bs <- t.c2_bs;
+      t.c2_name <- n;
+      t.c2_ps <- p;
+      t.c2_bs <- b
+    end
+    else begin
+      t.c2_name <- t.c1_name;
+      t.c2_ps <- t.c1_ps;
+      t.c2_bs <- t.c1_bs;
+      t.c1_name <- name;
+      t.c1_ps <- stat_of t.procs name;
+      t.c1_bs <- stat_of t.buckets (bucket_of name)
+    end
+
 let on_dispatch t ~proc:_ ~name ~at ~queue_len ~queued_host_ns ~start_ns
     ~end_ns =
   let d = end_ns - start_ns in
@@ -209,23 +259,23 @@ let on_dispatch t ~proc:_ ~name ~at ~queue_len ~queued_host_ns ~start_ns
   t.dispatch_ns <- t.dispatch_ns + d;
   t.queue_len_sum <- t.queue_len_sum + queue_len;
   if queue_len > t.queue_len_max then t.queue_len_max <- queue_len;
-  if Float.is_nan t.sim_first then t.sim_first <- at;
-  t.sim_last <- at;
+  if Float.is_nan !(t.sim_first) then t.sim_first := at;
+  t.sim_last := at;
   (* same-sim-time dispatch burst = observed ready-set size *)
-  if at = t.burst_at then t.burst <- t.burst + 1
+  if at = !(t.burst_at) then t.burst <- t.burst + 1
   else begin
     if t.burst > 0 then begin
       t.burst_sum <- t.burst_sum + t.burst;
       t.bursts <- t.bursts + 1;
       if t.burst > t.burst_max then t.burst_max <- t.burst
     end;
-    t.burst_at <- at;
+    t.burst_at := at;
     t.burst <- 1
   end;
-  let ps = stat_of t.procs name in
+  fill_cache t name;
+  let ps = t.c1_ps and bs = t.c1_bs in
   ps.p_dispatches <- ps.p_dispatches + 1;
   ps.p_host_ns <- ps.p_host_ns + d;
-  let bs = stat_of t.buckets (bucket_of name) in
   bs.p_dispatches <- bs.p_dispatches + 1;
   bs.p_host_ns <- bs.p_host_ns + d;
   if queued_host_ns > 0 then begin
@@ -241,10 +291,9 @@ let on_dispatch t ~proc:_ ~name ~at ~queue_len ~queued_host_ns ~start_ns
 
 let on_wake t ~target:_ ~name =
   t.wakeups <- t.wakeups + 1;
-  let ps = stat_of t.procs name in
-  ps.p_wakeups <- ps.p_wakeups + 1;
-  let bs = stat_of t.buckets (bucket_of name) in
-  bs.p_wakeups <- bs.p_wakeups + 1
+  fill_cache t name;
+  t.c1_ps.p_wakeups <- t.c1_ps.p_wakeups + 1;
+  t.c1_bs.p_wakeups <- t.c1_bs.p_wakeups + 1
 
 let arm t sim =
   let now = now_ns () in
@@ -294,7 +343,7 @@ let disarm t sim =
     t.bursts <- t.bursts + 1;
     if t.burst > t.burst_max then t.burst_max <- t.burst;
     t.burst <- 0;
-    t.burst_at <- nan
+    t.burst_at := nan
   end;
   let wall_ns = now - t.arm_ns in
   let dispatches = t.dispatches in
@@ -317,7 +366,8 @@ let disarm t sim =
     major_collections = gc.g_major_c - t.arm_gc.g_major_c;
     words_per_event = fdiv minor_words dispatches;
     sim_ms_advanced =
-      (if Float.is_nan t.sim_first then 0. else t.sim_last -. t.sim_first);
+      (if Float.is_nan !(t.sim_first) then 0.
+       else !(t.sim_last) -. !(t.sim_first));
     queue_len_mean = fdiv (float_of_int t.queue_len_sum) dispatches;
     queue_len_max = t.queue_len_max;
     burst_mean = fdiv (float_of_int t.burst_sum) t.bursts;

@@ -93,23 +93,36 @@ type probe = {
    the event belongs to (the one that scheduled it, or the one it will
    resume) — carried only so a recorded run can be pretty-printed as
    an interleaving; a proc pointer, not a string, so the hot path pays
-   no formatting cost. [queued_host_ns] is the probe's enqueue stamp
-   (0 when no probe is armed) — an immediate int field, so the event
-   record allocates nothing extra on the probe-off path. *)
+   no formatting cost. The sentinel [t.top] proc (id -1) stands for
+   "outside any process". [queued_host_ns] is the probe's enqueue
+   stamp (0 when no probe is armed) — an immediate int field, so the
+   event record allocates nothing extra on the probe-off path.
+
+   Every field is mutable because dispatched events are recycled
+   through a freelist ([t.pool]): at ~600k dispatches/sec the 6-word
+   record per event was a measurable slice of the allocation rate, and
+   a recycled record is hot in cache. An event is returned to the pool
+   at the top of [dispatch] (after its fields are read into locals),
+   so the thunk it carried can immediately reuse it for the events it
+   schedules. *)
 type event = {
-  id : int;
-  origin : proc option;
-  live : unit -> bool;
-  thunk : unit -> unit;
-  queued_host_ns : int;
+  mutable id : int;
+  mutable origin : proc;
+  mutable live : unit -> bool;
+  mutable thunk : unit -> unit;
+  mutable queued_host_ns : int;
 }
 
+(* [clock] is a [float ref], not a [mutable float] field: in a mixed
+   record the float field is boxed and every store would allocate,
+   while a standalone float ref is flat and stores are plain writes. *)
 type t = {
-  mutable clock : float;
+  clock : float ref;
   events : event Prio_queue.t;
+  top : proc; (* sentinel: [current == top] means outside any process *)
   mutable failure : exn option;
   mutable next_pid : int;
-  mutable current : proc option;
+  mutable current : proc;
   mutable next_event_id : int;
   mutable digest : int;
   mutable dispatched : int;
@@ -123,24 +136,35 @@ type t = {
   mutable monitor : (mon_event -> unit) option;
   mutable probe : probe option;
   mutable next_obj : int; (* mailbox/ivar/semaphore/cell id allocator *)
+  mutable pool : event array; (* recycled event records *)
+  mutable pool_n : int;
 }
 
 exception Blocking_outside_process
 
 (* The registration callback receives the waker plus a liveness
    predicate ([false] once the process has been woken or killed), used
-   to cancel pending timer events. *)
+   to cancel pending timer events. [Block_simple] is the common case
+   that needs no liveness predicate (mailbox receives, semaphore
+   waits, yields): skipping the predicate and the adapter closure
+   [suspend] would otherwise build keeps the park path allocation-lean. *)
 type _ Effect.t +=
   | Block : (('a -> bool) -> (unit -> bool) -> unit) -> 'a Effect.t
+  | Block_simple : (('a -> bool) -> unit) -> 'a Effect.t
 
-let create ?(tie_break = Prio_queue.Fifo) ?(track = false) ?scheduler
-    ?(record = false) () =
-  { clock = 0.; events = Prio_queue.create ~tie:tie_break (); failure = None;
-    next_pid = 0; current = None; next_event_id = 0; digest = 0; dispatched = 0;
-    track; procs = []; scheduler; record; n_choices = 0; choice_rev = [];
-    dispatch_rev = []; monitor = None; probe = None; next_obj = 0 }
+let create ?(tie_break = Prio_queue.Fifo) ?(queue = Prio_queue.Wheel)
+    ?(track = false) ?scheduler ?(record = false) () =
+  let top =
+    { id = -1; name = "top"; state = Ready; kill_pending = false; locals = [] }
+  in
+  { clock = ref 0.;
+    events = Prio_queue.create ~tie:tie_break ~backend:queue (); top;
+    failure = None; next_pid = 0; current = top; next_event_id = 0; digest = 0;
+    dispatched = 0; track; procs = []; scheduler; record; n_choices = 0;
+    choice_rev = []; dispatch_rev = []; monitor = None; probe = None;
+    next_obj = 0; pool = [||]; pool_n = 0 }
 
-let now t = t.clock
+let now t = !(t.clock)
 
 let set_monitor t f = t.monitor <- f
 
@@ -148,7 +172,7 @@ let set_probe t p = t.probe <- p
 
 let queue_length t = Prio_queue.length t.events
 
-let cur_id t = match t.current with Some p -> p.id | None -> -1
+let[@inline] cur_id t = t.current.id
 
 let obj_id t =
   let i = t.next_obj in
@@ -157,25 +181,95 @@ let obj_id t =
 
 let always_live () = true
 
-let proc_label = function
-  | Some p -> Printf.sprintf "%s#%d" p.name p.id
-  | None -> "top"
+let nop () = ()
 
-let schedule_event ?origin t ~at ~live thunk =
-  let at = if at < t.clock then t.clock else at in
+let proc_label (p : proc) =
+  if p.id < 0 then "top" else Printf.sprintf "%s#%d" p.name p.id
+
+(* Return a dispatched event record to the freelist for reuse. Fields
+   are cleared so a pooled record pins neither closures nor procs. The
+   pool is capped: a run that pops a long backlog without scheduling
+   anything new (e.g. the drain at the end of a run) hands the excess
+   to the GC instead of retaining it. *)
+let recycle t ev =
+  ev.origin <- t.top;
+  ev.live <- always_live;
+  ev.thunk <- nop;
+  ev.queued_host_ns <- 0;
+  let n = t.pool_n in
+  let cap = Array.length t.pool in
+  if n < cap then begin
+    t.pool.(n) <- ev;
+    t.pool_n <- n + 1
+  end
+  else if cap < 1024 then begin
+    let pool = Array.make (if cap = 0 then 16 else 2 * cap) ev in
+    Array.blit t.pool 0 pool 0 n;
+    pool.(n) <- ev;
+    t.pool <- pool;
+    t.pool_n <- n + 1
+  end
+
+(* Raw scheduling path: [origin] is a plain argument, so the hot
+   callers (wakers, spawns) don't box an optional. *)
+let schedule_ev t origin ~at ~live thunk =
+  let clock = !(t.clock) in
+  let at = if at < clock then clock else at in
   let id = t.next_event_id in
-  t.next_event_id <- t.next_event_id + 1;
-  let origin = match origin with Some _ as o -> o | None -> t.current in
+  t.next_event_id <- id + 1;
   let queued_host_ns =
     match t.probe with None -> 0 | Some p -> p.pr_clock ()
   in
-  Prio_queue.add t.events ~prio:at { id; origin; live; thunk; queued_host_ns }
+  let ev =
+    let n = t.pool_n in
+    if n > 0 then begin
+      let n = n - 1 in
+      t.pool_n <- n;
+      let ev = t.pool.(n) in
+      ev.id <- id;
+      ev.origin <- origin;
+      ev.live <- live;
+      ev.thunk <- thunk;
+      ev.queued_host_ns <- queued_host_ns;
+      ev
+    end
+    else { id; origin; live; thunk; queued_host_ns }
+  in
+  Prio_queue.add t.events ~prio:at ev
+
+let schedule_event ?origin t ~at ~live thunk =
+  let origin = match origin with Some p -> p | None -> t.current in
+  schedule_ev t origin ~at ~live thunk
 
 let schedule t ~at thunk = schedule_event t ~at ~live:always_live thunk
 
 let schedule_cancellable t ~at ~live thunk = schedule_event t ~at ~live thunk
 
 let record_failure t e = if t.failure = None then t.failure <- Some e
+
+(* The one-shot waker for a parked process: resuming schedules an
+   event that reinstates the continuation. Top-level and partially
+   applied per park, so both Block variants share one code path. *)
+let make_waker :
+    type a. t -> proc -> bool ref -> (a, unit) continuation -> a -> bool =
+ fun t proc resumed k v ->
+  if !resumed then false
+  else begin
+    resumed := true;
+    proc.state <- Ready;
+    (match t.monitor with
+    | Some f -> f (M_wake { by = cur_id t; target = proc.id })
+    | None -> ());
+    (match t.probe with
+    | Some p -> p.pr_wake ~target:proc.id ~name:proc.name
+    | None -> ());
+    schedule_ev t proc ~at:!(t.clock) ~live:always_live (fun () ->
+        let saved = t.current in
+        t.current <- proc;
+        continue k v;
+        t.current <- saved);
+    true
+  end
 
 (* Run [f] as a process under the deep handler that implements
    suspension. The handler stays in force across resumptions, so every
@@ -201,27 +295,20 @@ let run_process t proc f =
                 else begin
                   let resumed = ref false in
                   proc.state <- Parked_st (Parked (k, resumed));
-                  let waker v =
-                    if !resumed then false
-                    else begin
-                      resumed := true;
-                      proc.state <- Ready;
-                      (match t.monitor with
-                      | Some f -> f (M_wake { by = cur_id t; target = proc.id })
-                      | None -> ());
-                      (match t.probe with
-                      | Some p -> p.pr_wake ~target:proc.id ~name:proc.name
-                      | None -> ());
-                      schedule_event ~origin:proc t ~at:t.clock
-                        ~live:always_live (fun () ->
-                          let saved = t.current in
-                          t.current <- Some proc;
-                          continue k v;
-                          t.current <- saved);
-                      true
-                    end
-                  in
-                  register waker (fun () -> not !resumed)
+                  register (make_waker t proc resumed k)
+                    (fun () -> not !resumed)
+                end)
+          | Block_simple register ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if proc.kill_pending then begin
+                  proc.kill_pending <- false;
+                  discontinue k Killed
+                end
+                else begin
+                  let resumed = ref false in
+                  proc.state <- Parked_st (Parked (k, resumed));
+                  register (make_waker t proc resumed k)
                 end)
           | _ -> None);
     }
@@ -230,9 +317,7 @@ let spawn_at ?(name = "proc") t ~at f =
   (* A child inherits the spawner's locals as they stand at the spawn
      call (not at first dispatch): ambient context such as a trace
      context must flow into work the current operation fans out. *)
-  let inherited =
-    match t.current with Some p -> p.locals | None -> []
-  in
+  let inherited = t.current.locals in
   let proc =
     { id = t.next_pid; name; state = Ready; kill_pending = false;
       locals = inherited }
@@ -245,32 +330,99 @@ let spawn_at ?(name = "proc") t ~at f =
   schedule_event ~origin:proc t ~at ~live:always_live (fun () ->
       if proc.state = Ready && not proc.kill_pending then begin
         let saved = t.current in
-        t.current <- Some proc;
+        t.current <- proc;
         run_process t proc f;
         t.current <- saved
       end
       else proc.state <- Dead);
   proc
 
-let spawn ?name t f = spawn_at ?name t ~at:t.clock f
+let spawn ?name t f = spawn_at ?name t ~at:!(t.clock) f
 
+(* --- run digest fold --------------------------------------------- *)
+(* The digest folds (digest, ev.id, bits_of_float time) with exactly
+   the value [Hashtbl.hash] would produce on that triple — but
+   computed directly on the integer parts, because the obvious
+   [Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time)] builds a
+   4-word tuple and a 3-word [Int64] box per dispatch, the single
+   largest allocation on the hot path. [Hashtbl.hash] is MurmurHash3:
+   mix the tuple header, each immediate as its tagged machine word,
+   the [Int64] as its custom hash (low xor high 32 bits), then
+   finalize to 30 bits. The equivalence is pinned by a qcheck test
+   against [Hashtbl.hash] itself ([digest_step] below), so a runtime
+   that changed its hash would fail the suite rather than silently
+   fork the digest stream. All arithmetic is on immediates masked to
+   32 bits; nothing here allocates. *)
+
+let hash_mask = 0xFFFFFFFF
+
+let[@inline] mix_word h d =
+  let d = d * 0xcc9e2d51 land hash_mask in
+  let d = (d lsl 15) lor (d lsr 17) land hash_mask in
+  let d = d * 0x1b873593 land hash_mask in
+  let h = h lxor d in
+  let h = (h lsl 13) lor (h lsr 19) land hash_mask in
+  ((h * 5) + 0xe6546b64) land hash_mask
+
+(* an immediate hashes as its tagged machine word [2k + 1], folded to
+   32 bits as [caml_hash_mix_intnat] does *)
+let[@inline] mix_immediate h k =
+  let d = (2 * k) + 1 in
+  mix_word h (((d asr 32) lxor (d asr 62) lxor d) land hash_mask)
+
+let[@inline] final_mix h =
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85ebca6b land hash_mask in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xc2b2ae35 land hash_mask in
+  let h = h lxor (h lsr 16) in
+  h land 0x3FFFFFFF
+
+let tuple3_header = 3 lsl 10 (* wosize 3, tag 0, colour bits clear *)
+
+let digest_fold digest id lo hi =
+  let h = mix_word 0 tuple3_header in
+  let h = mix_immediate h digest in
+  let h = mix_immediate h id in
+  let h = mix_word h (lo lxor hi) in
+  final_mix h
+
+(* the fold exposed whole for the qcheck pin test *)
+let digest_step digest id time =
+  let bits = Int64.bits_of_float time in
+  let lo = Int64.to_int bits land hash_mask in
+  let hi = Int64.to_int (Int64.shift_right_logical bits 32) land hash_mask in
+  digest_fold digest id lo hi
+
+(* The event's fields are read into locals and the record recycled
+   before the thunk runs, so the thunk's own [schedule_event] calls
+   reuse it immediately — the common ping-pong shape cycles one or two
+   records that stay hot in cache. *)
 let dispatch t time ev =
-  if time > t.clock then t.clock <- time;
+  if time > !(t.clock) then t.clock := time;
   t.dispatched <- t.dispatched + 1;
-  t.digest <- Hashtbl.hash (t.digest, ev.id, Int64.bits_of_float time);
-  if t.record then t.dispatch_rev <- (time, proc_label ev.origin) :: t.dispatch_rev;
+  (let bits = Int64.bits_of_float time in
+   let lo = Int64.to_int bits land hash_mask in
+   let hi = Int64.to_int (Int64.shift_right_logical bits 32) land hash_mask in
+   t.digest <- digest_fold t.digest ev.id lo hi);
+  if t.record then
+    t.dispatch_rev <- (time, proc_label ev.origin) :: t.dispatch_rev;
   (match t.probe with
-  | None -> ev.thunk ()
+  | None ->
+    let thunk = ev.thunk in
+    recycle t ev;
+    thunk ()
   | Some p ->
+    let thunk = ev.thunk in
+    let origin = ev.origin in
+    let queued_host_ns = ev.queued_host_ns in
+    recycle t ev;
     let start_ns = p.pr_clock () in
-    ev.thunk ();
+    thunk ();
     let end_ns = p.pr_clock () in
-    let proc, name =
-      match ev.origin with Some pr -> (pr.id, pr.name) | None -> (-1, "top")
-    in
-    p.pr_dispatch ~proc ~name ~at:time
+    p.pr_dispatch ~proc:origin.id ~name:origin.name ~at:time
       ~queue_len:(Prio_queue.length t.events)
-      ~queued_host_ns:ev.queued_host_ns ~start_ns ~end_ns);
+      ~queued_host_ns ~start_ns ~end_ns);
   match t.failure with
   | Some e ->
     t.failure <- None;
@@ -284,69 +436,120 @@ let dispatch t time ev =
    replayed exactly. A FIFO strategy dispatches in exactly the order
    the uncontrolled loop would, so digests agree between the two. *)
 let rec controlled_step t strategy =
-  let rec purge_dead () =
-    let group = Prio_queue.ready t.events in
-    let rec first_dead i = function
-      | [] -> None
-      | (_, ev) :: rest -> if ev.live () then first_dead (i + 1) rest else Some i
+  (* Fast path: [ready_count] is allocation-free and O(1) when the
+     minimum is unique (the scheduler-armed-but-no-contention case),
+     so a controlled run only pays the O(n) ready-set scan at genuine
+     choice points. A forced single candidate records no choice,
+     exactly like the group-of-one case below. *)
+  match Prio_queue.ready_count t.events with
+  | 0 -> false
+  | 1 ->
+    let time = Prio_queue.unsafe_min_prio t.events in
+    let ev = Prio_queue.pop_into t.events in
+    if ev.live () then begin
+      dispatch t time ev;
+      true
+    end
+    else begin
+      (* the lone event at this time was dead; move on if later events
+         remain *)
+      recycle t ev;
+      if Prio_queue.is_empty t.events then false else controlled_step t strategy
+    end
+  | _ ->
+    let rec purge_dead () =
+      let group = Prio_queue.ready t.events in
+      let rec first_dead i = function
+        | [] -> None
+        | (_, ev) :: rest ->
+          if ev.live () then first_dead (i + 1) rest else Some i
+      in
+      match first_dead 0 group with
+      | Some i ->
+        (match Prio_queue.pop_nth t.events i with
+        | Some (_, ev) -> recycle t ev
+        | None -> ());
+        purge_dead ()
+      | None -> group
     in
-    match first_dead 0 group with
-    | Some i ->
-      ignore (Prio_queue.pop_nth t.events i);
-      purge_dead ()
-    | None -> group
-  in
-  match purge_dead () with
-  | [] ->
-    (* Everything at this time was dead; move on if later events remain. *)
-    if Prio_queue.is_empty t.events then false else controlled_step t strategy
-  | [ _ ] ->
-    (match Prio_queue.pop_nth t.events 0 with
-    | Some (time, ev) -> dispatch t time ev
-    | None -> assert false);
-    true
-  | group ->
-    let n = List.length group in
-    let chosen = strategy ~step:t.n_choices ~n_ready:n in
-    let chosen = if chosen < 0 then 0 else if chosen >= n then n - 1 else chosen in
-    t.n_choices <- t.n_choices + 1;
-    t.choice_rev <- (n, chosen) :: t.choice_rev;
-    (match Prio_queue.pop_nth t.events chosen with
-    | Some (time, ev) -> dispatch t time ev
-    | None -> assert false);
-    true
+    (match purge_dead () with
+    | [] ->
+      if Prio_queue.is_empty t.events then false
+      else controlled_step t strategy
+    | [ _ ] ->
+      (match Prio_queue.pop_nth t.events 0 with
+      | Some (time, ev) -> dispatch t time ev
+      | None -> assert false);
+      true
+    | group ->
+      let n = List.length group in
+      let chosen = strategy ~step:t.n_choices ~n_ready:n in
+      let chosen =
+        if chosen < 0 then 0 else if chosen >= n then n - 1 else chosen
+      in
+      t.n_choices <- t.n_choices + 1;
+      t.choice_rev <- (n, chosen) :: t.choice_rev;
+      (match Prio_queue.pop_nth t.events chosen with
+      | Some (time, ev) -> dispatch t time ev
+      | None -> assert false);
+      true)
 
 let step t =
   match t.scheduler with
   | Some strategy -> controlled_step t strategy
-  | None -> (
-    match Prio_queue.pop t.events with
-    | None -> false
-    | Some (time, ev) ->
-      if ev.live () then dispatch t time ev;
-      true)
+  | None ->
+    if Prio_queue.is_empty t.events then false
+    else begin
+      let time = Prio_queue.unsafe_min_prio t.events in
+      let ev = Prio_queue.pop_into t.events in
+      if ev.live () then dispatch t time ev else recycle t ev;
+      true
+    end
 
 let run ?until t =
-  let should_continue () =
-    match (until, Prio_queue.peek t.events) with
-    | _, None -> false
-    | None, Some _ -> true
-    | Some u, Some (next, _) -> next <= u
-  in
-  while should_continue () do
-    ignore (step t)
-  done;
-  match until with Some u -> if u > t.clock then t.clock <- u | None -> ()
+  (match t.scheduler with
+  | Some strategy ->
+    let should_continue () =
+      (not (Prio_queue.is_empty t.events))
+      &&
+      match until with
+      | None -> true
+      | Some u -> Prio_queue.unsafe_min_prio t.events <= u
+    in
+    while should_continue () do
+      ignore (controlled_step t strategy)
+    done
+  | None -> (
+    (* Uncontrolled hot loop: nothing here allocates — emptiness check,
+       raw min read, raw pop, dispatch. *)
+    let events = t.events in
+    match until with
+    | None ->
+      while not (Prio_queue.is_empty events) do
+        let time = Prio_queue.unsafe_min_prio events in
+        let ev = Prio_queue.pop_into events in
+        if ev.live () then dispatch t time ev else recycle t ev
+      done
+    | Some u ->
+      while
+        (not (Prio_queue.is_empty events))
+        && Prio_queue.unsafe_min_prio events <= u
+      do
+        let time = Prio_queue.unsafe_min_prio events in
+        let ev = Prio_queue.pop_into events in
+        if ev.live () then dispatch t time ev else recycle t ev
+      done));
+  match until with Some u -> if u > !(t.clock) then t.clock := u | None -> ()
 
 (* Sanitizer check: performing Block outside a process would surface
    as a cryptic [Effect.Unhandled]; fail with a diagnosable error
    instead. *)
 let check_in_process t =
-  if t.current = None then raise Blocking_outside_process
+  if t.current == t.top then raise Blocking_outside_process
 
 let suspend t register =
   check_in_process t;
-  perform (Block (fun waker _live -> register waker))
+  perform (Block_simple register)
 
 let suspend_full t register =
   check_in_process t;
@@ -354,10 +557,12 @@ let suspend_full t register =
 
 let sleep t d =
   suspend_full t (fun waker live ->
-      schedule_event t ~at:(t.clock +. d) ~live (fun () -> ignore (waker ())))
+      schedule_event t ~at:(!(t.clock) +. d) ~live (fun () ->
+          ignore (waker ())))
 
 let yield t =
-  suspend t (fun waker -> schedule t ~at:t.clock (fun () -> ignore (waker ())))
+  suspend t (fun waker ->
+      schedule t ~at:!(t.clock) (fun () -> ignore (waker ())))
 
 let kill t proc =
   match proc.state with
@@ -366,14 +571,14 @@ let kill t proc =
     if not !resumed then begin
       resumed := true;
       proc.state <- Dead;
-      schedule t ~at:t.clock (fun () -> discontinue k Killed)
+      schedule t ~at:!(t.clock) (fun () -> discontinue k Killed)
     end
   | Ready ->
-    if t.current == Some proc then raise Killed else proc.kill_pending <- true
+    if t.current == proc then raise Killed else proc.kill_pending <- true
 
 let is_alive _t proc = proc.state <> Dead
 
-let in_process t = t.current <> None
+let in_process t = t.current != t.top
 
 let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
 
@@ -402,20 +607,20 @@ module Local = struct
     }
 
   let get t k =
-    match t.current with
-    | None -> None
-    | Some p -> (
+    let p = t.current in
+    if p == t.top then None
+    else
       match List.assoc_opt k.kid p.locals with
       | None -> None
-      | Some b -> k.prj b)
+      | Some b -> k.prj b
 
   let set t k v =
-    match t.current with
-    | None -> ()
-    | Some p ->
+    let p = t.current in
+    if p != t.top then begin
       let rest = List.filter (fun (id, _) -> id <> k.kid) p.locals in
       p.locals <-
         (match v with None -> rest | Some v -> (k.kid, k.inj v) :: rest)
+    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -464,19 +669,21 @@ module Mailbox = struct
     { sim; mbid = obj_id sim; queue = Queue.create (); next_msg = 0;
       waiters = [] }
 
+  (* Top-level delivery loop (a local [let rec] would allocate a
+     closure per send); the [(msg, v)] pair is built once. *)
+  let rec deliver mb p = function
+    | [] ->
+      mb.waiters <- [];
+      Queue.push p mb.queue
+    | w :: rest -> if w p then mb.waiters <- rest else deliver mb p rest
+
   let send mb v =
     let msg = mb.next_msg in
     mb.next_msg <- msg + 1;
     (match mb.sim.monitor with
     | Some f -> f (M_send { proc = cur_id mb.sim; mailbox = mb.mbid; msg })
     | None -> ());
-    let rec deliver = function
-      | [] ->
-        mb.waiters <- [];
-        Queue.push (msg, v) mb.queue
-      | w :: rest -> if w (msg, v) then mb.waiters <- rest else deliver rest
-    in
-    deliver mb.waiters
+    deliver mb (msg, v) mb.waiters
 
   (* Runs in the receiving process (fast path or just-resumed), so
      [cur_id] attributes the receive correctly. *)
@@ -506,7 +713,7 @@ module Mailbox = struct
         suspend_full mb.sim (fun waker live ->
             let deliver p = waker (Some p) in
             mb.waiters <- mb.waiters @ [ deliver ];
-            schedule_event mb.sim ~at:(mb.sim.clock +. d) ~live (fun () ->
+            schedule_event mb.sim ~at:(!(mb.sim.clock) +. d) ~live (fun () ->
                 ignore (waker None)))
       with
       | Some p -> Some (got mb p)
@@ -550,17 +757,17 @@ module Semaphore = struct
     end
     else false
 
+  let rec wake_one s = function
+    | [] ->
+      s.waiters <- [];
+      s.count <- s.count + 1
+    | w :: rest -> if w () then s.waiters <- rest else wake_one s rest
+
   let release s =
     (match s.sim.monitor with
     | Some f -> f (M_sem_release { proc = cur_id s.sim; sem = s.sid })
     | None -> ());
-    let rec wake = function
-      | [] ->
-        s.waiters <- [];
-        s.count <- s.count + 1
-      | w :: rest -> if w () then s.waiters <- rest else wake rest
-    in
-    wake s.waiters
+    wake_one s s.waiters
 
   let available s = s.count
 end
@@ -579,16 +786,14 @@ module Condition = struct
   let wait_timeout c d =
     suspend_full c.sim (fun waker live ->
         c.waiters <- c.waiters @ [ waker ];
-        schedule_event c.sim ~at:(c.sim.clock +. d) ~live (fun () ->
+        schedule_event c.sim ~at:(!(c.sim.clock) +. d) ~live (fun () ->
             ignore (waker false)))
 
-  let signal c =
-    let rec wake = function
-      | [] -> c.waiters <- []
-      | w :: rest ->
-        if w true then c.waiters <- rest else wake rest
-    in
-    wake c.waiters
+  let rec wake_one c = function
+    | [] -> c.waiters <- []
+    | w :: rest -> if w true then c.waiters <- rest else wake_one c rest
+
+  let signal c = wake_one c c.waiters
 
   let broadcast c =
     let ws = c.waiters in

@@ -28,6 +28,7 @@ exception Blocking_outside_process
 
 val create :
   ?tie_break:Rhodos_util.Prio_queue.tie ->
+  ?queue:Rhodos_util.Prio_queue.backend ->
   ?track:bool ->
   ?scheduler:Schedule.strategy ->
   ?record:bool ->
@@ -38,6 +39,13 @@ val create :
     must compute the same observable results under either. [track]
     (default [false]) records every spawned process so {!audit} can
     report leaks at end of run.
+
+    [queue] picks the event-queue backend (default [Wheel], a timing
+    wheel tuned for the dense near-horizon event mass a simulation
+    produces; [Heap] is the binary-heap fallback). The two backends
+    dispatch in the identical order under either tie policy — run
+    digests are byte-identical across backends, asserted by tests —
+    so the knob only affects speed.
 
     [scheduler] switches the event loop into controlled mode: whenever
     more than one live event is ready at the same simulated time, the
@@ -225,6 +233,14 @@ val run_digest : t -> int
     leaked into the simulation. *)
 
 val events_dispatched : t -> int
+
+val digest_step : int -> int -> float -> int
+(** [digest_step digest id time] is the digest fold applied at each
+    dispatch — an allocation-free reimplementation of
+    [Hashtbl.hash (digest, id, Int64.bits_of_float time)]. Exposed
+    only so the test suite can pin the equivalence with a qcheck
+    comparison against [Hashtbl.hash] itself; no other caller should
+    need it. *)
 
 val choices : t -> (int * int) list
 (** Choice points taken so far in a controlled run, oldest first:

@@ -1,88 +1,210 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Event queue with two backends behind one interface:
 
-type tie = Fifo | Lifo
+   - [Heap]: binary min-heap over parallel unboxed arrays — a [float
+     array] of priorities, an [int array] of tie-break sequence
+     numbers, and a value array. The old boxed [{prio; seq; value}]
+     entry records made every [add] allocate a 4-word record plus a
+     boxed float; the flat layout allocates nothing per operation
+     (only on capacity growth), and sift compares read unboxed floats
+     straight out of the array.
 
-type 'a t = {
-  mutable heap : 'a entry array;
+   - [Wheel]: a timing wheel ({!Timing_wheel}) tuned for the
+     simulator's near-horizon event mass, with its own heap overflow
+     for far-future timers. Proven order-equivalent to [Heap] by the
+     qcheck differential suite in [test_util].
+
+   Both order by (prio, then seq under the tie policy), so pop
+   sequences are identical; [Sim] digests do not depend on the backend
+   choice. *)
+
+type tie = Timing_wheel.tie = Fifo | Lifo
+type backend = Heap | Wheel
+
+type 'a heap = {
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
-  mutable next_seq : int;
-  tie : tie;
+  htie : tie;
 }
 
-let create ?(tie = Fifo) () = { heap = [||]; size = 0; next_seq = 0; tie }
+type 'a repr = Heap_r of 'a heap | Wheel_r of 'a Timing_wheel.t
 
-let length q = q.size
+type 'a t = { mutable next_seq : int; repr : 'a repr }
 
-let is_empty q = q.size = 0
+let create ?(tie = Fifo) ?(backend = Heap) () =
+  let repr =
+    match backend with
+    | Heap ->
+        Heap_r { prios = [||]; seqs = [||]; vals = [||]; size = 0; htie = tie }
+    | Wheel -> Wheel_r (Timing_wheel.create ~tie ())
+  in
+  { next_seq = 0; repr }
 
-(* [e1] sorts before [e2]: smaller priority first, then insertion order
-   (or reverse insertion order under [Lifo], the perturbed tie-breaking
-   used by the determinism sanitizer). *)
-let before q e1 e2 =
-  e1.prio < e2.prio
-  || e1.prio = e2.prio
-     && (match q.tie with Fifo -> e1.seq < e2.seq | Lifo -> e1.seq > e2.seq)
+let backend q = match q.repr with Heap_r _ -> Heap | Wheel_r _ -> Wheel
 
-let ensure_capacity q =
-  let cap = Array.length q.heap in
-  if q.size >= cap then begin
-    let dummy = q.heap.(0) in
-    let heap = Array.make (max 8 (2 * cap)) dummy in
-    Array.blit q.heap 0 heap 0 q.size;
-    q.heap <- heap
-  end
+let length q =
+  match q.repr with Heap_r h -> h.size | Wheel_r w -> Timing_wheel.length w
 
-let rec sift_up q i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before q q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
-      sift_up q parent
+let is_empty q = length q = 0
+
+(* Ordering: [(p1, s1)] sorts before [(p2, s2)] iff [p1 < p2], or
+   [p1 = p2] and [s1] precedes [s2] under the tie policy (insertion
+   order for [Fifo], reverse for [Lifo] — the perturbed tie-breaking
+   used by the determinism sanitizer). The comparison is written out
+   inline at each use site rather than shared through a helper:
+   without flambda, float arguments to a non-inlined call are boxed at
+   every sift level, which is exactly the allocation this flat layout
+   exists to avoid. *)
+
+(* ------------------------------------------------------------------ *)
+(* Heap backend                                                        *)
+
+let grow h v =
+  let old = Array.length h.prios in
+  let cap = if old = 0 then 8 else 2 * old in
+  let prios = Array.make cap 0. and seqs = Array.make cap 0 in
+  let vals = Array.make cap v in
+  Array.blit h.prios 0 prios 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.vals 0 vals 0 h.size;
+  h.prios <- prios;
+  h.seqs <- seqs;
+  h.vals <- vals
+
+(* Hole-based sift: carry the displaced entry in registers and shift
+   ancestors down, instead of swapping three arrays at every level. *)
+let heap_add h prio seq v =
+  if h.size >= Array.length h.prios then grow h v;
+  let prios = h.prios and seqs = h.seqs and vals = h.vals in
+  let fifo = h.htie == Fifo in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pp = prios.(parent) in
+    if
+      prio < pp
+      || (prio = pp
+         &&
+         let ps = seqs.(parent) in
+         if fifo then seq < ps else seq > ps)
+    then begin
+      prios.(!i) <- pp;
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
     end
-  end
+    else stop := true
+  done;
+  prios.(!i) <- prio;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
 
-let rec sift_down q i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < q.size && before q q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && before q q.heap.(r) q.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(!smallest);
-    q.heap.(!smallest) <- tmp;
-    sift_down q !smallest
-  end
+(* Place [(prio, seq, v)] at the root hole and sift down. [h.size] has
+   already been decremented. *)
+let heap_sift_down_from h i0 prio seq v =
+  let prios = h.prios and seqs = h.seqs and vals = h.vals in
+  let fifo = h.htie == Fifo in
+  let n = h.size in
+  let i = ref i0 in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= n then stop := true
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < n
+          &&
+          let pr = prios.(r) and pl = prios.(l) in
+          pr < pl
+          || (pr = pl && if fifo then seqs.(r) < seqs.(l) else seqs.(r) > seqs.(l))
+        then r
+        else l
+      in
+      let pc = prios.(c) in
+      if
+        pc < prio
+        || (pc = prio
+           &&
+           let sc = seqs.(c) in
+           if fifo then sc < seq else sc > seq)
+      then begin
+        prios.(!i) <- pc;
+        seqs.(!i) <- seqs.(c);
+        vals.(!i) <- vals.(c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  prios.(!i) <- prio;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
 
-let add q ~prio value =
-  let entry = { prio; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  if Array.length q.heap = 0 then q.heap <- Array.make 8 entry;
-  ensure_capacity q;
-  q.heap.(q.size) <- entry;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+let heap_pop_into h =
+  let v = h.vals.(0) in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then
+    heap_sift_down_from h 0 h.prios.(n) h.seqs.(n) h.vals.(n);
+  v
 
-let peek q = if q.size = 0 then None else Some (q.heap.(0).prio, q.heap.(0).value)
+(* ------------------------------------------------------------------ *)
+(* Shared interface                                                    *)
 
-let min_prio q = if q.size = 0 then None else Some q.heap.(0).prio
+let add q ~prio v =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  match q.repr with
+  | Heap_r h -> heap_add h prio seq v
+  | Wheel_r w -> Timing_wheel.add w ~prio ~seq v
+
+(* Hot-loop accessors: undefined on an empty queue (the caller checks
+   [is_empty]); allocation-free, unlike [peek]/[pop]. *)
+let[@inline] unsafe_min_prio q =
+  match q.repr with
+  | Heap_r h -> h.prios.(0)
+  | Wheel_r w -> Timing_wheel.unsafe_min_prio w
+
+let pop_into q =
+  match q.repr with
+  | Heap_r h ->
+      if h.size = 0 then invalid_arg "Prio_queue.pop_into: empty queue";
+      heap_pop_into h
+  | Wheel_r w ->
+      if Timing_wheel.is_empty w then
+        invalid_arg "Prio_queue.pop_into: empty queue";
+      Timing_wheel.pop_into w
+
+let peek q =
+  if is_empty q then None
+  else
+    match q.repr with
+    | Heap_r h -> Some (h.prios.(0), h.vals.(0))
+    | Wheel_r w ->
+        Some (Timing_wheel.unsafe_min_prio w, Timing_wheel.unsafe_min_value w)
+
+let min_prio q = if is_empty q then None else Some (unsafe_min_prio q)
 
 let pop q =
-  if q.size = 0 then None
+  if is_empty q then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (top.prio, top.value)
+    let prio = unsafe_min_prio q in
+    Some (prio, pop_into q)
   end
 
 let clear q =
-  q.size <- 0;
-  q.heap <- [||]
+  match q.repr with
+  | Heap_r h ->
+      h.size <- 0;
+      h.prios <- [||];
+      h.seqs <- [||];
+      h.vals <- [||]
+  | Wheel_r w -> Timing_wheel.clear w
 
 (* ------------------------------------------------------------------ *)
 (* Ready-set access (controlled scheduling)                            *)
@@ -91,45 +213,100 @@ let clear q =
 (* Indices (into the heap array) of every entry sharing the minimum
    priority, sorted by insertion order. O(size) scan: only the
    analysis explorer uses these, never the default event loop. *)
-let ready_indices q =
-  if q.size = 0 then [||]
+let ready_indices h =
+  if h.size = 0 then [||]
   else begin
-    let min_prio = q.heap.(0).prio in
+    let min_prio = h.prios.(0) in
     let idxs = ref [] in
-    for i = q.size - 1 downto 0 do
-      if q.heap.(i).prio = min_prio then idxs := i :: !idxs
+    for i = h.size - 1 downto 0 do
+      if h.prios.(i) = min_prio then idxs := i :: !idxs
     done;
     let arr = Array.of_list !idxs in
-    Array.sort (fun a b -> compare q.heap.(a).seq q.heap.(b).seq) arr;
+    Array.sort (fun a b -> compare h.seqs.(a) h.seqs.(b)) arr;
     arr
   end
 
-let ready_count q = Array.length (ready_indices q)
+(* Allocation-free, unlike the old [ready_indices] round-trip. Fast
+   path: the root's priority is minimal and every ancestor of a
+   min-priority node is min-priority, so if neither root child ties
+   with the root the ready set is exactly the root. *)
+let ready_count q =
+  match q.repr with
+  | Heap_r h ->
+      if h.size = 0 then 0
+      else begin
+        let prios = h.prios in
+        let p = prios.(0) in
+        let n = h.size in
+        if (1 >= n || prios.(1) <> p) && (2 >= n || prios.(2) <> p) then 1
+        else begin
+          let count = ref 0 in
+          for i = 0 to n - 1 do
+            if prios.(i) = p then incr count
+          done;
+          !count
+        end
+      end
+  | Wheel_r w -> Timing_wheel.ready_count w
 
 let ready q =
-  Array.to_list
-    (Array.map (fun i -> (q.heap.(i).prio, q.heap.(i).value)) (ready_indices q))
+  match q.repr with
+  | Heap_r h ->
+      Array.to_list
+        (Array.map (fun i -> (h.prios.(i), h.vals.(i))) (ready_indices h))
+  | Wheel_r w -> Timing_wheel.ready w
 
 (* Remove the entry at heap index [i]: replace it with the last entry
    and restore the heap property in both directions (the replacement
    may be smaller than [i]'s parent or larger than its children). *)
-let remove_index q i =
-  let entry = q.heap.(i) in
-  q.size <- q.size - 1;
-  if i < q.size then begin
-    q.heap.(i) <- q.heap.(q.size);
-    sift_down q i;
-    sift_up q i
+let heap_remove_index h i =
+  let prio = h.prios.(i) in
+  let v = h.vals.(i) in
+  let n = h.size - 1 in
+  h.size <- n;
+  if i < n then begin
+    heap_sift_down_from h i h.prios.(n) h.seqs.(n) h.vals.(n);
+    (* The replacement may instead belong above [i]'s parent, so also
+       sift up from [i]. If sift-down moved the replacement below [i],
+       the element now at [i] is a promoted descendant, which the heap
+       property already orders after [i]'s ancestors — the sift-up
+       stops immediately, exactly like the old entry-swapping code. *)
+    let prios = h.prios and seqs = h.seqs and vals = h.vals in
+    let fifo = h.htie == Fifo in
+    let i = ref i in
+    let p = prios.(!i) and s = seqs.(!i) in
+    let v = vals.(!i) in
+    let stop = ref false in
+    while (not !stop) && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      let pp = prios.(parent) in
+      if
+        p < pp
+        || (p = pp
+           &&
+           let ps = seqs.(parent) in
+           if fifo then s < ps else s > ps)
+      then begin
+        prios.(!i) <- pp;
+        seqs.(!i) <- seqs.(parent);
+        vals.(!i) <- vals.(parent);
+        i := parent
+      end
+      else stop := true
+    done;
+    prios.(!i) <- p;
+    seqs.(!i) <- s;
+    vals.(!i) <- v
   end;
-  entry
+  (prio, v)
 
 let pop_nth q n =
-  let idxs = ready_indices q in
-  if n < 0 || n >= Array.length idxs then None
-  else begin
-    let entry = remove_index q idxs.(n) in
-    Some (entry.prio, entry.value)
-  end
+  match q.repr with
+  | Heap_r h ->
+      let idxs = ready_indices h in
+      if n < 0 || n >= Array.length idxs then None
+      else Some (heap_remove_index h idxs.(n))
+  | Wheel_r w -> Timing_wheel.pop_nth w n
 
 let drain q =
   let rec loop acc =

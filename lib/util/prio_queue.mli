@@ -2,33 +2,59 @@
 
     Ties are broken by insertion order (FIFO) by default, which makes
     event processing in the simulator deterministic; see {!tie} for
-    the perturbed alternative. Implemented as a binary heap over a
-    growable array. *)
+    the perturbed alternative.
+
+    Two backends share this interface (see {!backend}): a binary heap
+    over parallel unboxed arrays (the default), and a timing wheel
+    ({!Timing_wheel}) tuned for the simulator's near-horizon event
+    mass. Both pop in the identical (prio, then tie-policy) total
+    order — asserted by the qcheck differential suite — so code using
+    the queue cannot observe the choice except through speed. Steady
+    -state operations allocate nothing; only capacity growth does. *)
 
 type 'a t
 
-type tie = Fifo | Lifo
+type tie = Timing_wheel.tie = Fifo | Lifo
 (** Policy for elements with equal priority: [Fifo] (the default) pops
     them in insertion order; [Lifo] pops newest-first. [Lifo] exists
     for the determinism sanitizer, which re-runs a simulation with
     perturbed tie-breaking to expose schedule-order dependence. *)
 
-val create : ?tie:tie -> unit -> 'a t
-(** [create ()] is an empty queue. *)
+type backend = Heap | Wheel
+(** [Heap] is a binary min-heap: O(log n) add/pop, robust for any
+    priority distribution. [Wheel] is a timing wheel with heap
+    overflow: O(1) add/pop when events cluster near the minimum (the
+    simulator's workload), at the cost of a bucket-array footprint. *)
+
+val create : ?tie:tie -> ?backend:backend -> unit -> 'a t
+(** [create ()] is an empty queue ([Fifo], [Heap]). *)
+
+val backend : 'a t -> backend
 
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
 val add : 'a t -> prio:float -> 'a -> unit
-(** [add q ~prio v] inserts [v] with priority [prio]. *)
+(** [add q ~prio v] inserts [v] with priority [prio]. Allocation-free
+    except when the backing store grows. *)
 
 val min_prio : 'a t -> float option
 (** Priority of the minimum element, if any. *)
 
+val unsafe_min_prio : 'a t -> float
+(** Allocation-free {!min_prio} for the hot loop: undefined on an
+    empty queue (the caller must check {!is_empty} first). *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the element with the smallest priority;
     among equal priorities, the earliest inserted. *)
+
+val pop_into : 'a t -> 'a
+(** Allocation-free {!pop} for the hot loop: removes the minimum
+    element and returns its value directly — read {!unsafe_min_prio}
+    first if the priority is needed. Raises [Invalid_argument] on an
+    empty queue. *)
 
 val peek : 'a t -> (float * 'a) option
 
@@ -39,8 +65,10 @@ val clear : 'a t -> unit
     The {e ready set} is the group of entries sharing the minimum
     priority — in the simulator, the events that could legally fire
     next. The analysis explorer turns this set into an explicit
-    scheduling choice point; all three operations are O(n) scans and
-    are never used by the default event loop. *)
+    scheduling choice point. {!ready} and {!pop_nth} are O(n) scans
+    used only there; {!ready_count} is allocation-free and O(1) when
+    the minimum is unique, so the event loop may call it per
+    dispatch. *)
 
 val ready_count : 'a t -> int
 (** Number of entries sharing the minimum priority (0 when empty). *)

@@ -1,0 +1,467 @@
+(* Timing-wheel backend for Prio_queue: one rotation of uniform buckets
+   over the near horizon, flat-heap overflow for far-future entries.
+
+   Memory layout: entries live in a slot store of parallel unboxed
+   arrays (prio/seq/value plus next/prev links); free slots are chained
+   through [nxt]. Each bucket is a doubly-linked list with head/tail
+   indices, so add and pop touch O(1) slots and allocate nothing.
+
+   Order equivalence with the heap rests on the bucket map
+   [i = floor ((prio - wheel_start) / width)] being monotone
+   non-decreasing in prio: lower-priority entries never land in a
+   higher bucket, equal priorities always share one bucket, and
+   overflow entries (beyond the window) are all >= every in-window
+   entry. Within the min bucket the exact heap total order
+   (prio, then seq under the tie policy) is applied: O(1) when the
+   bucket holds a single distinct priority (uniform — linked in
+   insertion order, so Fifo pops the head and Lifo the tail), a list
+   scan otherwise. *)
+
+type tie = Fifo | Lifo
+
+(* The ordering — (prio, seq) with [Fifo] taking the smaller seq first
+   and [Lifo] the larger — is written out inline at each comparison
+   site; a shared helper would box its float arguments on every call
+   without flambda. *)
+
+(* Flat binary min-heap holding entries beyond the wheel window. *)
+type 'a oheap = {
+  mutable o_prios : float array;
+  mutable o_seqs : int array;
+  mutable o_vals : 'a array;
+  mutable o_size : int;
+}
+
+type 'a t = {
+  tie : tie;
+  nbuckets : int;
+  width : float;
+  span : float; (* nbuckets *. width *)
+  (* slot store: parallel arrays, free slots chained through [nxt] *)
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable nxt : int array;
+  mutable prv : int array;
+  mutable free : int;
+  (* buckets *)
+  head : int array;
+  tail : int array;
+  bcount : int array;
+  (* [uniform.(b)] is true while every entry of bucket [b] shares one
+     priority (the priority of whichever entry was inserted first) —
+     the O(1) pop fast path. *)
+  uniform : bool array;
+  bprio : float array;
+  mutable wheel_start : float;
+  mutable started : bool;
+  mutable cursor : int; (* no occupied bucket below this index *)
+  mutable wsize : int; (* entries in buckets *)
+  ov : 'a oheap;
+  mutable size : int;
+  (* cached min entry (slot/bucket), -1 when unknown *)
+  mutable min_slot : int;
+  mutable min_bucket : int;
+}
+
+let create ?(nbuckets = 2048) ?(width = 0.01) ~tie () =
+  if nbuckets <= 0 then invalid_arg "Timing_wheel.create: nbuckets";
+  if not (width > 0.) then invalid_arg "Timing_wheel.create: width";
+  {
+    tie;
+    nbuckets;
+    width;
+    span = float_of_int nbuckets *. width;
+    prios = [||];
+    seqs = [||];
+    vals = [||];
+    nxt = [||];
+    prv = [||];
+    free = -1;
+    head = Array.make nbuckets (-1);
+    tail = Array.make nbuckets (-1);
+    bcount = Array.make nbuckets 0;
+    uniform = Array.make nbuckets true;
+    bprio = Array.make nbuckets 0.;
+    wheel_start = 0.;
+    started = false;
+    cursor = 0;
+    wsize = 0;
+    ov = { o_prios = [||]; o_seqs = [||]; o_vals = [||]; o_size = 0 };
+    size = 0;
+    min_slot = -1;
+    min_bucket = -1;
+  }
+
+let length w = w.size
+let is_empty w = w.size = 0
+
+(* ------------------------------------------------------------------ *)
+(* Overflow heap                                                       *)
+
+let o_grow o v =
+  let old = Array.length o.o_prios in
+  let cap = if old = 0 then 16 else 2 * old in
+  let prios = Array.make cap 0. and seqs = Array.make cap 0 in
+  let vals = Array.make cap v in
+  Array.blit o.o_prios 0 prios 0 old;
+  Array.blit o.o_seqs 0 seqs 0 old;
+  Array.blit o.o_vals 0 vals 0 old;
+  o.o_prios <- prios;
+  o.o_seqs <- seqs;
+  o.o_vals <- vals
+
+(* The (prio, seq) comparisons in the two sift loops are written out
+   inline rather than shared through [before]: without flambda, float
+   arguments to a non-inlined call are boxed at every sift level. *)
+let o_add tie o prio seq v =
+  if o.o_size >= Array.length o.o_prios then o_grow o v;
+  let prios = o.o_prios and seqs = o.o_seqs and vals = o.o_vals in
+  let fifo = tie == Fifo in
+  (* hole-based sift-up *)
+  let i = ref o.o_size in
+  o.o_size <- o.o_size + 1;
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pp = prios.(parent) in
+    if
+      prio < pp
+      || (prio = pp
+         &&
+         let ps = seqs.(parent) in
+         if fifo then seq < ps else seq > ps)
+    then begin
+      prios.(!i) <- pp;
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
+    end
+    else stop := true
+  done;
+  prios.(!i) <- prio;
+  seqs.(!i) <- seq;
+  vals.(!i) <- v
+
+let[@inline] o_min_prio o = o.o_prios.(0)
+
+(* Remove the root; the caller reads root fields first. *)
+let o_drop_root tie o =
+  let prios = o.o_prios and seqs = o.o_seqs and vals = o.o_vals in
+  let fifo = tie == Fifo in
+  let n = o.o_size - 1 in
+  o.o_size <- n;
+  if n > 0 then begin
+    let p = prios.(n) and s = seqs.(n) in
+    let v = vals.(n) in
+    (* hole-based sift-down from the root *)
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 in
+      if l >= n then stop := true
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            &&
+            let pr = prios.(r) and pl = prios.(l) in
+            pr < pl
+            || (pr = pl
+               && if fifo then seqs.(r) < seqs.(l) else seqs.(r) > seqs.(l))
+          then r
+          else l
+        in
+        let pc = prios.(c) in
+        if
+          pc < p
+          || (pc = p
+             &&
+             let sc = seqs.(c) in
+             if fifo then sc < s else sc > s)
+        then begin
+          prios.(!i) <- pc;
+          seqs.(!i) <- seqs.(c);
+          vals.(!i) <- vals.(c);
+          i := c
+        end
+        else stop := true
+      end
+    done;
+    prios.(!i) <- p;
+    seqs.(!i) <- s;
+    vals.(!i) <- v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Slot store and buckets                                              *)
+
+let grow_slots w v =
+  let old = Array.length w.prios in
+  let cap = if old = 0 then 16 else 2 * old in
+  let prios = Array.make cap 0. and seqs = Array.make cap 0 in
+  let vals = Array.make cap v in
+  let nxt = Array.make cap (-1) and prv = Array.make cap (-1) in
+  Array.blit w.prios 0 prios 0 old;
+  Array.blit w.seqs 0 seqs 0 old;
+  Array.blit w.vals 0 vals 0 old;
+  Array.blit w.nxt 0 nxt 0 old;
+  Array.blit w.prv 0 prv 0 old;
+  for i = old to cap - 2 do
+    nxt.(i) <- i + 1
+  done;
+  nxt.(cap - 1) <- -1;
+  w.prios <- prios;
+  w.seqs <- seqs;
+  w.vals <- vals;
+  w.nxt <- nxt;
+  w.prv <- prv;
+  w.free <- old
+
+(* [prio] must be in [wheel_start, wheel_start + span); the clamp only
+   absorbs boundary rounding of the float division. *)
+let[@inline] bucket_index w prio =
+  let i = int_of_float ((prio -. w.wheel_start) /. w.width) in
+  if i >= w.nbuckets then w.nbuckets - 1 else if i < 0 then 0 else i
+
+(* Append a slot to bucket [b]. [ordered] is false when insertion order
+   no longer reflects seq order (rebuild/migration) — such buckets fall
+   back to the scan path even if single-priority. *)
+let insert_bucket w ~ordered prio seq v =
+  if w.free = -1 then grow_slots w v;
+  let s = w.free in
+  w.free <- w.nxt.(s);
+  w.prios.(s) <- prio;
+  w.seqs.(s) <- seq;
+  w.vals.(s) <- v;
+  let b = bucket_index w prio in
+  let t = w.tail.(b) in
+  w.prv.(s) <- t;
+  w.nxt.(s) <- -1;
+  if t = -1 then begin
+    w.head.(b) <- s;
+    w.uniform.(b) <- ordered;
+    w.bprio.(b) <- prio
+  end
+  else begin
+    w.nxt.(t) <- s;
+    if (not ordered) || prio <> w.bprio.(b) then w.uniform.(b) <- false
+  end;
+  w.tail.(b) <- s;
+  w.bcount.(b) <- w.bcount.(b) + 1;
+  if b < w.cursor then w.cursor <- b;
+  w.wsize <- w.wsize + 1;
+  (* maintain the cached min (comparison inlined: float args to a
+     non-inlined call would be boxed on every add) *)
+  if w.min_slot >= 0 then begin
+    let mp = w.prios.(w.min_slot) in
+    if
+      prio < mp
+      || (prio = mp
+         &&
+         let ms = w.seqs.(w.min_slot) in
+         if w.tie == Fifo then seq < ms else seq > ms)
+    then begin
+      w.min_slot <- s;
+      w.min_bucket <- b
+    end
+  end
+
+let unlink w s b =
+  let p = w.prv.(s) and n = w.nxt.(s) in
+  if p = -1 then w.head.(b) <- n else w.nxt.(p) <- n;
+  if n = -1 then w.tail.(b) <- p else w.prv.(n) <- p;
+  w.bcount.(b) <- w.bcount.(b) - 1;
+  w.nxt.(s) <- w.free;
+  w.free <- s;
+  w.wsize <- w.wsize - 1;
+  w.size <- w.size - 1;
+  w.min_slot <- -1;
+  w.min_bucket <- -1
+
+(* Re-anchor the window at the overflow minimum and pull every
+   now-eligible entry in (heap-pop order, hence [ordered:false] is only
+   needed when two migrated entries share a bucket out of seq order —
+   we conservatively mark every touched bucket). *)
+let migrate_from_overflow w =
+  let o = w.ov in
+  w.wheel_start <- o_min_prio o;
+  w.started <- true;
+  w.cursor <- 0;
+  while o.o_size > 0 && o_min_prio o -. w.wheel_start < w.span do
+    let prio = o.o_prios.(0) and seq = o.o_seqs.(0) in
+    let v = o.o_vals.(0) in
+    o_drop_root w.tie o;
+    insert_bucket w ~ordered:false prio seq v
+  done
+
+(* Full rebuild for an add below the current window (never done by the
+   simulator, which clamps event times to the clock). *)
+let rebuild w ~low =
+  let entries = ref [] in
+  for b = 0 to w.nbuckets - 1 do
+    let s = ref w.head.(b) in
+    while !s >= 0 do
+      entries := (w.prios.(!s), w.seqs.(!s), w.vals.(!s)) :: !entries;
+      s := w.nxt.(!s)
+    done;
+    w.head.(b) <- -1;
+    w.tail.(b) <- -1;
+    w.bcount.(b) <- 0;
+    w.uniform.(b) <- true
+  done;
+  let o = w.ov in
+  for i = 0 to o.o_size - 1 do
+    entries := (o.o_prios.(i), o.o_seqs.(i), o.o_vals.(i)) :: !entries
+  done;
+  o.o_size <- 0;
+  (* rebuild the free chain over the whole store *)
+  let cap = Array.length w.prios in
+  for i = 0 to cap - 2 do
+    w.nxt.(i) <- i + 1
+  done;
+  if cap > 0 then w.nxt.(cap - 1) <- -1;
+  w.free <- (if cap = 0 then -1 else 0);
+  w.wsize <- 0;
+  w.size <- 0;
+  w.min_slot <- -1;
+  w.min_bucket <- -1;
+  w.wheel_start <- low;
+  w.cursor <- 0;
+  List.iter
+    (fun (prio, seq, v) ->
+      w.size <- w.size + 1;
+      if prio -. w.wheel_start >= w.span then o_add w.tie w.ov prio seq v
+      else insert_bucket w ~ordered:false prio seq v)
+    !entries
+
+let add w ~prio ~seq v =
+  if not w.started then begin
+    w.started <- true;
+    w.wheel_start <- prio;
+    w.cursor <- 0
+  end
+  else if prio < w.wheel_start then rebuild w ~low:prio;
+  w.size <- w.size + 1;
+  if prio -. w.wheel_start >= w.span then o_add w.tie w.ov prio seq v
+  else insert_bucket w ~ordered:true prio seq v
+
+(* Locate the min entry's slot; pulls overflow into the window first if
+   the buckets are empty, so the min is always a wheel slot. The queue
+   must not be empty. *)
+let find_min w =
+  if w.min_slot >= 0 then w.min_slot
+  else begin
+    if w.wsize = 0 then migrate_from_overflow w;
+    let b = ref w.cursor in
+    while w.head.(!b) = -1 do
+      incr b
+    done;
+    w.cursor <- !b;
+    let b = !b in
+    let s =
+      if w.uniform.(b) then
+        (* insertion order = seq order: Fifo min is the head, Lifo the
+           tail *)
+        if w.tie == Fifo then w.head.(b) else w.tail.(b)
+      else begin
+        let fifo = w.tie == Fifo in
+        let prios = w.prios and seqs = w.seqs and nxt = w.nxt in
+        let best = ref w.head.(b) in
+        let s = ref nxt.(w.head.(b)) in
+        while !s >= 0 do
+          let ps = prios.(!s) and pb = prios.(!best) in
+          if
+            ps < pb
+            || (ps = pb
+               && if fifo then seqs.(!s) < seqs.(!best) else seqs.(!s) > seqs.(!best))
+          then best := !s;
+          s := nxt.(!s)
+        done;
+        !best
+      end
+    in
+    w.min_slot <- s;
+    w.min_bucket <- b;
+    s
+  end
+
+let[@inline] unsafe_min_prio w = w.prios.(find_min w)
+let[@inline] unsafe_min_value w = w.vals.(find_min w)
+
+let pop_into w =
+  let s = find_min w in
+  let b = w.min_bucket in
+  let v = w.vals.(s) in
+  unlink w s b;
+  v
+
+let ready_count w =
+  if w.size = 0 then 0
+  else begin
+    let s = find_min w in
+    let b = w.min_bucket in
+    if w.uniform.(b) then w.bcount.(b)
+    else begin
+      let p = w.prios.(s) in
+      let n = ref 0 in
+      let s = ref w.head.(b) in
+      while !s >= 0 do
+        if w.prios.(!s) = p then incr n;
+        s := w.nxt.(!s)
+      done;
+      !n
+    end
+  end
+
+(* Slots of the ready set sorted by seq (insertion order). Analysis
+   path: allocation is fine here. *)
+let ready_slots w =
+  if w.size = 0 then []
+  else begin
+    let m = find_min w in
+    let b = w.min_bucket in
+    let p = w.prios.(m) in
+    let acc = ref [] in
+    let s = ref w.head.(b) in
+    while !s >= 0 do
+      if w.prios.(!s) = p then acc := !s :: !acc;
+      s := w.nxt.(!s)
+    done;
+    List.sort (fun a b -> compare w.seqs.(a) w.seqs.(b)) !acc
+  end
+
+let ready w = List.map (fun s -> (w.prios.(s), w.vals.(s))) (ready_slots w)
+
+let pop_nth w n =
+  match List.nth_opt (ready_slots w) n with
+  | None -> None
+  | Some s ->
+      let b = w.min_bucket in
+      let prio = w.prios.(s) in
+      let v = w.vals.(s) in
+      unlink w s b;
+      Some (prio, v)
+
+let clear w =
+  w.prios <- [||];
+  w.seqs <- [||];
+  w.vals <- [||];
+  w.nxt <- [||];
+  w.prv <- [||];
+  w.free <- -1;
+  Array.fill w.head 0 w.nbuckets (-1);
+  Array.fill w.tail 0 w.nbuckets (-1);
+  Array.fill w.bcount 0 w.nbuckets 0;
+  Array.fill w.uniform 0 w.nbuckets true;
+  w.started <- false;
+  w.cursor <- 0;
+  w.wsize <- 0;
+  w.ov.o_prios <- [||];
+  w.ov.o_seqs <- [||];
+  w.ov.o_vals <- [||];
+  w.ov.o_size <- 0;
+  w.size <- 0;
+  w.min_slot <- -1;
+  w.min_bucket <- -1

@@ -1,0 +1,69 @@
+(** Timing-wheel event queue: the near-horizon backend behind
+    {!Prio_queue}.
+
+    A single rotation of [nbuckets] buckets, each [width] wide, covers
+    the window [wheel_start, wheel_start + nbuckets*width). Entries
+    inside the window live in per-bucket doubly-linked lists stored in
+    parallel unboxed arrays (no allocation per entry); entries beyond
+    it wait in a flat binary-heap overflow and migrate into the window
+    when the wheel drains past them. Because the bucket map
+    [i = floor ((prio - wheel_start) / width)] is monotone in [prio]
+    (IEEE division and floor are monotone), the pop order is exactly
+    the heap's total order [(prio, then seq under the tie policy)] —
+    the qcheck differential suite in [test_util] holds the two
+    backends to identical pop sequences.
+
+    The sweet spot is the simulator's workload: a dense mass of events
+    at or just above the current clock — same-priority bursts land in
+    one bucket whose entries stay in insertion order, so [pop] is O(1)
+    where a heap pays O(log n). Adds below the current window trigger
+    an O(n) rebuild; the simulator never does this (events are clamped
+    to the clock), but the structure stays correct if a caller does. *)
+
+type tie = Fifo | Lifo
+(** Tie policy for equal priorities — same meaning as
+    [Prio_queue.tie], which re-exports this type. *)
+
+type 'a t
+
+val create : ?nbuckets:int -> ?width:float -> tie:tie -> unit -> 'a t
+(** [nbuckets] (default 2048) buckets of [width] (default 0.01) each.
+    [width] should be at or below the typical spacing of distinct
+    event times: buckets holding a single distinct priority keep the
+    O(1) pop fast path. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:float -> seq:int -> 'a -> unit
+(** Insert with an externally allocated tie-break sequence number
+    ({!Prio_queue} owns the counter). Allocation-free except when the
+    slot store grows. *)
+
+val unsafe_min_prio : 'a t -> float
+(** Priority of the minimum entry. Allocation-free. The queue must not
+    be empty. *)
+
+val unsafe_min_value : 'a t -> 'a
+(** Value of the minimum entry, without removing it. The queue must
+    not be empty. *)
+
+val pop_into : 'a t -> 'a
+(** Remove the minimum entry and return its value, allocation-free.
+    The queue must not be empty; read {!unsafe_min_prio} first if the
+    priority is needed. *)
+
+val ready_count : 'a t -> int
+(** Number of entries sharing the minimum priority (0 when empty).
+    Allocation-free; O(1) when the min bucket holds one distinct
+    priority. *)
+
+val ready : 'a t -> (float * 'a) list
+(** The ready set in insertion order (analysis path; allocates). *)
+
+val pop_nth : 'a t -> int -> (float * 'a) option
+(** Remove the [n]-th ready entry in insertion order (analysis path;
+    allocates). *)
+
+val clear : 'a t -> unit

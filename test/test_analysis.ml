@@ -539,6 +539,49 @@ let test_lint_host_clock () =
        (Lint.lint_source ~profile:Lint.Bench ~file:"micro.ml"
           "let run () = ()\nlet t = Monotonic_clock.now ()"))
 
+let test_lint_hot_path () =
+  (* the rule watches sim.ml's dispatch/step/run let-regions only *)
+  check (list string) "allocating pop in Sim.step flagged"
+    [ "hot-path-alloc" ]
+    (rules
+       (Lint.lint_source ~file:"lib/sim/sim.ml"
+          "let step t =\n  match Prio_queue.pop t.events with\n  | None -> false\n  | Some _ -> true"));
+  check (list string) "ready scan in Sim.run flagged" [ "hot-path-alloc" ]
+    (rules
+       (Lint.lint_source ~file:"lib/sim/sim.ml"
+          "let run t =\n  ignore (Prio_queue.ready t.events)"));
+  check (list string) "allocation-free accessors allowed" []
+    (rules
+       (Lint.lint_source ~file:"lib/sim/sim.ml"
+          "let step t =\n\
+          \  if Prio_queue.is_empty t.events then false\n\
+          \  else begin\n\
+          \    let time = Prio_queue.unsafe_min_prio t.events in\n\
+          \    let ev = Prio_queue.pop_into t.events in\n\
+          \    ignore (time, ev); true\n\
+          \  end"));
+  check (list string) "other let-regions are free to use the full API" []
+    (rules
+       (Lint.lint_source ~file:"lib/sim/sim.ml"
+          "let controlled_step t =\n  ignore (Prio_queue.ready t.events)"));
+  check (list string) "static-ok escape hatch honoured" []
+    (rules
+       (Lint.lint_source ~file:"lib/sim/sim.ml"
+          "let run t =\n\
+          \  (* static-ok: drained once at shutdown *)\n\
+          \  ignore (Prio_queue.drain t.events) (* static-ok: shutdown *)"));
+  check (list string) "rule is scoped to sim.ml" []
+    (rules
+       (Lint.lint_source ~file:"lib/analysis/explore.ml"
+          "let run t = ignore (Prio_queue.ready t.events)"));
+  check int "line number points at the offending token" 2
+    (match
+       Lint.lint_source ~file:"lib/sim/sim.ml"
+         "let dispatch t =\n  ignore (Prio_queue.peek t.events)"
+     with
+    | [ v ] -> v.Lint.line
+    | _ -> -1)
+
 let test_lint_pairing () =
   check (list string) "acquire without release flagged" [ "paired-release" ]
     (rules (Lint.lint_source ~file:"t.ml" "let f s = Semaphore.acquire s"));
@@ -906,6 +949,7 @@ let () =
           test_case "catch-all negatives" `Quick test_lint_catch_all_negatives;
           test_case "forbidden identifiers" `Quick test_lint_forbidden;
           test_case "host-clock hygiene" `Quick test_lint_host_clock;
+          test_case "hot-path alloc" `Quick test_lint_hot_path;
           test_case "acquire/release pairing" `Quick test_lint_pairing;
           test_case "bench profile" `Quick test_lint_bench_profile;
           test_case "global mutable state" `Quick test_lint_global_state;

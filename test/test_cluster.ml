@@ -536,6 +536,33 @@ let crash_anytime_conservation_prop =
           done;
           !total = naccounts * 100))
 
+(* An E15-shaped run (cold sequential scan through the whole stack —
+   RPCs, disk events, cache fills, wakeups) must dispatch the
+   identical event sequence under both event-queue backends: the
+   backend is a speed knob, and byte-identical run digests prove it
+   stayed one. *)
+let test_e15_backend_digest_parity () =
+  let scan queue =
+    Cluster.run ~queue (fun sim t ->
+        let ws = Cluster.add_client t ~name:"ws" in
+        let d = Cluster.create_file ws "/data" in
+        let data = Bytes.make (64 * 1024) 'x' in
+        Cluster.pwrite ws d ~off:0 ~data;
+        File_agent.flush (Cluster.file_agent ws);
+        Fs.drop_caches (Cluster.file_service t);
+        File_agent.invalidate_file (Cluster.file_agent ws)
+          ~file:(File_agent.descriptor_file (Cluster.file_agent ws) d);
+        ignore (Cluster.lseek ws d (`Set 0));
+        for _ = 1 to 8 do
+          ignore (Cluster.read ws d (8 * 1024))
+        done;
+        (Sim.run_digest sim, Sim.events_dispatched sim))
+  in
+  let d_heap, n_heap = scan Rhodos_util.Prio_queue.Heap in
+  let d_wheel, n_wheel = scan Rhodos_util.Prio_queue.Wheel in
+  check int "same event count" n_heap n_wheel;
+  check int "same digest" d_heap d_wheel
+
 let () =
   Alcotest.run "rhodos_cluster"
     [
@@ -546,6 +573,8 @@ let () =
           Alcotest.test_case "stdio redirection" `Quick test_stdio_and_redirection;
           Alcotest.test_case "device io" `Quick test_device_io;
           Alcotest.test_case "colocated mode" `Quick test_colocated_mode;
+          Alcotest.test_case "E15-shaped backend digest parity" `Quick
+            test_e15_backend_digest_parity;
         ] );
       ( "caching",
         [

@@ -414,6 +414,59 @@ let test_probe_digest_parity () =
   check int "same event count" n_off n_on;
   check bool "same digest" true (d_off = d_on)
 
+(* --- event-queue backend neutrality -------------------------------- *)
+
+(* A churn-shaped workload: mailbox ping-pong with yields and timers,
+   producing large same-time ready bursts — the shape the timing-wheel
+   backend is optimised for. *)
+let churn_workload sim =
+  for _ = 1 to 50 do
+    let a = Sim.Mailbox.create sim and b = Sim.Mailbox.create sim in
+    ignore
+      (Sim.spawn ~name:"ping" sim (fun () ->
+           for r = 1 to 6 do
+             Sim.Mailbox.send a r;
+             ignore (Sim.Mailbox.recv b);
+             if r mod 2 = 0 then Sim.sleep sim 0.01 else Sim.yield sim
+           done));
+    ignore
+      (Sim.spawn ~name:"pong" sim (fun () ->
+           for _ = 1 to 6 do
+             Sim.Mailbox.send b (Sim.Mailbox.recv a)
+           done))
+  done;
+  Sim.run sim
+
+(* The queue backend is a pure speed knob: heap and wheel runs of the
+   same program must dispatch the identical event sequence, hence
+   byte-identical digests. *)
+let test_backend_digest_parity () =
+  let digest_of workload queue =
+    let sim = Sim.create ~queue () in
+    workload sim;
+    (Sim.run_digest sim, Sim.events_dispatched sim)
+  in
+  List.iter
+    (fun (name, workload) ->
+      let d_heap, n_heap = digest_of workload Rhodos_util.Prio_queue.Heap in
+      let d_wheel, n_wheel = digest_of workload Rhodos_util.Prio_queue.Wheel in
+      check int (name ^ ": same event count") n_heap n_wheel;
+      check int (name ^ ": same digest") d_heap d_wheel)
+    [ ("probe workload", probe_workload); ("churn", churn_workload) ]
+
+(* The digest fold is a hand-unrolled [Hashtbl.hash] of the
+   (digest, id, bits-of-time) triple (see Sim.digest_step) — pin the
+   equivalence so a runtime that changed its hash fails here instead
+   of silently forking every recorded digest. *)
+let digest_step_matches_hashtbl_hash =
+  QCheck.Test.make
+    ~name:"digest_step equals Hashtbl.hash on the dispatch triple"
+    ~count:1000
+    QCheck.(triple (int_bound 0x3FFFFFFE) (int_bound 0x3FFFFFFF) (float_range 0. 1e12))
+    (fun (digest, id, time) ->
+      Sim.digest_step digest id time
+      = Hashtbl.hash (digest, id, Int64.bits_of_float time))
+
 let () =
   Alcotest.run "rhodos_sim"
     [
@@ -467,5 +520,11 @@ let () =
           Alcotest.test_case "queue length" `Quick test_probe_queue_length;
           Alcotest.test_case "digest parity armed vs off" `Quick
             test_probe_digest_parity;
+        ] );
+      ( "event queue",
+        [
+          Alcotest.test_case "backend digest parity" `Quick
+            test_backend_digest_parity;
+          QCheck_alcotest.to_alcotest digest_step_matches_hashtbl_hash;
         ] );
     ]

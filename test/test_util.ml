@@ -56,6 +56,185 @@ let pq_sorted_prop =
       in
       List.length prios = List.length items && nondecreasing prios)
 
+(* [ready_count] is the event loop's allocation-free fast path (O(1)
+   when the minimum is unique); it must always agree with the size of
+   the full ready set. *)
+let test_pq_ready_count () =
+  List.iter
+    (fun backend ->
+      let q = Prio_queue.create ~backend () in
+      check int "empty" 0 (Prio_queue.ready_count q);
+      Prio_queue.add q ~prio:2. "b";
+      check int "singleton" 1 (Prio_queue.ready_count q);
+      Prio_queue.add q ~prio:1. "a1";
+      Prio_queue.add q ~prio:1. "a2";
+      Prio_queue.add q ~prio:1. "a3";
+      Prio_queue.add q ~prio:3. "c";
+      check int "tied min of three" 3 (Prio_queue.ready_count q);
+      check int "agrees with ready set" (List.length (Prio_queue.ready q))
+        (Prio_queue.ready_count q);
+      ignore (Prio_queue.pop q);
+      check int "after pop" (List.length (Prio_queue.ready q))
+        (Prio_queue.ready_count q))
+    [ Prio_queue.Heap; Prio_queue.Wheel ]
+
+let pq_ready_count_prop =
+  QCheck.Test.make
+    ~name:"ready_count agrees with the ready set under both backends"
+    ~count:300
+    QCheck.(list (pair (int_bound 5) bool))
+    (fun ops ->
+      List.for_all
+        (fun backend ->
+          let q = Prio_queue.create ~backend () in
+          let n = ref 0 in
+          List.for_all
+            (fun (k, pop) ->
+              if pop then ignore (Prio_queue.pop q)
+              else begin
+                incr n;
+                Prio_queue.add q ~prio:(float_of_int k) !n
+              end;
+              Prio_queue.ready_count q = List.length (Prio_queue.ready q))
+            ops)
+        [ Prio_queue.Heap; Prio_queue.Wheel ])
+
+(* Removing the n-th ready entry replaces it with the last heap slot,
+   which may belong *above* the removal point — the sift must go both
+   ways. Model-based: [pop_nth] against a sorted-list model, under
+   both tie policies. *)
+let pq_pop_nth_model_prop =
+  QCheck.Test.make
+    ~name:"pop_nth matches a sorted-list model under Fifo and Lifo"
+    ~count:300
+    QCheck.(pair bool (list (pair (int_bound 3) (int_bound 4))))
+    (fun (lifo, ops) ->
+      let tie = if lifo then Prio_queue.Lifo else Prio_queue.Fifo in
+      List.for_all
+        (fun backend ->
+          let q = Prio_queue.create ~tie ~backend () in
+          (* model: (prio, seq, v) list, insertion order *)
+          let model = ref [] in
+          let seq = ref 0 in
+          let ok = ref true in
+          List.iter
+            (fun (k, nth) ->
+              if k = 3 && !model <> [] then begin
+                (* remove the nth ready entry from both *)
+                let min_p =
+                  List.fold_left (fun m (p, _, _) -> min m p) infinity !model
+                in
+                let ready =
+                  List.filter (fun (p, _, _) -> p = min_p) !model
+                in
+                let n = nth mod max 1 (List.length ready) in
+                let (_, rs, rv) = List.nth ready n in
+                model := List.filter (fun (_, s, _) -> s <> rs) !model;
+                match Prio_queue.pop_nth q n with
+                | Some (p, v) ->
+                  if p <> min_p || v <> rv then ok := false
+                | None -> ok := false
+              end
+              else begin
+                let p = float_of_int (k mod 3) in
+                Prio_queue.add q ~prio:p !seq;
+                model := !model @ [ (p, !seq, !seq) ];
+                incr seq
+              end)
+            ops;
+          (* drain both and compare the full (prio, value) sequence *)
+          let rec drain_model m acc =
+            match m with
+            | [] -> List.rev acc
+            | _ ->
+              let min_p =
+                List.fold_left (fun mn (p, _, _) -> min mn p) infinity m
+              in
+              let ready = List.filter (fun (p, _, _) -> p = min_p) m in
+              let (_, s, v) =
+                match tie with
+                | Prio_queue.Fifo -> List.hd ready
+                | Prio_queue.Lifo -> List.nth ready (List.length ready - 1)
+              in
+              drain_model
+                (List.filter (fun (_, s', _) -> s' <> s) m)
+                ((min_p, v) :: acc)
+          in
+          let expect = drain_model !model [] in
+          !ok && Prio_queue.drain q = expect)
+        [ Prio_queue.Heap; Prio_queue.Wheel ])
+
+(* Crafted regression: the replacement slot for a removed tied-minimum
+   entry must sift *up* past its parent when the tie policy orders it
+   earlier. Shape: a deep heap of tied minima where the last array
+   slot was inserted late (Lifo orders it first). *)
+let test_pq_pop_nth_sift_up () =
+  List.iter
+    (fun tie ->
+      let q = Prio_queue.create ~tie ~backend:Prio_queue.Heap () in
+      (* seven tied entries building a 3-level heap, then remove deep
+         indices so the last slot replaces an interior one *)
+      for v = 0 to 6 do
+        Prio_queue.add q ~prio:1. v
+      done;
+      (* remove seq 2, then the 4th remaining in insertion order
+         (0,1,3,4,[5],6), i.e. seq 5 *)
+      ignore (Prio_queue.pop_nth q 2);
+      ignore (Prio_queue.pop_nth q 4);
+      let got = Prio_queue.drain q |> List.map snd in
+      let expect =
+        match tie with
+        | Prio_queue.Fifo -> [ 0; 1; 3; 4; 6 ]
+        | Prio_queue.Lifo -> [ 6; 4; 3; 1; 0 ]
+      in
+      check (Alcotest.list int) "drain after pop_nth" expect got)
+    [ Prio_queue.Fifo; Prio_queue.Lifo ]
+
+(* The two backends must pop the identical (prio, value) sequence for
+   any interleaving of adds and pops — including same-time bursts
+   (many adds at one priority), far-future outliers (beyond the wheel
+   window, forced into its overflow heap), and re-adds below an
+   already-rotated window (forcing a wheel rebuild). *)
+let pq_backend_differential_prop tie name =
+  QCheck.Test.make ~name ~count:400
+    QCheck.(list (pair (int_bound 9) bool))
+    (fun ops ->
+      let h = Prio_queue.create ~tie ~backend:Prio_queue.Heap () in
+      let w = Prio_queue.create ~tie ~backend:Prio_queue.Wheel () in
+      let n = ref 0 in
+      let step_ok (k, pop) =
+        if pop then
+          match (Prio_queue.pop h, Prio_queue.pop w) with
+          | None, None -> true
+          | Some (ph, vh), Some (pw, vw) -> ph = pw && vh = vw
+          | _ -> false
+        else begin
+          let prio =
+            if k = 9 then 1000. +. float_of_int !n (* overflow territory *)
+            else float_of_int (k mod 4) *. 0.01 (* same-time bursts *)
+          in
+          incr n;
+          Prio_queue.add h ~prio !n;
+          Prio_queue.add w ~prio !n;
+          Prio_queue.length h = Prio_queue.length w
+        end
+      in
+      let rec drain_ok () =
+        match (Prio_queue.pop h, Prio_queue.pop w) with
+        | None, None -> true
+        | Some (ph, vh), Some (pw, vw) -> ph = pw && vh = vw && drain_ok ()
+        | _ -> false
+      in
+      List.for_all step_ok ops && drain_ok ())
+
+let pq_differential_fifo =
+  pq_backend_differential_prop Prio_queue.Fifo
+    "wheel and heap pop identically (Fifo ties)"
+
+let pq_differential_lifo =
+  pq_backend_differential_prop Prio_queue.Lifo
+    "wheel and heap pop identically (Lifo ties)"
+
 (* ------------------------------------------------------------------ *)
 (* Bitset                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -315,7 +494,13 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pq_order;
           Alcotest.test_case "fifo ties" `Quick test_pq_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_pq_interleaved;
+          Alcotest.test_case "ready count" `Quick test_pq_ready_count;
+          Alcotest.test_case "pop_nth sift-up" `Quick test_pq_pop_nth_sift_up;
           QCheck_alcotest.to_alcotest pq_sorted_prop;
+          QCheck_alcotest.to_alcotest pq_ready_count_prop;
+          QCheck_alcotest.to_alcotest pq_pop_nth_model_prop;
+          QCheck_alcotest.to_alcotest pq_differential_fifo;
+          QCheck_alcotest.to_alcotest pq_differential_lifo;
         ] );
       ( "bitset",
         [
