@@ -418,10 +418,8 @@ let issue_fetch t file c0 c1 ~prefetch =
       ignore
         (Sim.spawn ~name:"fa-fetch" t.sim (fun () ->
              let fetch () =
-               Sim.Semaphore.acquire t.fetch_slots;
-               Fun.protect
-                 ~finally:(fun () -> Sim.Semaphore.release t.fetch_slots)
-                 (fun () -> run_fetch t file ivars p0 p1)
+               Sim.Semaphore.with_acquire t.fetch_slots (fun () ->
+                   run_fetch t file ivars p0 p1)
              in
              if prefetch then
                Trace.maybe t.tracer ~service:"file_agent" ~op:"read_ahead"
@@ -699,6 +697,7 @@ let invalidate_file t ~file =
     done;
     (match t.conn.Service_conn.get_attributes file with
     | attrs -> size := attrs.Fit.size
+    | exception (Sim.Killed as k) -> raise k
     | exception _ -> Hashtbl.remove t.sizes file)
 
 let flush t = Cache.flush t.cache

@@ -53,6 +53,7 @@ let two_cycle () =
   ignore
     (Sim.spawn ~name:"T1" sim (fun () ->
          Lm.acquire lm ~txn:1 a Lm.Iwrite;
+         (* static-ok: leak-on-raise seeded deadlock model: holding the grant across the sleep is the contention under study; the detector's abort path releases via release_all *)
          Sim.sleep sim 10.;
          (match Lm.acquire lm ~txn:1 b Lm.Iwrite with
          | () -> ()
@@ -83,6 +84,7 @@ let long_transaction_false_abort () =
          Lm.acquire lm ~txn:1 a Lm.Iwrite;
          (* Far longer than the LT lease; the transaction is healthy,
             just slow. *)
+         (* static-ok: leak-on-raise seeded lease-break model: the long hold across the sleep is the false-abort trigger under study; release_all runs on the survival path *)
          Sim.sleep sim (Lm.default_config.Lm.lt_ms *. 20.);
          Lm.release_all lm ~txn:1));
   ignore
@@ -310,6 +312,7 @@ let txn_lock_upgrade () =
         (Sim.spawn ~name:(Printf.sprintf "T%d" txn) sim (fun () ->
              match
                Lm.acquire lm ~txn item Lm.Read_only;
+               (* static-ok: leak-on-raise seeded upgrade-deadlock model: both readers hold across the sleep on purpose so the RO->IW conversions collide *)
                Sim.sleep sim 10.;
                Lm.acquire lm ~txn item Lm.Iwrite
              with
@@ -584,6 +587,7 @@ let seeded_race_model ~locked () =
         (Sim.spawn ~name sim (fun () ->
              if locked then Lm.acquire lm ~txn item Lm.Iwrite;
              let v = Sim.Cell.get counter in
+             (* static-ok: leak-on-raise seeded race model: the read-modify-write window across the sleep is the race being demonstrated; release_all follows on every survival path *)
              Sim.sleep sim 1.0;
              Sim.Cell.set counter (v + 1);
              if locked then Lm.release_all lm ~txn))

@@ -1,0 +1,926 @@
+open Parsetree
+
+(* Interprocedural exception flow. Per function, the may-raise set:
+   every exception constructor an activation can let escape, seeded
+   by syntactic [raise]s, a table of implicit raisers ([Option.get],
+   [Hashtbl.find], [failwith], ...) and the declared raises of the
+   simulator's blocking primitives (every blocking point can deliver
+   [Sim.Killed]), then propagated over the call graph to a fixpoint.
+   [try ... with] arms subtract the constructors they match; catch-all
+   arms subtract everything, and the set an arm's own body raises
+   (including [raise e] of the bound exception) flows back out.
+
+   On top of the raise sets, four rules:
+
+   - [swallowed-control-exn]: a catch-all arm that can absorb a
+     control exception ([Sim.Killed]) without re-raising it — the
+     process would survive its own kill point;
+   - [leak-on-raise] (with {!Lockpass} summaries): a lock or
+     semaphore token is held at a call that may raise an exception no
+     enclosing handler catches, with no enclosing [Fun.protect] — the
+     grant leaks forever;
+   - [ivar-unfilled-on-raise]: an [Ivar.fill] only reachable after a
+     possibly-escaping raise point — the readers are stranded;
+   - [unmapped-wire-error] / [escaping-raise-into-dispatch] (with
+     {!Protocol} dispatchers): an exception reaching an RPC
+     dispatcher's handler arm that the [E_*] error mapper only
+     catch-alls, or escaping a dispatcher with no handler at all.
+
+   Approximations (see DESIGN.md 4b'''): lambdas are inlined at their
+   definition point (a stored closure's raises count where it is
+   built); [assert] is ignored; a guarded handler arm neither
+   subtracts nor swallows; any enclosing [Fun.protect] absolves a
+   leak; [Ivar.fill] is only checked at direct call sites; spawn-like
+   closure arguments are analysed in a fresh context and contribute
+   nothing to the spawner. *)
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+(* Where a raise entered the current function: directly ([via =
+   None]) or through a callee — the hop of a Mayblock-style witness
+   chain. *)
+type origin = { via : string option; line : int }
+
+type rmap = origin SM.t
+
+type t = {
+  graph : Callgraph.t;
+  exn_decls : SS.t;
+  raise_maps : (string, rmap ref) Hashtbl.t;
+}
+
+(* An unresolvable [raise e]: some exception, constructor unknown.
+   Escapes everything except a catch-all. *)
+let any_exn = "*"
+
+let control_exns = [ "Sim.Killed" ]
+
+(* Blocking primitives deliver the kill signal as [Sim.Killed] at the
+   suspension point; the RPC client additionally gives up with
+   [Net.Rpc.Timeout]. *)
+let declared_raises =
+  [
+    ("Sim.sleep", [ "Sim.Killed" ]);
+    ("Sim.suspend", [ "Sim.Killed" ]);
+    ("Sim.suspend_full", [ "Sim.Killed" ]);
+    ("Sim.Mailbox.recv", [ "Sim.Killed" ]);
+    ("Sim.Mailbox.recv_timeout", [ "Sim.Killed" ]);
+    ("Sim.Condition.wait", [ "Sim.Killed" ]);
+    ("Sim.Condition.wait_timeout", [ "Sim.Killed" ]);
+    ("Sim.Ivar.read", [ "Sim.Killed" ]);
+    ("Sim.Semaphore.acquire", [ "Sim.Killed" ]);
+    ("Sim.Semaphore.with_acquire", [ "Sim.Killed" ]);
+    ("Lock_manager.acquire", [ "Sim.Killed"; "Lock_manager.Wait_cancelled" ]);
+    ("Net.recv", [ "Sim.Killed" ]);
+    ("Net.recv_timeout", [ "Sim.Killed" ]);
+    ("Net.Rpc.call", [ "Sim.Killed"; "Net.Rpc.Timeout" ]);
+  ]
+
+(* Stdlib partial functions whose failure mode is an exception. *)
+let implicit_raises =
+  [
+    ("failwith", [ "Failure" ]);
+    ("invalid_arg", [ "Invalid_argument" ]);
+    ("Option.get", [ "Invalid_argument" ]);
+    ("List.hd", [ "Failure" ]);
+    ("List.tl", [ "Failure" ]);
+    ("Hashtbl.find", [ "Not_found" ]);
+    ("List.assoc", [ "Not_found" ]);
+    ("List.find", [ "Not_found" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exception-constructor naming                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [Pstr_exception] declarations, keyed by their dotted module path,
+   so that an unqualified raise site and a cross-module handler
+   pattern agree on one canonical name ("File_service.File_not_found"
+   both from [raise (File_not_found id)] inside file_service.ml and
+   from a [Fs.File_not_found] match arm in cluster.ml). *)
+let collect_exn_decls (files : Source.file list) =
+  let acc = ref SS.empty in
+  let rec walk prefix items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_exception te ->
+          acc :=
+            SS.add (prefix ^ "." ^ te.ptyexn_constructor.pext_name.txt) !acc
+        | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_structure sub -> walk (prefix ^ "." ^ name) sub
+          | _ -> ())
+        | _ -> ())
+      items
+  in
+  List.iter
+    (fun (f : Source.file) ->
+      match f.Source.ast with
+      | None -> ()
+      | Some items -> walk f.Source.module_name items)
+    files;
+  !acc
+
+(* Canonical name of an exception constructor used inside function
+   [fn]: a qualified path goes through the usual alias/wrapper
+   canonicalisation; an unqualified one is qualified against [fn]'s
+   enclosing module path, walking outward until a declaration
+   matches (builtins like [Failure] stay bare). *)
+let resolve_exn t env ~fn lid =
+  match Names.flatten lid with
+  | [ c ] ->
+    let prefix =
+      match String.rindex_opt fn '.' with
+      | Some i -> String.sub fn 0 i
+      | None -> ""
+    in
+    let parts = if prefix = "" then [] else String.split_on_char '.' prefix in
+    let rec up = function
+      | [] -> c
+      | parts ->
+        let cand = String.concat "." parts ^ "." ^ c in
+        if SS.mem cand t.exn_decls then cand
+        else up (List.rev (List.tl (List.rev parts)))
+    in
+    up parts
+  | path -> Names.canonical env path
+
+(* ------------------------------------------------------------------ *)
+(* Handler-arm shapes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type arm_shape = {
+  a_all : bool;  (* catch-all: matches any exception *)
+  a_ctors : string list;  (* canonical constructors matched *)
+  a_bound : string option;  (* variable bound to the exception *)
+}
+
+let rec shape_of_pat t env ~fn p =
+  match p.ppat_desc with
+  | Ppat_any -> { a_all = true; a_ctors = []; a_bound = None }
+  | Ppat_var v -> { a_all = true; a_ctors = []; a_bound = Some v.txt }
+  | Ppat_alias (p, v) ->
+    { (shape_of_pat t env ~fn p) with a_bound = Some v.txt }
+  | Ppat_construct ({ txt; _ }, _) ->
+    { a_all = false; a_ctors = [ resolve_exn t env ~fn txt ]; a_bound = None }
+  | Ppat_or (a, b) ->
+    let sa = shape_of_pat t env ~fn a and sb = shape_of_pat t env ~fn b in
+    {
+      a_all = sa.a_all || sb.a_all;
+      a_ctors = sa.a_ctors @ sb.a_ctors;
+      a_bound = (match sa.a_bound with Some _ as s -> s | None -> sb.a_bound);
+    }
+  | Ppat_constraint (p, _) | Ppat_open (_, p) -> shape_of_pat t env ~fn p
+  | _ -> { a_all = false; a_ctors = []; a_bound = None }
+
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> strip e
+  | _ -> e
+
+let is_exception_case c =
+  match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+
+let strip_exception_case c =
+  match c.pc_lhs.ppat_desc with
+  | Ppat_exception p -> { c with pc_lhs = p }
+  | _ -> c
+
+(* ------------------------------------------------------------------ *)
+(* Error mappers (exception -> E_* wire constructor)                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec fun_body_cases e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, b) | Pexp_newtype (_, b) -> fun_body_cases b
+  | Pexp_function cases -> Some cases
+  | Pexp_match (_, cases) -> Some cases
+  | _ -> None
+
+let is_e_ctor_result e =
+  match (strip e).pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) ->
+    let n = Names.last txt in
+    String.length n > 2 && String.sub n 0 2 = "E_"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  t : t;
+  lock : Lockpass.result;
+  dispatch_sites : (string * (Protocol.decl * Protocol.site)) list;
+      (* keyed by the dispatcher's function *)
+  mappers : (string, SS.t) Hashtbl.t;  (* fn -> explicitly mapped ctors *)
+  mutable emit : bool;
+  mutable changed : bool;
+  mutable findings : Finding.t list;
+}
+
+let collect_mappers t =
+  let mappers = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      match Option.map fun_body_cases n.body with
+      | Some (Some cases)
+        when List.exists (fun c -> is_e_ctor_result c.pc_rhs) cases ->
+        let mapped =
+          List.concat_map
+            (fun c -> (shape_of_pat t n.env ~fn:n.fn c.pc_lhs).a_ctors)
+            cases
+        in
+        Hashtbl.replace mappers n.fn (SS.of_list mapped)
+      | _ -> ())
+    (Callgraph.nodes_in_order t.graph);
+  mappers
+
+let map_of t fn =
+  match Hashtbl.find_opt t.raise_maps fn with
+  | Some m -> m
+  | None ->
+    let m = ref SM.empty in
+    Hashtbl.replace t.raise_maps fn m;
+    m
+
+(* What a call to [name] may let escape, by name. *)
+let callee_raises ctx name =
+  match List.assoc_opt name declared_raises with
+  | Some l -> l
+  | None ->
+    if List.exists (fun f -> name = "Service_conn." ^ f) Callgraph.conn_fields
+    then [ "Sim.Killed"; "Net.Rpc.Timeout" ]
+    else (
+      match List.assoc_opt name implicit_raises with
+      | Some l -> l
+      | None -> (
+        match Hashtbl.find_opt ctx.t.raise_maps name with
+        | Some m -> List.map fst (SM.bindings !m)
+        | None -> []))
+
+(* Witness chain fn -> ... -> raise origin, following [via] links.
+   Bounded like Mayblock.chain. *)
+let chain t fn exn =
+  let rec go acc fn depth =
+    if depth > 64 then List.rev (fn :: acc)
+    else
+      match Hashtbl.find_opt t.raise_maps fn with
+      | None -> List.rev (fn :: acc)
+      | Some m -> (
+        match SM.find_opt exn !m with
+        | Some { via = Some v; _ } -> go (fn :: acc) v (depth + 1)
+        | Some { via = None; _ } | None -> List.rev (fn :: acc))
+  in
+  go [] fn 0
+
+let witness_of ctx (node : Callgraph.node) exn (o : origin) =
+  match o.via with
+  | None -> Printf.sprintf "%s raised at %s:%d" exn node.file o.line
+  | Some v ->
+    Printf.sprintf "%s escapes via %s (%s:%d)" exn
+      (String.concat " -> " (node.fn :: chain ctx.t v exn))
+      node.file o.line
+
+let finding ctx f = if ctx.emit then ctx.findings <- f :: ctx.findings
+
+(* ------------------------------------------------------------------ *)
+(* Raise-set evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let union = SM.union (fun _ a _ -> Some a)
+
+let rec eval ctx (node : Callgraph.node) rebinds e : rmap =
+  match e.pexp_desc with
+  | Pexp_sequence (a, b) ->
+    union (eval ctx node rebinds a) (eval ctx node rebinds b)
+  | Pexp_ifthenelse (c, th, el) ->
+    let m = union (eval ctx node rebinds c) (eval ctx node rebinds th) in
+    (match el with Some el -> union m (eval ctx node rebinds el) | None -> m)
+  | Pexp_let (_, vbs, b) ->
+    List.fold_left
+      (fun acc vb -> union acc (eval ctx node rebinds vb.pvb_expr))
+      (eval ctx node rebinds b) vbs
+  | Pexp_fun (_, default, _, b) ->
+    let m = eval ctx node rebinds b in
+    (match default with
+    | Some d -> union m (eval ctx node rebinds d)
+    | None -> m)
+  | Pexp_newtype (_, b) -> eval ctx node rebinds b
+  | Pexp_function cases ->
+    List.fold_left
+      (fun acc c ->
+        let acc =
+          match c.pc_guard with
+          | Some g -> union acc (eval ctx node rebinds g)
+          | None -> acc
+        in
+        union acc (eval ctx node rebinds c.pc_rhs))
+      SM.empty cases
+  | Pexp_try (b, cases) ->
+    handle ctx node rebinds ~body_map:(eval ctx node rebinds b) ~cases
+  | Pexp_match (scrut, cases) ->
+    let exn_cases, val_cases = List.partition is_exception_case cases in
+    let scrut_map = eval ctx node rebinds scrut in
+    let scrut_map =
+      if exn_cases = [] then scrut_map
+      else
+        handle ctx node rebinds ~body_map:scrut_map
+          ~cases:(List.map strip_exception_case exn_cases)
+    in
+    List.fold_left
+      (fun acc c ->
+        let acc =
+          match c.pc_guard with
+          | Some g -> union acc (eval ctx node rebinds g)
+          | None -> acc
+        in
+        union acc (eval ctx node rebinds c.pc_rhs))
+      scrut_map val_cases
+  | Pexp_apply (f, args) -> apply ctx node rebinds e f args
+  | Pexp_ident _ -> (
+    (* A bare reference passed as a value: the typical higher-order
+       wrappers run it on the caller's path (same convention as the
+       call graph). *)
+    match Callgraph.callee_name ctx.t.graph node.env e with
+    | Some n ->
+      List.fold_left
+        (fun acc exn ->
+          if SM.mem exn acc then acc
+          else
+            SM.add exn
+              { via = Some n; line = Callgraph.line_of_loc e.pexp_loc }
+              acc)
+        SM.empty (callee_raises ctx n)
+    | None -> SM.empty)
+  | _ -> fallback ctx node rebinds e
+
+and fallback ctx node rebinds e =
+  let acc = ref SM.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e' -> acc := union !acc (eval ctx node rebinds e'));
+    }
+  in
+  Ast_iterator.default_iterator.expr it e;
+  !acc
+
+and apply ctx node rebinds e f args =
+  let line = Callgraph.line_of_loc e.pexp_loc in
+  let eval_args () =
+    List.fold_left
+      (fun acc (_, a) -> union acc (eval ctx node rebinds a))
+      SM.empty args
+  in
+  match Callgraph.callee_name ctx.t.graph node.env f with
+  | Some ("raise" | "raise_notrace") -> (
+    match Lockpass.nolabel_args args with
+    | a :: _ -> (
+      match (strip a).pexp_desc with
+      | Pexp_construct ({ txt; _ }, arg) ->
+        let m =
+          SM.singleton
+            (resolve_exn ctx.t node.env ~fn:node.fn txt)
+            { via = None; line }
+        in
+        (match arg with
+        | Some ae -> union m (eval ctx node rebinds ae)
+        | None -> m)
+      | Pexp_ident { txt = Longident.Lident v; _ }
+        when List.mem_assoc v rebinds ->
+        (* [raise e] of the handler-bound exception: re-raises exactly
+           what the arm caught. *)
+        List.assoc v rebinds
+      | _ -> SM.singleton any_exn { via = None; line })
+    | [] -> SM.singleton any_exn { via = None; line })
+  | Some n when List.mem n Callgraph.spawn_like ->
+    (* The closure runs in another process: evaluate it for its own
+       findings, but its raises never reach the spawner. *)
+    List.iter (fun (_, a) -> ignore (eval ctx node rebinds a)) args;
+    SM.empty
+  | Some n ->
+    let m =
+      List.fold_left
+        (fun acc exn ->
+          if SM.mem exn acc then acc
+          else SM.add exn { via = Some n; line } acc)
+        (eval_args ()) (callee_raises ctx n)
+    in
+    m
+  | None -> union (eval ctx node rebinds f) (eval_args ())
+
+(* [try]/[match-exception] handler semantics over a body's raise map;
+   also hosts the swallowed-control-exn and unmapped-wire-error
+   checks, which are properties of individual arms. *)
+and handle ctx node rebinds ~body_map ~cases =
+  let remaining = ref body_map in
+  let out = ref SM.empty in
+  List.iter
+    (fun c ->
+      let shape = shape_of_pat ctx.t node.env ~fn:node.fn c.pc_lhs in
+      let caught =
+        if shape.a_all then !remaining
+        else SM.filter (fun k _ -> List.mem k shape.a_ctors) !remaining
+      in
+      let rebinds' =
+        match shape.a_bound with
+        | Some v -> (v, caught) :: rebinds
+        | None -> rebinds
+      in
+      (match c.pc_guard with
+      | Some g -> out := union !out (eval ctx node rebinds' g)
+      | None -> ());
+      let arm_map = eval ctx node rebinds' c.pc_rhs in
+      let guarded = c.pc_guard <> None in
+      if ctx.emit && (not guarded) && shape.a_all then begin
+        let swallowed =
+          List.filter
+            (fun cx -> SM.mem cx caught && not (SM.mem cx arm_map))
+            control_exns
+        in
+        match swallowed with
+        | [] -> ()
+        | exn :: _ ->
+          finding ctx
+            (Finding.v ~symbol:node.fn
+               ~witness:[ witness_of ctx node exn (SM.find exn caught) ]
+               ~rule:"swallowed-control-exn" ~file:node.file
+               ~line:(Callgraph.line_of_loc c.pc_lhs.ppat_loc)
+               ~slug:exn
+               (Printf.sprintf
+                  "catch-all arm absorbs the %s control exception without \
+                   re-raising it; a killed process would survive its kill \
+                   point — match it explicitly and re-raise"
+                  exn))
+      end;
+      if ctx.emit && not guarded then check_unmapped ctx node c caught;
+      if not guarded then
+        remaining :=
+          (if shape.a_all then SM.empty
+           else
+             SM.filter (fun k _ -> not (List.mem k shape.a_ctors)) !remaining);
+      out := union !out arm_map)
+    cases;
+  union !remaining !out
+
+(* A dispatcher's handler arm that routes through an error mapper:
+   everything the arm can catch that the mapper only catch-alls is a
+   wire error the protocol cannot name. *)
+and check_unmapped ctx node c caught =
+  match List.assoc_opt node.Callgraph.fn ctx.dispatch_sites with
+  | None -> ()
+  | Some (decl, _) -> (
+    match mapper_in ctx node c.pc_rhs with
+    | None -> ()
+    | Some (mname, mapped) ->
+      SM.iter
+        (fun exn o ->
+          (* Only exceptions this codebase declares: a stdlib
+             Not_found falling into the mapper's catch-all is a
+             programming error, not missing wire vocabulary. *)
+          if
+            exn <> any_exn
+            && (not (List.mem exn control_exns))
+            && SS.mem exn ctx.t.exn_decls
+            && not (SS.mem exn mapped)
+          then
+            finding ctx
+              (Finding.v ~symbol:node.fn
+                 ~witness:
+                   [
+                     witness_of ctx node exn o;
+                     Printf.sprintf
+                       "error mapper %s has no arm for it (declared wire \
+                        errors at %s:%d)"
+                       mname decl.Protocol.d_file decl.Protocol.d_line;
+                   ]
+                 ~rule:"unmapped-wire-error" ~file:node.file
+                 ~line:(Callgraph.line_of_loc c.pc_lhs.ppat_loc)
+                 ~slug:exn
+                 (Printf.sprintf
+                    "exception %s can reach dispatcher %s but %s maps it \
+                     only through the catch-all; add an explicit arm so the \
+                     wire protocol names the failure"
+                    exn node.fn mname)))
+        caught)
+
+and mapper_in ctx node e =
+  let found = ref None in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+            let n =
+              Names.resolve_lid node.Callgraph.env
+                ~defined:(Callgraph.defined ctx.t.graph)
+                txt
+            in
+            match Hashtbl.find_opt ctx.mappers n with
+            | Some mapped when !found = None -> found := Some (n, mapped)
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Effect scan: leak-on-raise and ivar-unfilled-on-raise               *)
+(* ------------------------------------------------------------------ *)
+
+(* Lockpass-style abstract walk in evaluation order, tracking the
+   held tokens, the enclosing handlers, the enclosing [Fun.protect]
+   depth, and whether an escaping raise is already possible on the
+   current path. *)
+
+type est = {
+  mutable lm : bool;
+  mutable held : string list;
+  mutable raised : bool;
+  mutable raise_info : (string * string * int) option;
+      (* exn, source callee ("" = direct raise), line *)
+}
+
+let scan_effects ctx (node : Callgraph.node) =
+  let fn = node.fn in
+  let scoped =
+    (* A function that intentionally returns holding (2PL) is judged
+       by its caller's release discipline, not here. *)
+    match Hashtbl.find_opt ctx.lock.Lockpass.summaries fn with
+    | Some s -> not s.Lockpass.holds_on_return
+    | None -> true
+  in
+  let st = { lm = false; held = []; raised = false; raise_info = None } in
+  let protect = ref 0 in
+  let handlers = ref [] in
+  let leak_reported = ref [] in
+  let ivar_reported = ref false in
+  let escaping names =
+    List.filter
+      (fun exn ->
+        not
+          (List.exists
+             (fun (all, cs) -> all || List.mem exn cs)
+             !handlers))
+      names
+  in
+  let at_raise_point ~callee names line =
+    match escaping names with
+    | [] -> ()
+    | exn :: _ ->
+      if st.raise_info = None then st.raise_info <- Some (exn, callee, line);
+      st.raised <- true;
+      if !protect = 0 && scoped && (st.lm || st.held <> []) then begin
+        let tok =
+          match st.held with tok :: _ -> tok | [] -> "Lock_manager grant"
+        in
+        if not (List.mem tok !leak_reported) then begin
+          leak_reported := tok :: !leak_reported;
+          let source =
+            if callee = "" then Printf.sprintf "a raise at %s:%d" node.file line
+            else
+              Printf.sprintf "%s (%s)" callee
+                (String.concat " -> " (fn :: chain ctx.t callee exn))
+          in
+          finding ctx
+            (Finding.v ~symbol:fn
+               ~witness:
+                 [
+                   Printf.sprintf "held here: %s"
+                     (String.concat ", "
+                        (if st.held = [] then [ "Lock_manager grant" ]
+                         else st.held));
+                   Printf.sprintf "escaping %s from %s" exn source;
+                 ]
+               ~rule:"leak-on-raise" ~file:node.file ~line ~slug:tok
+               (Printf.sprintf
+                  "token %s is held when %s may raise %s with no release on \
+                   the raise path; wrap the critical section in Fun.protect \
+                   or Sim.Semaphore.with_acquire"
+                  tok
+                  (if callee = "" then "this path" else callee)
+                  exn))
+        end
+      end
+  in
+  let add_tok tok =
+    if not (List.mem tok st.held) then st.held <- st.held @ [ tok ]
+  in
+  let snap () = (st.lm, st.held, st.raised, st.raise_info) in
+  let restore (lm, held, raised, ri) =
+    st.lm <- lm;
+    st.held <- held;
+    st.raised <- raised;
+    st.raise_info <- ri
+  in
+  let rec scan e =
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) ->
+      scan a;
+      scan b
+    | Pexp_ifthenelse (c, th, el) ->
+      scan c;
+      branch ~include_pre:(el = None) (th :: Option.to_list el)
+    | Pexp_try (b, cases) ->
+      with_handlers cases (fun () -> scan b);
+      branch ~include_pre:true
+        (List.concat_map
+           (fun c -> Option.to_list c.pc_guard @ [ c.pc_rhs ])
+           cases)
+    | Pexp_match (scrut, cases) ->
+      let exn_cases = List.filter is_exception_case cases in
+      if exn_cases = [] then scan scrut
+      else
+        with_handlers
+          (List.map strip_exception_case exn_cases)
+          (fun () -> scan scrut);
+      branch ~include_pre:false
+        (List.concat_map
+           (fun c -> Option.to_list c.pc_guard @ [ c.pc_rhs ])
+           cases)
+    | Pexp_function cases ->
+      branch ~include_pre:true
+        (List.concat_map
+           (fun c -> Option.to_list c.pc_guard @ [ c.pc_rhs ])
+           cases)
+    | Pexp_while (c, b) ->
+      scan c;
+      scan b
+    | Pexp_apply (f, args) -> apply_eff e f args
+    | _ -> fallback e
+  and fallback e =
+    let it =
+      { Ast_iterator.default_iterator with expr = (fun _ e' -> scan e') }
+    in
+    Ast_iterator.default_iterator.expr it e
+  and with_handlers cases body =
+    let shapes =
+      List.filter_map
+        (fun c ->
+          if c.pc_guard <> None then None
+          else
+            Some (shape_of_pat ctx.t node.Callgraph.env ~fn c.pc_lhs))
+        cases
+    in
+    let combined =
+      ( List.exists (fun s -> s.a_all) shapes,
+        List.concat_map (fun s -> s.a_ctors) shapes )
+    in
+    handlers := combined :: !handlers;
+    body ();
+    handlers := List.tl !handlers
+  and branch ~include_pre exprs =
+    match exprs with
+    | [] -> ()
+    | _ ->
+      let pre = snap () in
+      let posts =
+        List.map
+          (fun e ->
+            restore pre;
+            scan e;
+            snap ())
+          exprs
+      in
+      let posts = if include_pre then pre :: posts else posts in
+      st.lm <- List.exists (fun (lm, _, _, _) -> lm) posts;
+      st.raised <- List.exists (fun (_, _, r, _) -> r) posts;
+      st.raise_info <-
+        List.fold_left
+          (fun acc (_, _, _, ri) ->
+            match acc with Some _ -> acc | None -> ri)
+          None posts;
+      st.held <-
+        List.fold_left
+          (fun acc (_, held, _, _) ->
+            List.fold_left
+              (fun acc t -> if List.mem t acc then acc else acc @ [ t ])
+              acc held)
+          [] posts
+  and apply_eff e f args =
+    let line = Callgraph.line_of_loc e.pexp_loc in
+    match Callgraph.callee_name ctx.t.graph node.Callgraph.env f with
+    | Some ("raise" | "raise_notrace") ->
+      let names =
+        match Lockpass.nolabel_args args with
+        | a :: _ -> (
+          match (strip a).pexp_desc with
+          | Pexp_construct ({ txt; _ }, _) ->
+            [ resolve_exn ctx.t node.Callgraph.env ~fn txt ]
+          | _ -> [ any_exn ])
+        | [] -> [ any_exn ]
+      in
+      at_raise_point ~callee:"" names line
+    | Some n when List.mem n Callgraph.spawn_like ->
+      (* Each spawned closure is its own process: fresh state, and
+         nothing it does flows back to the spawner's path. *)
+      List.iter
+        (fun (_, a) ->
+          let saved = (snap (), !protect, !handlers) in
+          st.lm <- false;
+          st.held <- [];
+          st.raised <- false;
+          st.raise_info <- None;
+          protect := 0;
+          handlers := [];
+          scan a;
+          let s, p, h = saved in
+          restore s;
+          protect := p;
+          handlers := h)
+        args
+    | Some "Fun.protect" ->
+      incr protect;
+      List.iter scan (Lockpass.nolabel_args args);
+      decr protect;
+      List.iter
+        (fun (l, a) ->
+          match l with
+          | Asttypes.Labelled "finally" | Asttypes.Optional "finally" ->
+            scan a
+          | _ -> ())
+        args
+    | Some n when n = Lockpass.sem_with_acquire ->
+      (* Structurally protected: the token cannot leak, and like
+         Fun.protect the enclosing tokens are assumed released by the
+         combinator discipline. *)
+      at_raise_point ~callee:n (callee_raises ctx n) line;
+      incr protect;
+      List.iter (fun (_, a) -> scan a) args;
+      decr protect
+    | Some n when List.mem n Lockpass.lm_acquires ->
+      List.iter (fun (_, a) -> scan a) args;
+      at_raise_point ~callee:n (callee_raises ctx n) line;
+      st.lm <- true;
+      (match Lockpass.nolabel_args args with
+      | _ :: item :: _ -> (
+        match Lockpass.render_item item with
+        | Some tok -> add_tok tok
+        | None -> ())
+      | _ -> ())
+    | Some n when n = Lockpass.lm_release ->
+      List.iter (fun (_, a) -> scan a) args;
+      st.lm <- false;
+      st.held <- List.filter Lockpass.is_sem_token st.held
+    | Some n when n = Lockpass.sem_acquire ->
+      List.iter (fun (_, a) -> scan a) args;
+      at_raise_point ~callee:n (callee_raises ctx n) line;
+      (match Lockpass.nolabel_args args with
+      | sem :: _ -> (
+        match Lockpass.render_sem sem with
+        | Some tok -> add_tok tok
+        | None -> ())
+      | _ -> ())
+    | Some n when n = Lockpass.sem_release ->
+      List.iter (fun (_, a) -> scan a) args;
+      (match Lockpass.nolabel_args args with
+      | sem :: _ -> (
+        match Lockpass.render_sem sem with
+        | Some tok -> st.held <- List.filter (fun t -> t <> tok) st.held
+        | None -> ())
+      | _ -> ())
+    | Some "Sim.Ivar.fill" ->
+      List.iter (fun (_, a) -> scan a) args;
+      if st.raised && not !ivar_reported then begin
+        ivar_reported := true;
+        let why =
+          match st.raise_info with
+          | Some (exn, "", l) ->
+            Printf.sprintf "an earlier raise of %s at %s:%d can skip it" exn
+              node.file l
+          | Some (exn, callee, l) ->
+            Printf.sprintf
+              "an earlier call to %s (%s:%d) can raise %s and skip it"
+              callee node.file l exn
+          | None -> "an earlier escaping raise can skip it"
+        in
+        finding ctx
+          (Finding.v ~symbol:fn ~witness:[ why ]
+             ~rule:"ivar-unfilled-on-raise" ~file:node.file ~line
+             ~slug:"Sim.Ivar.fill"
+             (Printf.sprintf
+                "Ivar.fill is only reached when no earlier call raises — %s \
+                 and strands every reader; fill from the handler or a \
+                 Fun.protect finally"
+                why))
+      end
+    | Some n ->
+      List.iter (fun (_, a) -> scan a) args;
+      at_raise_point ~callee:n (callee_raises ctx n) line;
+      (match Hashtbl.find_opt ctx.lock.Lockpass.summaries n with
+      | Some gs when Callgraph.defined ctx.t.graph n ->
+        if gs.Lockpass.holds_on_return then begin
+          st.lm <- true;
+          List.iter (fun (v, _) -> add_tok v) gs.Lockpass.acquires
+        end
+        else if gs.Lockpass.releases then begin
+          st.lm <- false;
+          st.held <- List.filter Lockpass.is_sem_token st.held
+        end
+      | _ -> ())
+    | None ->
+      scan f;
+      List.iter (fun (_, a) -> scan a) args
+  in
+  match node.Callgraph.body with Some b -> scan b | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_escape_findings ctx =
+  List.iter
+    (fun (_, (decl, site)) ->
+      match Hashtbl.find_opt ctx.t.raise_maps site.Protocol.s_fn with
+      | None -> ()
+      | Some m ->
+        SM.iter
+          (fun exn o ->
+            if exn <> any_exn && not (List.mem exn control_exns) then
+              match Callgraph.node ctx.t.graph site.Protocol.s_fn with
+              | None -> ()
+              | Some node ->
+                finding ctx
+                  (Finding.v ~symbol:site.Protocol.s_fn
+                     ~witness:
+                       [
+                         witness_of ctx node exn o;
+                         Printf.sprintf "%s.%s dispatched at %s:%d"
+                           decl.Protocol.d_module decl.Protocol.d_type
+                           site.Protocol.s_file site.Protocol.s_line;
+                       ]
+                     ~rule:"escaping-raise-into-dispatch"
+                     ~file:site.Protocol.s_file ~line:site.Protocol.s_line
+                     ~slug:exn
+                     (Printf.sprintf
+                        "exception %s can escape request dispatcher %s, \
+                         killing the serving process instead of answering \
+                         Err; catch it and encode a wire error"
+                        exn site.Protocol.s_fn)))
+          !m)
+    ctx.dispatch_sites
+
+let run graph (lock : Lockpass.result) =
+  let t =
+    {
+      graph;
+      exn_decls = collect_exn_decls graph.Callgraph.files;
+      raise_maps = Hashtbl.create 256;
+    }
+  in
+  let ctx =
+    {
+      t;
+      lock;
+      dispatch_sites =
+        List.map
+          (fun (d, s) -> (s.Protocol.s_fn, (d, s)))
+          (Protocol.dispatchers graph);
+      mappers = Hashtbl.create 8;
+      emit = false;
+      changed = true;
+      findings = [];
+    }
+  in
+  Hashtbl.iter (fun k v -> Hashtbl.replace ctx.mappers k v)
+    (collect_mappers t);
+  let rounds = ref 0 in
+  while ctx.changed && !rounds < 32 do
+    ctx.changed <- false;
+    incr rounds;
+    List.iter
+      (fun (n : Callgraph.node) ->
+        match n.body with
+        | None -> ()
+        | Some b ->
+          let m = eval ctx n [] b in
+          let cur = map_of t n.fn in
+          let merged = union !cur m in
+          if SM.cardinal merged <> SM.cardinal !cur then begin
+            cur := merged;
+            ctx.changed <- true
+          end)
+      (Callgraph.nodes_in_order graph)
+  done;
+  ctx.emit <- true;
+  List.iter
+    (fun (n : Callgraph.node) ->
+      (match n.body with
+      | None -> ()
+      | Some b -> ignore (eval ctx n [] b));
+      scan_effects ctx n)
+    (Callgraph.nodes_in_order graph);
+  dispatch_escape_findings ctx;
+  (t, Finding.sort ctx.findings)
+
+let raises t fn =
+  match Hashtbl.find_opt t.raise_maps fn with
+  | None -> []
+  | Some m -> List.map fst (SM.bindings !m)

@@ -57,13 +57,20 @@ let to_json f =
     (String.concat "," (List.map q f.witness))
     (q (key f))
 
-let list_to_json ?(suppressed = 0) ?(parse_failures = []) fs =
+let list_to_json ?(suppressed = 0) ?(parse_failures = []) ?(timings = []) fs =
   let q s = "\"" ^ json_escape s ^ "\"" in
   Printf.sprintf
-    "{\"findings\":[%s],\"suppressed\":%d,\"parse_failures\":[%s]}"
+    "{\"findings\":[%s],\"suppressed\":%d,\"parse_failures\":[%s],\
+     \"timings\":[%s]}"
     (String.concat "," (List.map to_json fs))
     suppressed
     (String.concat "," (List.map q parse_failures))
+    (String.concat ","
+       (List.map
+          (fun (pass, secs) ->
+            Printf.sprintf "{\"pass\":%s,\"ms\":%.3f}" (q pass)
+              (secs *. 1000.))
+          timings))
 
 (* ------------------------------------------------------------------ *)
 (* Baseline                                                            *)

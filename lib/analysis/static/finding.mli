@@ -40,8 +40,14 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 
 val list_to_json :
-  ?suppressed:int -> ?parse_failures:string list -> t list -> string
-(** [{"findings":[...],"suppressed":n,"parse_failures":[...]}]. *)
+  ?suppressed:int ->
+  ?parse_failures:string list ->
+  ?timings:(string * float) list ->
+  t list ->
+  string
+(** [{"findings":[...],"suppressed":n,"parse_failures":[...],
+    "timings":[{"pass":...,"ms":...},...]}] — [timings] are
+    (pass, seconds) pairs, rendered in milliseconds. *)
 
 val baseline_of_string : string -> string list
 (** Parse a baseline file's accepted {!key} list. *)

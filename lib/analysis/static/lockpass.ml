@@ -88,6 +88,7 @@ let lm_acquires = [ "Lock_manager.acquire"; "Lock_manager.try_acquire" ]
 let lm_release = "Lock_manager.release_all"
 let sem_acquire = "Sim.Semaphore.acquire"
 let sem_release = "Sim.Semaphore.release"
+let sem_with_acquire = "Sim.Semaphore.with_acquire"
 let cell_update = "Sim.Cell.update"
 
 let nolabel_args args =
@@ -318,6 +319,20 @@ let scan_node ctx (node : Callgraph.node) =
           on_new_token tok line [ fn ]
         | None -> ())
       | _ -> ())
+    | Some n when n = sem_with_acquire ->
+      (* Scoped acquisition: the closure runs with the token held and
+         the release is structural, so the token cannot escape the
+         call. *)
+      (match nolabel_args args with
+      | sem :: rest ->
+        (match render_sem sem with
+        | Some tok ->
+          add_acquire tok [ fn ];
+          on_new_token tok line [ fn ];
+          List.iter scan rest;
+          st.toks <- List.filter (fun t -> t <> tok) st.toks
+        | None -> List.iter scan rest)
+      | [] -> ())
     | Some n when n = sem_release ->
       List.iter (fun (_, a) -> scan a) args;
       (match nolabel_args args with

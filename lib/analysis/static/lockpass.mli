@@ -45,3 +45,31 @@ type result = {
 }
 
 val run : Callgraph.t -> Mayblock.t -> result
+
+(** {2 Shared vocabulary}
+
+    The exception-flow pass tracks the same tokens through the same
+    acquire/release primitives; exporting the canonical names and the
+    token renderers keeps the two passes in agreement. *)
+
+val lm_acquires : string list
+val lm_release : string
+val sem_acquire : string
+val sem_release : string
+
+val sem_with_acquire : string
+(** [Sim.Semaphore.with_acquire] — scoped, release-on-raise by
+    construction; both passes treat it as leak-free. *)
+
+val nolabel_args :
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression list
+
+val render_item : Parsetree.expression -> token option
+(** Render a [Lock_manager] item expression ("File_item 1",
+    "Page_item(fid,i)"); [None] when an argument is dynamic. *)
+
+val render_sem : Parsetree.expression -> token option
+(** Render a semaphore acquisition path as a ["sem:"]-prefixed token. *)
+
+val is_sem_token : token -> bool

@@ -20,6 +20,7 @@ let seeds =
     ("Sim.Condition.wait_timeout", Time);
     ("Sim.Ivar.read", Time);
     ("Sim.Semaphore.acquire", Lock);
+    ("Sim.Semaphore.with_acquire", Lock);
     ("Lock_manager.acquire", Lock);
     ("Lock_manager.try_acquire", Lock);
     ("Net.recv", Remote);
@@ -35,7 +36,7 @@ let seeds =
    multi-lock transaction as time-blocking). *)
 let acquire_specials =
   [ "Lock_manager.acquire"; "Lock_manager.try_acquire";
-    "Sim.Semaphore.acquire" ]
+    "Sim.Semaphore.acquire"; "Sim.Semaphore.with_acquire" ]
 
 let seed_class name =
   if List.exists (fun f -> name = "Service_conn." ^ f) Callgraph.conn_fields

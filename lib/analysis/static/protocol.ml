@@ -172,3 +172,30 @@ let run (graph : Callgraph.t) =
     List.concat_map sites_of_node (Callgraph.nodes_in_order graph)
   in
   Finding.sort (List.concat_map (check_decl sites) decls)
+
+(* The exception-flow pass needs to know which functions host a
+   request dispatcher — same coverage scoring as [check_decl], but a
+   fully covered dispatcher also counts (it still routes every
+   request, so an escaping raise there still kills the serving
+   process), and EVERY site matching a majority of the request
+   constructors qualifies, not just the best one: a request type
+   typically also has pure label/size/route matches, and picking a
+   single winner among full-coverage ties would hide the real
+   dispatcher behind whichever pure match came first. Non-raising
+   sites cost the exception pass nothing. *)
+let dispatchers (graph : Callgraph.t) =
+  let decls = List.concat_map decls_of_file graph.Callgraph.files in
+  let sites =
+    List.concat_map sites_of_node (Callgraph.nodes_in_order graph)
+  in
+  List.concat_map
+    (fun d ->
+      if d.d_type <> "request" then []
+      else
+        List.filter_map
+          (fun s ->
+            let k = List.length (inter s.s_ctors d.d_ctors) in
+            if k > 0 && k * 2 >= List.length d.d_ctors then Some (d, s)
+            else None)
+          sites)
+    decls

@@ -5,4 +5,30 @@
     covers at least half of the type (small result-extractor matches
     like [expect_int] are not dispatchers). *)
 
+type decl = {
+  d_module : string;
+  d_type : string;  (** "request" or "response" *)
+  d_file : string;
+  d_line : int;
+  d_ctors : string list;
+}
+(** A protocol variant declaration. *)
+
+type site = {
+  s_fn : string;
+  s_file : string;
+  s_line : int;
+  s_ctors : string list;  (** head constructors matched *)
+  s_wildcard : bool;
+}
+(** A match site, as a candidate dispatcher. *)
+
 val run : Callgraph.t -> Finding.t list
+
+val dispatchers : Callgraph.t -> (decl * site) list
+(** Every match site covering at least half of a [request]
+    declaration's constructors — including fully covered ones, which
+    [run] does not report on, and including pure label/route matches
+    (they raise nothing, so they stay silent downstream). Consumed by
+    the exception-flow pass: an exception escaping one of these
+    sites' functions kills the serving process. *)

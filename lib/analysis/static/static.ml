@@ -10,18 +10,32 @@ type report = {
   suppressed : int;
   parse_failures : (string * string) list;
   files : Source.file list;
+  timings : (string * float) list;
 }
 
 let finding_of_violation (v : Lint.violation) =
   Finding.v ~rule:v.Lint.rule ~file:v.Lint.file ~line:v.Lint.line
     ~slug:"text-fallback" v.Lint.message
 
-let analyze_files files =
-  let graph = Callgraph.build files in
-  let mb = Mayblock.compute graph in
-  let lock = Lockpass.run graph mb in
-  let proto = Protocol.run graph in
-  let ast = Ast_rules.run files in
+(* [clock] defaults to a constant so the library stays free of host
+   clocks (the host-clock-hygiene rule); the CLI passes [Sys.time] to
+   get real per-pass wall-time in [--json]. *)
+let analyze_files ?(clock = fun () -> 0.) files =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = clock () in
+    let r = f () in
+    timings := (name, clock () -. t0) :: !timings;
+    r
+  in
+  let graph = timed "callgraph" (fun () -> Callgraph.build files) in
+  let mb = timed "mayblock" (fun () -> Mayblock.compute graph) in
+  let lock = timed "lockpass" (fun () -> Lockpass.run graph mb) in
+  let proto = timed "protocol" (fun () -> Protocol.run graph) in
+  let _exn, exn_findings =
+    timed "exnflow" (fun () -> Exnflow.run graph lock)
+  in
+  let ast = timed "ast-rules" (fun () -> Ast_rules.run files) in
   (* Files the compiler frontend rejects still get the token engine:
      a syntax error must not hide a file from analysis. *)
   let fallback =
@@ -34,7 +48,10 @@ let analyze_files files =
             (Lint.lint_source ~file:f.Source.path f.Source.src))
       files
   in
-  let all = Finding.sort (lock.Lockpass.findings @ proto @ ast @ fallback) in
+  let all =
+    Finding.sort
+      (lock.Lockpass.findings @ proto @ exn_findings @ ast @ fallback)
+  in
   let suppressions_for path =
     match
       List.find_opt (fun (f : Source.file) -> f.Source.path = path) files
@@ -60,9 +77,11 @@ let analyze_files files =
           Option.map (fun e -> (f.Source.path, e)) f.Source.parse_error)
         files;
     files;
+    timings = List.rev !timings;
   }
 
-let analyze ~dirs = analyze_files (List.concat_map Source.load_dir dirs)
+let analyze ?clock ~dirs () =
+  analyze_files ?clock (List.concat_map Source.load_dir dirs)
 
 let against_baseline report ~baseline =
   let keys = List.map Finding.key report.findings in
@@ -114,7 +133,7 @@ let expected_rules src =
             (String.map (fun c -> if c = '\n' then ' ' else c) stop)))
 
 let self_test ~dir =
-  let report = analyze ~dirs:[ dir ] in
+  let report = analyze ~dirs:[ dir ] () in
   let ok = ref true in
   let out = ref [] in
   let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
@@ -147,11 +166,17 @@ let self_test ~dir =
     report.files;
   (* The headline rules must come with evidence: a finding without a
      witness chain is useless to the reader and a regression here. *)
+  let witnessed_rules =
+    [
+      "may-block-under-lock"; "lock-order-cycle"; "swallowed-control-exn";
+      "leak-on-raise"; "ivar-unfilled-on-raise"; "unmapped-wire-error";
+      "escaping-raise-into-dispatch";
+    ]
+  in
   List.iter
     (fun (x : Finding.t) ->
       if
-        (x.Finding.rule = "may-block-under-lock"
-        || x.Finding.rule = "lock-order-cycle")
+        List.mem x.Finding.rule witnessed_rules
         && x.Finding.witness = []
       then begin
         ok := false;

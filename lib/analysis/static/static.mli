@@ -10,11 +10,16 @@ type report = {
   suppressed : int;
   parse_failures : (string * string) list;  (** path, error *)
   files : Source.file list;
+  timings : (string * float) list;
+      (** per-pass wall-time (seconds) in run order; all zero unless
+          a [clock] was supplied *)
 }
 
-val analyze_files : Source.file list -> report
+val analyze_files : ?clock:(unit -> float) -> Source.file list -> report
+(** [clock] (e.g. [Sys.time], passed by the CLI) times each pass; the
+    default constant clock keeps the library free of host time. *)
 
-val analyze : dirs:string list -> report
+val analyze : ?clock:(unit -> float) -> dirs:string list -> unit -> report
 
 val against_baseline :
   report -> baseline:string list -> Finding.t list * string list

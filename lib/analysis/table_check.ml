@@ -179,7 +179,7 @@ let fifo_wake_order () =
                  woken := !woken @ [ id ];
                  Lm.release_all lm ~txn:id)))
         [ 2; 3; 4 ];
-      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order *)
+      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order; static-ok: leak-on-raise same justification — the probe releases via release_all right after *)
       Sim.sleep sim 1.;
       Lm.release_all lm ~txn:1;
       Sim.sleep sim 1.;
@@ -204,7 +204,7 @@ let no_overtaking () =
              match Lm.acquire lm ~txn:3 item Lm.Read_only with
              | () -> woken := !woken @ [ 3 ]
              | exception Lm.Wait_cancelled _ -> ()));
-      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order *)
+      (* static-ok: may-block-under-lock scenario orchestration: the seed grant is held across the sleep on purpose, to let the spawned waiters queue in a known order; static-ok: leak-on-raise same justification — the probe releases via release_all right after *)
       Sim.sleep sim 1.;
       Lm.release_all lm ~txn:1;
       Sim.sleep sim 1.;
@@ -223,6 +223,7 @@ let upgrade_priority () =
       let lm = fresh_lm sim in
       let item = Lm.File_item 3 in
       ignore (Lm.try_acquire lm ~txn:1 item Lm.Read_only);
+      (* static-ok: leak-on-raise lock-table probe: txn 1 holds its RO grant across the second try_acquire on purpose to seed the shared mode; cancel_waits/release_all clean up at scenario end *)
       ignore (Lm.try_acquire lm ~txn:2 item Lm.Read_only);
       let woken = ref [] in
       ignore

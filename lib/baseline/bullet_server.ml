@@ -44,8 +44,14 @@ let evict_if_needed t =
     match victim with Some (id, _) -> Hashtbl.remove t.ram id | None -> ()
   done
 
-let handle t = function
-  | Create data ->
+(* The serving process must answer every request: a storage fault
+   (disk failure, unrecoverable page, cache miss on a corrupt table)
+   becomes a wire [Error] instead of killing the server; only the
+   simulator's kill is allowed through. *)
+let handle t req =
+  try
+    match req with
+    | Create data ->
     let size = Bytes.length data in
     let fragments = max 1 ((size + frag_bytes - 1) / frag_bytes) in
     (match Block.allocate t.block ~fragments with
@@ -87,6 +93,9 @@ let handle t = function
       Hashtbl.remove t.files id;
       Hashtbl.remove t.ram id;
       Deleted)
+  with
+  | Rhodos_sim.Sim.Killed as k -> raise k
+  | e -> Error (Printexc.to_string e)
 
 let create ~net ~node ~block ~ram_cache_files =
   let rec t =

@@ -91,6 +91,7 @@ let check fs ~files ?(regions = []) () =
             claim ~owner:(Data_of fid) ~disk:r.Fit.disk ~frag:r.Fit.frag
               ~len:(r.Fit.blocks * fpb))
           attrs.Fit.runs
+      | exception (Rhodos_sim.Sim.Killed as k) -> raise k
       | exception _ -> unreadable := fid :: !unreadable)
     files;
   (* Anything allocated but never claimed has leaked. *)

@@ -84,6 +84,8 @@ type remote_error =
   | E_unresolvable of string
   | E_txn_aborted of int * string
   | E_no_space
+  | E_no_such_txn of int
+  | E_io of string
   | E_other of string
 
 exception Remote_failure of string
@@ -95,7 +97,14 @@ let to_remote_error = function
   | Ns.Already_bound p -> E_already_bound p
   | Ns.Unresolvable p | Ns.Not_a_directory p | Ns.Is_a_directory p -> E_unresolvable p
   | Txn.Aborted { txn; reason } -> E_txn_aborted (txn, reason)
+  | Txn.No_such_transaction h -> E_no_such_txn h
   | Block.No_space _ -> E_no_space
+  (* Storage-layer faults: the client cannot retry these into success,
+     but it must be able to tell "the server's disk is sick" from an
+     anonymous failure. *)
+  | ( Disk.Disk_failed _ | Rhodos_stable.Stable_store.Unrecoverable_page _
+    | Block.Not_formatted _ | Fit.Corrupt _ ) as e ->
+    E_io (Printexc.to_string e)
   | e -> E_other (Printexc.to_string e)
 
 let raise_remote = function
@@ -106,6 +115,8 @@ let raise_remote = function
   | E_unresolvable p -> raise (Ns.Unresolvable p)
   | E_txn_aborted (txn, reason) -> raise (Txn.Aborted { txn; reason })
   | E_no_space -> raise (Block.No_space { wanted_fragments = 0; free_fragments = 0 })
+  | E_no_such_txn h -> raise (Txn.No_such_transaction h)
+  | E_io s -> raise (Remote_failure s)
   | E_other s -> raise (Remote_failure s)
 
 type request =
@@ -398,7 +409,9 @@ let handle_request t server request =
       Hashtbl.remove server.s_txn_handles (gid_local h);
       Txn.tabort server.s_ts txn;
       Ok_unit
-  with e -> Err (to_remote_error e)
+  with
+  | Sim.Killed as k -> raise k
+  | e -> Err (to_remote_error e)
 
 let serve_rpc t server =
   server.s_port <-
@@ -478,6 +491,7 @@ let expect_attrs = function Ok_attrs a -> a | _ -> failwith "rhodos: protocol mi
 
 let make_fs_conn t ~from : Conn.fs_conn =
   {
+    (* static-ok: leak-on-raise branch-union artifact: holds-on-return of handle_request is unioned over all request arms, but the naming arms these stubs invoke take no locks *)
     Conn.resolve = (fun aname -> expect_int (call t ~from (R_resolve aname)));
     bind = (fun ~path ~file_id -> expect_unit (call t ~from (R_bind (path, file_id))));
     unbind = (fun path -> expect_unit (call t ~from (R_unbind path)));
@@ -533,6 +547,7 @@ let make_fs_conn t ~from : Conn.fs_conn =
 
 let make_txn_conn t ~from : Conn.txn_conn =
   {
+    (* static-ok: leak-on-raise branch-union artifact: holds-on-return of handle_request is unioned over all request arms; 2PL grants taken by the txn arms are released by tend/tabort, not by this stub *)
     Conn.tbegin = (fun () -> expect_int (call t ~from R_tbegin));
     tcreate = (fun ~locking h -> expect_int (call t ~from (R_tcreate (h, locking))));
     topen = (fun h id -> expect_unit (call t ~from (R_topen (h, id))));

@@ -770,6 +770,10 @@ module Semaphore = struct
     wake_one s s.waiters
 
   let available s = s.count
+
+  let with_acquire s f =
+    acquire s;
+    Fun.protect ~finally:(fun () -> release s) f
 end
 
 module Condition = struct

@@ -312,6 +312,11 @@ module Semaphore : sig
   val release : sem -> unit
 
   val available : sem -> int
+
+  val with_acquire : sem -> (unit -> 'a) -> 'a
+  (** [acquire], run the closure, and always [release] — including
+      when the closure raises ([Fun.protect]). The scoped form the
+      exception-flow pass treats as leak-free by construction. *)
 end
 
 module Condition : sig

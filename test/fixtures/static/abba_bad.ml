@@ -1,7 +1,10 @@
 (* Negative control: two workers take the same two locks in opposite
    orders — the classic ABBA deadlock. The lock-order pass must
-   report a cycle with a witnessing chain for each edge. *)
-(* expect: lock-order-cycle *)
+   report a cycle with a witnessing chain for each edge. The nested
+   acquire can also raise Wait_cancelled while the first grant is
+   held with no release on that path, so the exception-flow pass
+   reports the companion leak. *)
+(* expect: lock-order-cycle leak-on-raise *)
 
 let thread_one lm txn =
   Lock_manager.acquire lm ~txn (File_item 11) Iwrite;

@@ -1,14 +1,17 @@
 (* Corrected variant of abba_bad: both workers honour one global
-   lock order, so the order graph is a DAG and the pass stays
-   silent. *)
+   lock order, so the order graph is a DAG — and the nested acquire
+   sits under Fun.protect, so a cancelled wait still releases the
+   first grant. Both passes stay silent. *)
 (* expect-clean *)
 
 let thread_one lm txn =
   Lock_manager.acquire lm ~txn (File_item 21) Iwrite;
-  Lock_manager.acquire lm ~txn (File_item 22) Iwrite;
-  Lock_manager.release_all lm ~txn
+  Fun.protect
+    ~finally:(fun () -> Lock_manager.release_all lm ~txn)
+    (fun () -> Lock_manager.acquire lm ~txn (File_item 22) Iwrite)
 
 let thread_two lm txn =
   Lock_manager.acquire lm ~txn (File_item 21) Iwrite;
-  Lock_manager.acquire lm ~txn (File_item 22) Iwrite;
-  Lock_manager.release_all lm ~txn
+  Fun.protect
+    ~finally:(fun () -> Lock_manager.release_all lm ~txn)
+    (fun () -> Lock_manager.acquire lm ~txn (File_item 22) Iwrite)

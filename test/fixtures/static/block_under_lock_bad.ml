@@ -2,8 +2,10 @@
    grant is held — the headline lock-held-across-RPC hazard. The
    blocking call is one hop down the call graph, so the finding must
    come with the interprocedural witness chain
-   read_locked -> fetch_remote -> Service_conn.pread. *)
-(* expect: may-block-under-lock *)
+   read_locked -> fetch_remote -> Service_conn.pread. The same call
+   can raise while the grant is held, with no release on that path,
+   so the exception-flow pass reports the companion leak. *)
+(* expect: may-block-under-lock leak-on-raise *)
 
 let fetch_remote conn fid = conn.Service_conn.pread fid 0 4096
 

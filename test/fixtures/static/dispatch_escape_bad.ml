@@ -1,0 +1,12 @@
+(* Negative control: a request dispatcher with no handler at all — a
+   raise from one hop below the dispatch arm escapes the serving
+   process instead of being encoded as a wire error. *)
+(* expect: escaping-raise-into-dispatch *)
+
+exception Zbad_block of int
+
+type request = Zread of int | Zfree of int
+
+let zfetch pos = if pos < 0 then raise (Zbad_block pos) else pos
+
+let zserve req = match req with Zread pos -> zfetch pos | Zfree pos -> pos

@@ -1,0 +1,15 @@
+(* Positive control for dispatch_escape_bad: the dispatch is wrapped,
+   the fault is answered in-band, and only the simulator's kill — a
+   control exception, exempt from the rule — is re-raised. *)
+(* expect-clean *)
+
+exception Wbad_block of int
+
+type request = Wread of int | Wfree of int
+
+let wfetch pos = if pos < 0 then raise (Wbad_block pos) else pos
+
+let wserve req =
+  try match req with Wread pos -> wfetch pos | Wfree pos -> pos with
+  | Sim.Killed as k -> raise k
+  | Wbad_block _ -> 0

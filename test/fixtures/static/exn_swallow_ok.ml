@@ -1,0 +1,12 @@
+(* Positive control for exn_swallow_bad: the same catch-all, but the
+   control exception is matched explicitly and re-raised first — the
+   cluster.ml with_transaction shape. The handler-subtraction step
+   must see that the catch-all can no longer observe Sim.Killed. *)
+(* expect-clean *)
+
+let slow_probe_g sim = Sim.sleep sim 5.0
+
+let guarded_probe sim =
+  try slow_probe_g sim with
+  | Sim.Killed as k -> raise k
+  | _ -> ()

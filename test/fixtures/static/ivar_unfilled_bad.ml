@@ -1,0 +1,11 @@
+(* Negative control: a producer that computes through a raising
+   service call and only then fills the ivar. If the call raises, the
+   fill is skipped and every reader of the ivar is parked forever —
+   an exception turned into a hang. *)
+(* expect: ivar-unfilled-on-raise *)
+
+let read_block conn fid = conn.Service_conn.pread fid 0 512
+
+let producer conn fid iv =
+  let data = read_block conn fid in
+  Sim.Ivar.fill iv (Ok data)

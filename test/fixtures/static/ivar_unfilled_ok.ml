@@ -1,0 +1,14 @@
+(* Positive control for ivar_unfilled_bad: the disciplined shape —
+   the failure is caught, delivered to the waiters through the ivar
+   as an Error, and only then re-raised. Every reader wakes either
+   way, so the pass must stay silent. *)
+(* expect-clean *)
+
+let read_block_s conn fid = conn.Service_conn.pread fid 0 512
+
+let producer_safe conn fid iv =
+  match read_block_s conn fid with
+  | data -> Sim.Ivar.fill iv (Ok data)
+  | exception e ->
+    Sim.Ivar.fill iv (Error e);
+    raise e

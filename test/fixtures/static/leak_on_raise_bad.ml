@@ -1,0 +1,13 @@
+(* Negative control: a semaphore slot held across a call that may
+   raise (Hashtbl.find -> Not_found, seeded from the implicit-raiser
+   table and propagated one hop), with the release only on the normal
+   path. The raise skips the release and the slot leaks. *)
+(* expect: leak-on-raise *)
+
+let cache_lookup tbl k = Hashtbl.find tbl k
+
+let fetch_cached slots tbl k =
+  Sim.Semaphore.acquire slots;
+  let v = cache_lookup tbl k in
+  Sim.Semaphore.release slots;
+  v

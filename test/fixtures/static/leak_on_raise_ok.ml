@@ -1,0 +1,9 @@
+(* Positive control for leak_on_raise_bad: the same critical section
+   under Sim.Semaphore.with_acquire, which releases on every exit
+   path — leak-free by construction, so the pass must stay silent. *)
+(* expect-clean *)
+
+let cache_lookup_s tbl k = Hashtbl.find tbl k
+
+let fetch_cached_safe slots tbl k =
+  Sim.Semaphore.with_acquire slots (fun () -> cache_lookup_s tbl k)

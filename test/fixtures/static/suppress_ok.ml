@@ -7,7 +7,7 @@ let fetch conn fid = conn.Service_conn.pread fid 0 4096
 
 let read_locked lm txn conn fid =
   Lock_manager.acquire lm ~txn (Record_item 51) Iread;
-  (* static-ok: may-block-under-lock fixture justification: 2PL holds the grant across the read by design *)
+  (* static-ok: may-block-under-lock fixture justification: 2PL holds the grant across the read by design; static-ok: leak-on-raise same fixture justification — two rules suppressed from one comment line *)
   let data = fetch conn fid in
   Lock_manager.release_all lm ~txn;
   data

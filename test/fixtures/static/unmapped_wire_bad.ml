@@ -1,0 +1,27 @@
+(* Negative control: the dispatcher's handler arm routes every
+   failure through an error mapper, but the mapper only names
+   Failure — the project-declared Xstale_handle can reach the arm and
+   crosses the wire as an anonymous catch-all encoding the client
+   cannot decode. *)
+(* expect: unmapped-wire-error *)
+
+exception Xstale_handle of int
+
+type request = Xping of int | Xfetch of int
+
+type wire_error = E_xfail of string
+
+let xlookup h = if h = 0 then raise (Xstale_handle h) else h
+
+let xmap_error = function
+  | Failure m -> E_xfail m
+  | e -> E_xfail (Printexc.to_string e)
+
+let xdispatch req =
+  try
+    match req with
+    | Xping n -> n
+    | Xfetch h -> xlookup h
+  with e ->
+    ignore (xmap_error e);
+    0

@@ -1,0 +1,25 @@
+(* Positive control for unmapped_wire_bad: the mapper has an explicit
+   arm for the declared exception, so the wire protocol names the
+   failure and the pass must stay silent. *)
+(* expect-clean *)
+
+exception Ystale_handle of int
+
+type request = Yping of int | Yfetch of int
+
+type wire_error_y = E_yfail of string | E_ystale of int
+
+let ylookup h = if h = 0 then raise (Ystale_handle h) else h
+
+let ymap_error = function
+  | Ystale_handle h -> E_ystale h
+  | e -> E_yfail (Printexc.to_string e)
+
+let ydispatch req =
+  try
+    match req with
+    | Yping n -> n
+    | Yfetch h -> ylookup h
+  with e ->
+    ignore (ymap_error e);
+    0

@@ -380,6 +380,261 @@ let test_fixture_self_test () =
     Alcotest.failf "fixture self-test failed:\n%s" (String.concat "\n" lines)
 
 (* ------------------------------------------------------------------ *)
+(* Exception flow                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Exnflow = Rhodos_static.Exnflow
+module Mayblock' = Rhodos_static.Mayblock
+
+let exnflow srcs =
+  let g = build srcs in
+  let lock = Lockpass.run g (Mayblock'.compute g) in
+  Exnflow.run g lock
+
+let raises_of srcs fn =
+  let t, _ = exnflow srcs in
+  List.sort compare (Exnflow.raises t fn)
+
+let test_exn_direct_and_transitive () =
+  let src = "let f () = raise Not_found\nlet g () = f ()\n" in
+  check bool "direct raise in f" true
+    (List.mem "Not_found" (raises_of [ ("a.ml", src) ] "A.f"));
+  check bool "propagated to g" true
+    (List.mem "Not_found" (raises_of [ ("a.ml", src) ] "A.g"))
+
+let test_exn_recursion () =
+  let src =
+    "exception Exhausted\n\
+     let rec f n = if n = 0 then raise Exhausted else f (n - 1)\n"
+  in
+  check bool "fixpoint over self-recursion" true
+    (List.mem "A.Exhausted" (raises_of [ ("a.ml", src) ] "A.f"))
+
+let test_exn_mutual_recursion () =
+  let src =
+    "exception Odd_zero\n\
+     let rec even n = if n = 0 then true else odd (n - 1)\n\
+     and odd n = if n = 0 then raise Odd_zero else even (n - 1)\n"
+  in
+  let srcs = [ ("a.ml", src) ] in
+  check bool "odd raises" true
+    (List.mem "A.Odd_zero" (raises_of srcs "A.odd"));
+  check bool "propagated through the cycle to even" true
+    (List.mem "A.Odd_zero" (raises_of srcs "A.even"))
+
+let test_exn_handler_subtraction () =
+  let srcs =
+    [
+      ( "a.ml",
+        "let f () = raise Not_found\n\
+         let g () = try f () with Not_found -> 0\n\
+         let h () = try f () with _ -> 0\n\
+         let k () = try f () with e -> raise e\n" );
+    ]
+  in
+  check bool "named arm subtracts" false
+    (List.mem "Not_found" (raises_of srcs "A.g"));
+  check bool "catch-all subtracts everything" true
+    (raises_of srcs "A.h" = []);
+  check bool "rebinding catch-all re-raises what it caught" true
+    (List.mem "Not_found" (raises_of srcs "A.k"))
+
+let test_swallowed_control_exn () =
+  let bad = "let f sim = try Sim.sleep sim 1.0 with _ -> ()\n" in
+  let ok =
+    "let f sim = try Sim.sleep sim 1.0 with\n\
+    \  | Sim.Killed as k -> raise k\n\
+    \  | _ -> ()\n"
+  in
+  check bool "catch-all over a blocking call flagged" true
+    (has_rule (analyze [ ("a.ml", bad) ]) "swallowed-control-exn");
+  check bool "explicit re-raise arm silent" false
+    (has_rule (analyze [ ("a.ml", ok) ]) "swallowed-control-exn")
+
+let test_leak_on_raise () =
+  let bad =
+    "let find tbl k = Hashtbl.find tbl k\n\
+     let f sem tbl k =\n\
+    \  Sim.Semaphore.acquire sem;\n\
+    \  let v = find tbl k in\n\
+    \  Sim.Semaphore.release sem;\n\
+    \  v\n"
+  in
+  let ok =
+    "let find tbl k = Hashtbl.find tbl k\n\
+     let f sem tbl k = Sim.Semaphore.with_acquire sem (fun () -> find tbl k)\n"
+  in
+  let report = analyze [ ("a.ml", bad) ] in
+  check bool "release only on the normal path flagged" true
+    (has_rule report "leak-on-raise");
+  List.iter
+    (fun (f : Finding.t) ->
+      if f.Finding.rule = "leak-on-raise" then
+        check bool "leak witness present" true (f.Finding.witness <> []))
+    report.Static.findings;
+  check bool "with_acquire silent" false
+    (has_rule (analyze [ ("a.ml", ok) ]) "leak-on-raise")
+
+let test_ivar_unfilled_on_raise () =
+  let bad =
+    "let f conn fid iv =\n\
+    \  let data = conn.Service_conn.pread fid 0 512 in\n\
+    \  Sim.Ivar.fill iv (Ok data)\n"
+  in
+  let ok =
+    "let f conn fid iv =\n\
+    \  match conn.Service_conn.pread fid 0 512 with\n\
+    \  | data -> Sim.Ivar.fill iv (Ok data)\n\
+    \  | exception e -> Sim.Ivar.fill iv (Error e); raise e\n"
+  in
+  check bool "raise before fill flagged" true
+    (has_rule (analyze [ ("a.ml", bad) ]) "ivar-unfilled-on-raise");
+  check bool "fill-then-re-raise silent" false
+    (has_rule (analyze [ ("a.ml", ok) ]) "ivar-unfilled-on-raise")
+
+let wire_src ~mapped =
+  Printf.sprintf
+    "exception Stale of int\n\
+     type request = Ping of int | Fetch of int\n\
+     type wire_error = E_fail of string%s\n\
+     let lookup h = if h = 0 then raise (Stale h) else h\n\
+     let map_error = function\n\
+     %s  | Failure m -> E_fail m\n\
+    \  | e -> E_fail (Printexc.to_string e)\n\
+     let dispatch req =\n\
+    \  try match req with Ping n -> n | Fetch h -> lookup h\n\
+    \  with e -> ignore (map_error e); 0\n"
+    (if mapped then " | E_stale of int" else "")
+    (if mapped then "  | Stale h -> E_stale h\n" else "")
+
+let test_unmapped_wire_error () =
+  check bool "declared exn through mapper catch-all flagged" true
+    (has_rule (analyze [ ("a.ml", wire_src ~mapped:false) ])
+       "unmapped-wire-error");
+  check bool "explicit mapper arm silent" false
+    (has_rule (analyze [ ("a.ml", wire_src ~mapped:true) ])
+       "unmapped-wire-error")
+
+let test_escaping_raise_into_dispatch () =
+  let bad =
+    "exception Bad of int\n\
+     type request = Ping of int | Fetch of int\n\
+     let lookup h = if h = 0 then raise (Bad h) else h\n\
+     let dispatch req = match req with Ping n -> n | Fetch h -> lookup h\n"
+  in
+  let ok =
+    "exception Bad of int\n\
+     type request = Ping of int | Fetch of int\n\
+     let lookup h = if h = 0 then raise (Bad h) else h\n\
+     let dispatch req =\n\
+    \  try match req with Ping n -> n | Fetch h -> lookup h\n\
+    \  with Bad _ -> 0\n"
+  in
+  check bool "unhandled dispatcher flagged" true
+    (has_rule (analyze [ ("a.ml", bad) ]) "escaping-raise-into-dispatch");
+  check bool "handled dispatcher silent" false
+    (has_rule (analyze [ ("a.ml", ok) ]) "escaping-raise-into-dispatch")
+
+let test_exn_baseline_round_trip () =
+  let report = analyze [ ("a.ml", wire_src ~mapped:false) ] in
+  check bool "something to baseline" true (report.Static.findings <> []);
+  let keys =
+    Finding.baseline_of_string
+      (Finding.baseline_to_string (List.map Finding.key report.Static.findings))
+  in
+  let fresh, stale = Static.against_baseline report ~baseline:keys in
+  check int "new-rule keys round-trip" 0 (List.length fresh);
+  check int "no stale keys" 0 (List.length stale)
+
+let test_pass_timings () =
+  let c = ref 0. in
+  let clock () =
+    c := !c +. 1.;
+    !c
+  in
+  let report =
+    Static.analyze_files ~clock
+      [ Source.of_string ~path:"a.ml" "let f () = raise Not_found\n" ]
+  in
+  check bool "exnflow pass timed" true
+    (List.mem_assoc "exnflow" report.Static.timings);
+  List.iter
+    (fun (_, s) -> check bool "positive duration" true (s > 0.))
+    report.Static.timings
+
+(* Random call graphs: each function may raise one declared exception
+   directly and calls some later-defined functions. The pass's raise
+   set must over-approximate the transitive closure of the syntactic
+   direct-raise sets over the call edges. *)
+let prop_raise_set_over_approximates =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 6) (fun n ->
+          list_repeat n
+            (pair (opt (int_range 0 4)) (list_size (int_range 0 3) (int_bound (n - 1))))))
+  in
+  let print fns =
+    String.concat "; "
+      (List.mapi
+         (fun i (d, cs) ->
+           Printf.sprintf "f%d raises %s calls [%s]" i
+             (match d with None -> "-" | Some k -> "E" ^ string_of_int k)
+             (String.concat "," (List.map string_of_int cs)))
+         fns)
+  in
+  QCheck.Test.make ~name:"raise set over-approximates direct raises" ~count:100
+    (QCheck.make ~print gen) (fun fns ->
+      let n = List.length fns in
+      let body (d, cs) =
+        String.concat ";\n  "
+          (List.map (fun c -> Printf.sprintf "ignore (f%d ())" (c mod n)) cs
+          @ [
+              (match d with
+              | Some k -> Printf.sprintf "raise E%d" k
+              | None -> "()");
+            ])
+      in
+      let src =
+        String.concat "\n"
+          (List.init 5 (fun k -> Printf.sprintf "exception E%d" k))
+        ^ "\n"
+        ^ String.concat "\nand "
+            (List.mapi
+               (fun i fn ->
+                 Printf.sprintf "%sf%d () =\n  %s"
+                   (if i = 0 then "let rec " else "")
+                   i (body fn))
+               fns)
+        ^ "\n"
+      in
+      let t, _ = exnflow [ ("a.ml", src) ] in
+      (* Transitive closure of the syntactic direct-raise sets. *)
+      let expected = Array.make n [] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iteri
+          (fun i (d, cs) ->
+            let want =
+              (match d with Some k -> [ "A.E" ^ string_of_int k ] | None -> [])
+              @ List.concat_map (fun c -> expected.(c mod n)) cs
+            in
+            List.iter
+              (fun e ->
+                if not (List.mem e expected.(i)) then begin
+                  expected.(i) <- e :: expected.(i);
+                  changed := true
+                end)
+              want)
+          fns
+      done;
+      List.for_all
+        (fun i ->
+          let got = Exnflow.raises t (Printf.sprintf "A.f%d" i) in
+          List.for_all (fun e -> List.mem e got) expected.(i))
+        (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "static"
@@ -436,6 +691,29 @@ let () =
             test_multiline_global_still_caught;
           Alcotest.test_case "sort token boundary" `Quick
             test_sort_needs_token_boundary;
+        ] );
+      ( "exnflow",
+        [
+          Alcotest.test_case "direct and transitive" `Quick
+            test_exn_direct_and_transitive;
+          Alcotest.test_case "recursion" `Quick test_exn_recursion;
+          Alcotest.test_case "mutual recursion" `Quick
+            test_exn_mutual_recursion;
+          Alcotest.test_case "handler subtraction" `Quick
+            test_exn_handler_subtraction;
+          Alcotest.test_case "swallowed control exn" `Quick
+            test_swallowed_control_exn;
+          Alcotest.test_case "leak on raise" `Quick test_leak_on_raise;
+          Alcotest.test_case "ivar unfilled on raise" `Quick
+            test_ivar_unfilled_on_raise;
+          Alcotest.test_case "unmapped wire error" `Quick
+            test_unmapped_wire_error;
+          Alcotest.test_case "escaping raise into dispatch" `Quick
+            test_escaping_raise_into_dispatch;
+          Alcotest.test_case "baseline round trip (new rules)" `Quick
+            test_exn_baseline_round_trip;
+          Alcotest.test_case "per-pass timings" `Quick test_pass_timings;
+          QCheck_alcotest.to_alcotest prop_raise_set_over_approximates;
         ] );
       ( "differential",
         [
