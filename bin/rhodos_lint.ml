@@ -35,7 +35,7 @@ let read_file path =
 let usage_static () =
   Format.eprintf
     "usage: rhodos_lint static [--json] [--baseline FILE] [--write-baseline \
-     FILE] [--self-test DIR] [DIR...]@.";
+     FILE] [--self-test DIR] [--max-ms N] [DIR...]@.";
   exit 2
 
 let run_static args =
@@ -43,6 +43,7 @@ let run_static args =
   let baseline = ref None in
   let write_baseline = ref None in
   let self_test = ref None in
+  let max_ms = ref None in
   let dirs = ref [] in
   let rec parse = function
     | [] -> ()
@@ -58,6 +59,10 @@ let run_static args =
     | "--self-test" :: d :: rest ->
       self_test := Some d;
       parse rest
+    | "--max-ms" :: n :: rest -> (
+      match float_of_string_opt n with
+      | Some v -> max_ms := Some v; parse rest
+      | None -> usage_static ())
     | a :: _ when String.length a > 0 && a.[0] = '-' -> usage_static ()
     | d :: rest ->
       dirs := !dirs @ [ d ];
@@ -111,6 +116,12 @@ let run_static args =
                 (fun (p, e) -> Printf.sprintf "%s: %s" p e)
                 report.Static.parse_failures)
            ~timings:report.Static.timings
+           ~extras:
+             [
+               ( "protection_map",
+                 Rhodos_static.Racepass.locations_to_json
+                   report.Static.race_locations );
+             ]
            fresh)
     else begin
       List.iter (fun f -> Format.printf "%a@." Finding.pp f) fresh;
@@ -119,10 +130,38 @@ let run_static args =
           Format.eprintf "staticcheck: parse failure (text fallback): %s: %s@."
             p e)
         report.Static.parse_failures;
-      List.iter
-        (fun k -> Format.eprintf "staticcheck: stale baseline entry: %s@." k)
-        stale
+      (* A readable added/removed diff against the committed baseline:
+         the sweep deviating must say exactly how. *)
+      if fresh <> [] || stale <> [] then begin
+        Format.eprintf "staticcheck: baseline diff (%d added, %d removed):@."
+          (List.length fresh) (List.length stale);
+        List.iter
+          (fun f ->
+            Format.eprintf "  + %s (%s:%d)@." (Finding.key f) f.Finding.file
+              f.Finding.line)
+          fresh;
+        List.iter
+          (fun k -> Format.eprintf "  - %s (stale: no longer found)@." k)
+          stale
+      end
     end;
+    (* Wall-time budget: a generous ceiling so a later pass cannot
+       silently blow up CI. *)
+    let total_ms =
+      1000. *. List.fold_left (fun a (_, s) -> a +. s) 0. report.Static.timings
+    in
+    (match !max_ms with
+    | Some budget when total_ms > budget ->
+      Format.eprintf
+        "staticcheck: static suite took %.0f ms, over the %.0f ms budget \
+         (per-pass: %s)@."
+        total_ms budget
+        (String.concat ", "
+           (List.map
+              (fun (p, s) -> Printf.sprintf "%s %.0fms" p (1000. *. s))
+              report.Static.timings));
+      exit 1
+    | _ -> ());
     if fresh = [] then begin
       if not !json then
         Format.printf

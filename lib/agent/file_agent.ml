@@ -32,6 +32,7 @@ let default_config =
 type open_state = {
   file : int;
   mutable pos : int;
+  (* static-ok: static-race per-descriptor read-ahead state: open_file hands each client a fresh descriptor, so the pread RMW window only ever spans one owner's own reads *)
   mutable seq_next : int; (* offset the next read must start at to count as sequential *)
   mutable ra_window : int; (* current read-ahead width in blocks; 0 = cold *)
 }
@@ -57,7 +58,9 @@ type t = {
   prefetched : (int * int, unit) Hashtbl.t Sim.Cell.cell;
       (* read-ahead blocks not yet consumed *)
   fetch_slots : Sim.Semaphore.sem;  (* bounds concurrent fetch RPCs *)
-  name_cache : (string, int) Hashtbl.t;
+  name_cache : (string, int) Hashtbl.t Sim.Cell.cell;
+      (* path -> file id; racy lookup/RPC/insert windows, so the cell
+         keeps every access on the sanitizer's books *)
   mutable next_desc : desc;
   counters : Counter.t;
   name_counters : Counter.t;
@@ -197,7 +200,9 @@ let create ?(config = default_config) ?tracer ~sim
         (Hashtbl.create 16);
     prefetched;
     fetch_slots = Sim.Semaphore.create sim (max 1 config.fetch_window);
-    name_cache = Hashtbl.create 16;
+    name_cache =
+      Sim.Cell.create ~role:Sim.Sync ~name:"file_agent:name-cache" sim
+        (Hashtbl.create 16);
     next_desc = first_dynamic_desc;
     counters;
     name_counters = Counter.create ();
@@ -218,16 +223,17 @@ let state t d =
 let descriptor_file t d = (state t d).file
 
 let resolve_path t path =
-  match Hashtbl.find_opt t.name_cache path with
+  match Hashtbl.find_opt (tbl t.name_cache) path with
   | Some id ->
     Counter.incr t.name_counters "hits";
     id
   | None ->
     Counter.incr t.name_counters "misses";
     let id = t.conn.Service_conn.resolve [ ("type", "FILE"); ("path", path) ] in
-    if Hashtbl.length t.name_cache >= t.config.name_cache_entries then
-      Hashtbl.reset t.name_cache;
-    Hashtbl.replace t.name_cache path id;
+    mut t.name_cache (fun h ->
+        if Hashtbl.length h >= t.config.name_cache_entries then
+          Hashtbl.reset h;
+        Hashtbl.replace h path id);
     id
 
 let install t ~desc file attrs =
@@ -682,7 +688,7 @@ let delete t ~path =
     Cache.invalidate t.cache (file, bi);
     drop_block_tracking t file bi
   done;
-  Hashtbl.remove t.name_cache path;
+  mut t.name_cache (fun h -> Hashtbl.remove h path);
   Hashtbl.remove t.sizes file;
   t.conn.Service_conn.delete_file file;
   t.conn.Service_conn.unbind path
@@ -706,7 +712,7 @@ let crash t =
   let lost = Cache.crash t.cache in
   Hashtbl.reset t.descs;
   Hashtbl.reset t.sizes;
-  Hashtbl.reset t.name_cache;
+  mut t.name_cache (fun h -> Hashtbl.reset h);
   (* In-flight fetches may still complete; clearing the registrations
      keeps them from resurrecting pre-crash data into the fresh cache. *)
   mut t.inflight (fun h -> Hashtbl.reset h);

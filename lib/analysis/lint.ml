@@ -521,11 +521,14 @@ let find_unpaired ~file stripped =
    every simulation world in the process: it leaks between runs,
    defeats the explorer's world-per-schedule isolation, and is
    invisible to the sanitizer (which only sees [Sim.Cell] accesses).
-   State belongs in a record created per world. The allowlist names
-   the two sanctioned globals: the [Logging] source registry (process-
-   wide by design, like [Logs] itself) and [Sim]'s process-local
-   storage key allocator (keys must be unique across worlds). *)
-let global_state_allowlist = [ "logging.ml"; "sim.ml" ]
+   State belongs in a record created per world. The allowlist is empty
+   since the last two sanctioned globals were restructured away (the
+   [Logging] registry now reuses [Logs.Src.list]; [Sim.Local] keys are
+   identified by their extensible constructor, not a counter); the
+   race pass's [unmonitored-shared-state] now owns this ground with
+   real reachability, and this token rule survives only as the
+   fallback for files the compiler frontend rejects. *)
+let global_state_allowlist : string list = []
 
 let mutable_creators =
   [ "ref "; "Hashtbl.create"; "Queue.create"; "Buffer.create" ]

@@ -35,9 +35,9 @@
       [ref]/[Hashtbl.create]/[Queue.create]/[Buffer.create] binding
       (a [let] at indent <= 2 with no parameters) — such state is
       shared across simulation worlds, leaks between explorer runs
-      and is invisible to the race sanitizer; allowlisted:
-      [logging.ml] (the process-wide source registry) and [sim.ml]
-      (the process-local storage key allocator);
+      and is invisible to the race sanitizer; superseded for
+      parseable sources by the race pass's [unmonitored-shared-state]
+      (which adds reachability), kept as the text fallback;
     - {b raw-shared-cell} (Library profile): fields migrated onto
       {!Rhodos_sim.Sim.Cell} (the file agent's [inflight]/
       [prefetched], the cache's [buffers], the lock manager's tables
@@ -64,8 +64,9 @@
 type violation = { file : string; line : int; rule : string; message : string }
 
 val global_state_allowlist : string list
-(** Basenames exempt from global-mutable-state (shared with the AST
-    engine in [Rhodos_static], which reimplements the rule). *)
+(** Basenames exempt from global-mutable-state. Empty since the last
+    sanctioned globals were restructured away; kept so a future
+    justified exemption has somewhere to live. *)
 
 val instrumented_fields : (string * string list) list
 (** Basename -> [Sim.Cell]-instrumented record fields, the

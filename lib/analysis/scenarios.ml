@@ -513,6 +513,7 @@ let lost_update_model ~fixed () =
   let setup sim =
     let server = ref "old" in
     let cache = ref None in
+    (* static-ok: static-race seeded lost-update model: the unlocked cross-sleep window on this flag is the bug under study; the explorer must be able to reach it *)
     let inflight = ref false in
     ignore
       (Sim.spawn ~name:"prefetch" sim (fun () ->
@@ -580,6 +581,7 @@ let seeded_race_model ~locked () =
     let sz = Sanitizer.create sim in
     let lm = Lm.create ~sim ~on_suspect:(fun ~txn:_ -> ()) () in
     Sanitizer.attach_lock_manager sz lm;
+    (* static-ok: unsynchronized-cell-write seeded race negative control: the static pass must flag this cell (the differential test asserts it pre-suppression) just as the dynamic sanitizer does; only the sweep is quieted *)
     let counter = Sim.Cell.create ~name:"model:shared-counter" sim 0 in
     let item = Lm.File_item 1 in
     let worker txn name =

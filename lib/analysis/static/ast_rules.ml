@@ -21,65 +21,10 @@ let ident_path e =
   | Pexp_ident { txt; _ } -> Some (Names.flatten txt)
   | _ -> None
 
-(* ------------------------------------------------------------------ *)
-(* global-mutable-state                                                *)
-(* ------------------------------------------------------------------ *)
-
-let global_state_allowlist = Lint.global_state_allowlist
-
-let mutable_creator_paths =
-  [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Queue"; "create" ];
-    [ "Buffer"; "create" ] ]
-
-let is_mutable_creation e =
-  match (strip e).pexp_desc with
-  | Pexp_apply (f, _) -> (
-    match ident_path f with
-    | Some p -> List.mem p mutable_creator_paths
-    | None -> false)
-  | _ -> false
-
-let global_mutable_state (f : Source.file) items =
-  if List.mem (Filename.basename f.Source.path) global_state_allowlist then []
-  else begin
-    let acc = ref [] in
-    let rec walk items =
-      List.iter
-        (fun item ->
-          match item.pstr_desc with
-          | Pstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                if is_mutable_creation vb.pvb_expr then
-                  acc :=
-                    Finding.v ~rule:"global-mutable-state"
-                      ~file:f.Source.path ~line:(line_of vb.pvb_loc)
-                      ~slug:
-                        (match (strip vb.pvb_expr).pexp_desc with
-                        | Pexp_apply (g, _) -> (
-                          match ident_path g with
-                          | Some p -> String.concat "." p
-                          | None -> "ref")
-                        | _ -> "ref")
-                      "module-level mutable state is shared across \
-                       simulation worlds and invisible to the sanitizer; \
-                       move it into a per-world record (or a Sim.Cell)"
-                    :: !acc)
-              vbs
-          | Pstr_module { pmb_expr; _ } -> walk_mod pmb_expr
-          | Pstr_recmodule mbs ->
-            List.iter (fun mb -> walk_mod mb.pmb_expr) mbs
-          | _ -> ())
-        items
-    and walk_mod m =
-      match m.pmod_desc with
-      | Pmod_structure sub -> walk sub
-      | Pmod_constraint (m, _) -> walk_mod m
-      | _ -> ()
-    in
-    walk items;
-    List.rev !acc
-  end
+(* The [global-mutable-state] AST port used to live here; the race
+   pass's [unmonitored-shared-state] superseded it with real
+   reachability (a global only fires when concurrent roots write it),
+   so parseable sources no longer get the blanket token rule. *)
 
 (* ------------------------------------------------------------------ *)
 (* raw-shared-cell                                                     *)
@@ -253,10 +198,7 @@ let hashtbl_iter_order (f : Source.file) items =
 (* ------------------------------------------------------------------ *)
 
 let migrated_rules =
-  [
-    "global-mutable-state"; "raw-shared-cell"; "no-unseeded-random";
-    "hashtbl-iter-order";
-  ]
+  [ "raw-shared-cell"; "no-unseeded-random"; "hashtbl-iter-order" ]
 
 let run (files : Source.file list) =
   Finding.sort
@@ -265,8 +207,7 @@ let run (files : Source.file list) =
          match f.Source.ast with
          | None -> []
          | Some items ->
-           global_mutable_state f items
-           @ raw_shared_cell f items
+           raw_shared_cell f items
            @ unseeded_random f items
            @ hashtbl_iter_order f items)
        files)

@@ -1,8 +1,10 @@
 (** AST ports of the token-based lint rules, sharing rule names (and
     therefore suppressions and baselines) with the text engine in
-    [Lint]: [global-mutable-state], [raw-shared-cell],
-    [no-unseeded-random], [hashtbl-iter-order]. The text versions
-    stay on as the fallback for sources that fail to parse. *)
+    [Lint]: [raw-shared-cell], [no-unseeded-random],
+    [hashtbl-iter-order]. The text versions stay on as the fallback
+    for sources that fail to parse. [global-mutable-state] is no
+    longer ported: the race pass's [unmonitored-shared-state]
+    supersedes it for parseable sources with real reachability. *)
 
 val migrated_rules : string list
 

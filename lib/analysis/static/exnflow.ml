@@ -744,7 +744,15 @@ let scan_effects ctx (node : Callgraph.node) =
         (fun (l, a) ->
           match l with
           | Asttypes.Labelled "finally" | Asttypes.Optional "finally" ->
-            scan a
+            (* The finally thunk runs on every path: an earlier raise
+               cannot skip an [Ivar.fill] that lives here (only a
+               raise within the thunk itself still can). *)
+            let raised = st.raised and ri = st.raise_info in
+            st.raised <- false;
+            st.raise_info <- None;
+            scan a;
+            st.raised <- raised;
+            st.raise_info <- ri
           | _ -> ())
         args
     | Some n when n = Lockpass.sem_with_acquire ->

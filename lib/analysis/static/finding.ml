@@ -57,11 +57,12 @@ let to_json f =
     (String.concat "," (List.map q f.witness))
     (q (key f))
 
-let list_to_json ?(suppressed = 0) ?(parse_failures = []) ?(timings = []) fs =
+let list_to_json ?(suppressed = 0) ?(parse_failures = []) ?(timings = [])
+    ?(extras = []) fs =
   let q s = "\"" ^ json_escape s ^ "\"" in
   Printf.sprintf
     "{\"findings\":[%s],\"suppressed\":%d,\"parse_failures\":[%s],\
-     \"timings\":[%s]}"
+     \"timings\":[%s]%s}"
     (String.concat "," (List.map to_json fs))
     suppressed
     (String.concat "," (List.map q parse_failures))
@@ -71,6 +72,10 @@ let list_to_json ?(suppressed = 0) ?(parse_failures = []) ?(timings = []) fs =
             Printf.sprintf "{\"pass\":%s,\"ms\":%.3f}" (q pass)
               (secs *. 1000.))
           timings))
+    (String.concat ""
+       (List.map
+          (fun (name, raw_json) -> Printf.sprintf ",%s:%s" (q name) raw_json)
+          extras))
 
 (* ------------------------------------------------------------------ *)
 (* Baseline                                                            *)

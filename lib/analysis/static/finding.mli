@@ -43,11 +43,14 @@ val list_to_json :
   ?suppressed:int ->
   ?parse_failures:string list ->
   ?timings:(string * float) list ->
+  ?extras:(string * string) list ->
   t list ->
   string
 (** [{"findings":[...],"suppressed":n,"parse_failures":[...],
     "timings":[{"pass":...,"ms":...},...]}] — [timings] are
-    (pass, seconds) pairs, rendered in milliseconds. *)
+    (pass, seconds) pairs, rendered in milliseconds. Each [extras]
+    pair becomes one extra top-level member; the value must already
+    be rendered JSON (the race pass's protection map rides here). *)
 
 val baseline_of_string : string -> string list
 (** Parse a baseline file's accepted {!key} list. *)

@@ -65,6 +65,10 @@ val nolabel_args :
   (Asttypes.arg_label * Parsetree.expression) list ->
   Parsetree.expression list
 
+val render_path : Parsetree.expression -> string option
+(** Render an identifier/record-field access path ("t.fetch_slots");
+    [None] for anything more dynamic. *)
+
 val render_item : Parsetree.expression -> token option
 (** Render a [Lock_manager] item expression ("File_item 1",
     "Page_item(fid,i)"); [None] when an argument is dynamic. *)

@@ -11,6 +11,7 @@ type report = {
   parse_failures : (string * string) list;
   files : Source.file list;
   timings : (string * float) list;
+  race_locations : Racepass.location list;
 }
 
 let finding_of_violation (v : Lint.violation) =
@@ -35,6 +36,7 @@ let analyze_files ?(clock = fun () -> 0.) files =
   let _exn, exn_findings =
     timed "exnflow" (fun () -> Exnflow.run graph lock)
   in
+  let race = timed "racepass" (fun () -> Racepass.run graph mb lock) in
   let ast = timed "ast-rules" (fun () -> Ast_rules.run files) in
   (* Files the compiler frontend rejects still get the token engine:
      a syntax error must not hide a file from analysis. *)
@@ -50,7 +52,8 @@ let analyze_files ?(clock = fun () -> 0.) files =
   in
   let all =
     Finding.sort
-      (lock.Lockpass.findings @ proto @ exn_findings @ ast @ fallback)
+      (lock.Lockpass.findings @ proto @ exn_findings
+      @ race.Racepass.findings @ ast @ fallback)
   in
   let suppressions_for path =
     match
@@ -78,6 +81,7 @@ let analyze_files ?(clock = fun () -> 0.) files =
         files;
     files;
     timings = List.rev !timings;
+    race_locations = race.Racepass.locations;
   }
 
 let analyze ?clock ~dirs () =
@@ -170,7 +174,8 @@ let self_test ~dir =
     [
       "may-block-under-lock"; "lock-order-cycle"; "swallowed-control-exn";
       "leak-on-raise"; "ivar-unfilled-on-raise"; "unmapped-wire-error";
-      "escaping-raise-into-dispatch";
+      "escaping-raise-into-dispatch"; "static-race";
+      "unsynchronized-cell-write"; "unmonitored-shared-state";
     ]
   in
   List.iter

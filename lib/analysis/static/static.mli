@@ -1,9 +1,9 @@
 (** Driver for the AST-based static analysis: load, parse, build the
     call graph, run the passes ({!Mayblock} + {!Lockpass},
-    {!Protocol}, {!Ast_rules}, token-engine fallback for unparseable
-    sources), apply [static-ok] suppressions, and diff against the
-    committed baseline. Pure — printing and exit codes belong to
-    [bin/rhodos_lint]. *)
+    {!Protocol}, {!Exnflow}, {!Racepass}, {!Ast_rules}, token-engine
+    fallback for unparseable sources), apply [static-ok]
+    suppressions, and diff against the committed baseline. Pure —
+    printing and exit codes belong to [bin/rhodos_lint]. *)
 
 type report = {
   findings : Finding.t list;  (** after suppressions, sorted *)
@@ -13,6 +13,10 @@ type report = {
   timings : (string * float) list;
       (** per-pass wall-time (seconds) in run order; all zero unless
           a [clock] was supplied *)
+  race_locations : Racepass.location list;
+      (** the race pass's protection map: every escaped shared
+          location with its inferred guarding locks and access
+          sites *)
 }
 
 val analyze_files : ?clock:(unit -> float) -> Source.file list -> report
@@ -28,5 +32,6 @@ val against_baseline :
 val self_test : dir:string -> bool * string list
 (** Run the engine over a fixture directory and check each file's
     [expect: rule ...] / [expect-clean] directive; also asserts that
-    every [may-block-under-lock] / [lock-order-cycle] finding carries
-    a witness chain. Returns pass/fail and a report line per file. *)
+    every headline finding (blocking, deadlock, exception-flow and
+    race rules) carries a witness chain. Returns pass/fail and a
+    report line per file. *)

@@ -50,6 +50,9 @@ type t = {
   data_start : int;            (* first allocatable fragment *)
   mutable bitmap : Bitset.t;   (* bit set = fragment allocated *)
   extent_rows : (int * int) list array;
+  (* Write-once format latch: [format] flips it before any client traffic
+     exists; every access from a conn root only reads.
+     static-ok: static-race write-once latch *)
   mutable formatted : bool;
   (* track cache *)
   tracks : (int, cached_track) Hashtbl.t;

@@ -47,6 +47,11 @@ let default_config =
    The cache is the paper's fragment pool for FITs: bounded, LRU. *)
 type open_fit = {
   fit : Fit.t;
+  (* Per-file dirty flag: cross-client writers hold the 2PL Lock_manager
+     file item via the transaction service; the basic path is single-writer
+     per descriptor, which the static meet cannot see because the unlocked
+     read-only callers empty the entry lockset.
+     static-ok: static-race 2PL file item / per-descriptor ownership *)
   mutable runs_dirty : bool;
   mutable last_use : int;
   mutable pins : int;
@@ -83,6 +88,10 @@ let create ?(name = "filesrv") ?(config = default_config) ?tracer ~disks () =
     sim;
     disks;
     config;
+    (* Per-file-id keyed cache: concurrent handlers touch distinct keys, and
+       same-file mutation is pinned under [with_fit]; keyed add/remove
+       commute so the torn window is benign.
+       static-ok: static-race keyed entries commute *)
     fits = Hashtbl.create 64;
     fit_clock = 0;
     deleted = Hashtbl.create 16;

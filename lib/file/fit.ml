@@ -5,6 +5,10 @@ type service_type = Basic | Transaction
 type locking_level = Record_level | Page_level | File_level
 
 type t = {
+  (* Per-file FIT: cross-client size changes hold the 2PL Lock_manager file
+     item via the transaction service; the static meet is emptied by the
+     unlocked read paths (stat, read-ahead).
+     static-ok: static-race 2PL file item *)
   mutable size : int;
   created_at : float;
   mutable last_read : float;
@@ -12,7 +16,13 @@ type t = {
   mutable ref_count : int;
   mutable service_type : service_type;
   mutable locking_level : locking_level;
+  (* Run-list growth is append-only under the owning File_service entry pin;
+     cross-client truncate holds the 2PL file item.
+     static-ok: static-race pinned entry / 2PL file item *)
   mutable runs : run list;
+  (* Same ownership as [runs]: indirect-block spill is driven by the same
+     pinned entry, serialized with its run-list updates.
+     static-ok: static-race pinned entry / 2PL file item *)
   mutable indirect : (int * int) list;
 }
 

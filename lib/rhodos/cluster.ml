@@ -620,6 +620,10 @@ let build_server ~cfg ~sim ~net ~tracer sidx =
       s_ts = ts;
       s_log_region = Txn.log_region ts;
       s_port = None;
+      (* Per-tid handle table: each transaction id is minted once and only
+         its owning client's handler touches that key; keyed add/remove on
+         distinct tids commute.
+         static-ok: static-race keyed entries commute *)
       s_txn_handles = Hashtbl.create 16;
     },
     naming_file )

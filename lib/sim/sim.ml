@@ -20,7 +20,7 @@ type proc = {
   name : string;
   mutable state : proc_state;
   mutable kill_pending : bool;
-  mutable locals : (int * binding) list;
+  mutable locals : binding list;
 }
 
 type pid = proc
@@ -585,41 +585,32 @@ let pid_name _t proc = Printf.sprintf "%s#%d" proc.name proc.id
 let current_proc_id = cur_id
 
 module Local = struct
+  (* A key's identity is the private extensible-variant constructor
+     minted by [key ()] — the projection function recognises exactly
+     its own bindings, so no global counter is needed. *)
   type 'a key = {
-    kid : int;
     inj : 'a -> binding;
     prj : binding -> 'a option;
   }
-
-  (* Key creation order is fixed by program structure, so this global
-     counter does not threaten run-to-run determinism. *)
-  let next_key = ref 0
 
   let key (type a) () : a key =
     let module M = struct
       type binding += K of a
     end in
-    incr next_key;
     {
-      kid = !next_key;
       inj = (fun v -> M.K v);
       prj = (function M.K v -> Some v | _ -> None);
     }
 
   let get t k =
     let p = t.current in
-    if p == t.top then None
-    else
-      match List.assoc_opt k.kid p.locals with
-      | None -> None
-      | Some b -> k.prj b
+    if p == t.top then None else List.find_map k.prj p.locals
 
   let set t k v =
     let p = t.current in
     if p != t.top then begin
-      let rest = List.filter (fun (id, _) -> id <> k.kid) p.locals in
-      p.locals <-
-        (match v with None -> rest | Some v -> (k.kid, k.inj v) :: rest)
+      let rest = List.filter (fun b -> Option.is_none (k.prj b)) p.locals in
+      p.locals <- (match v with None -> rest | Some v -> k.inj v :: rest)
     end
 end
 

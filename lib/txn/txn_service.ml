@@ -29,11 +29,20 @@ type txn_state = Active | Committing | Finished
 
 type txn = {
   id : int;
+  (* Per-txn record: mutated by the owning client's handler, and by [tend]
+     only after the suspect timeout declares that owner dead — the two
+     writers are separated in time, not by a lock.
+     static-ok: static-race single owner, tend after suspect timeout *)
   mutable state : txn_state;
   mutable abort_reason : string option;  (* set when suspected/aborted *)
   mutable writes : (int * int * bytes) list; (* (file, off, data) reversed *)
   mutable created : Fs.file_id list;
+  (* Per-txn work list, same single-owner contract as [state]; the 2PL
+     items the owner holds don't surface in the meet.
+     static-ok: static-race single-owner work list *)
   mutable deleted : Fs.file_id list;
+  (* Per-txn work list, same single-owner contract as [state] and [deleted].
+     static-ok: static-race single-owner work list *)
   mutable opened : Fs.file_id list;
   mutable shadow_allocs : (int * int) list;
       (* shadow blocks allocated during commit phase 1; freed if the
@@ -136,6 +145,10 @@ let build ?(config = default_config) ?tracer ~fs ~log () =
       config;
       lm;
       log;
+      (* Per-tid transaction table: ids are minted sequentially and each
+         entry is touched by its owner (or by [tend] after the owner is
+         declared dead); distinct-key ops commute.
+         static-ok: static-race keyed entries commute *)
       txns = Hashtbl.create 32;
       next_id = 1;
       usage = Hashtbl.create 32;

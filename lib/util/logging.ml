@@ -1,12 +1,13 @@
-let sources : (string, Logs.src) Hashtbl.t = Hashtbl.create 8
-
+(* [Logs] already keeps the registry of created sources; looking the
+   name up in [Logs.Src.list] instead of a private memo table keeps
+   this module free of shared mutable state of its own. *)
 let src name =
-  match Hashtbl.find_opt sources name with
+  let full = "rhodos." ^ name in
+  match
+    List.find_opt (fun s -> Logs.Src.name s = full) (Logs.Src.list ())
+  with
   | Some s -> s
-  | None ->
-    let s = Logs.Src.create ("rhodos." ^ name) ~doc:("RHODOS " ^ name) in
-    Hashtbl.replace sources name s;
-    s
+  | None -> Logs.Src.create full ~doc:("RHODOS " ^ name)
 
 let reporter () =
   let report src level ~over k msgf =

@@ -1,0 +1,15 @@
+(* A Data-role cell driven through get / sleep / set from two spawned
+   workers: the read-modify-write is torn across the sleep and no
+   lock or update closure protects it — the static twin of the
+   sanitizer's dynamic lost-update report. *)
+(* expect: unsynchronized-cell-write *)
+
+let worker torn_counter =
+  let v = Sim.Cell.get torn_counter in
+  Sim.sleep 1.0;
+  Sim.Cell.set torn_counter (v + 1)
+
+let main sim =
+  let torn_counter = Sim.Cell.create ~name:"fixture:torn-counter" sim 0 in
+  ignore (Sim.spawn sim (fun () -> worker torn_counter));
+  ignore (Sim.spawn sim (fun () -> worker torn_counter))

@@ -1,0 +1,14 @@
+(* Corrected variant of race_cell_bad: the increment goes through
+   Sim.Cell.update, whose closure is atomic with respect to the cell,
+   so the RMW carries the cell's own pseudo-token and there is no
+   torn window left to report. *)
+(* expect-clean *)
+
+let worker shared_tally =
+  Sim.Cell.update shared_tally (fun v -> v + 1);
+  Sim.sleep 1.0
+
+let main sim =
+  let shared_tally = Sim.Cell.create ~name:"fixture:update-tally" sim 0 in
+  ignore (Sim.spawn sim (fun () -> worker shared_tally));
+  ignore (Sim.spawn sim (fun () -> worker shared_tally))

@@ -1,0 +1,17 @@
+(* Two workers race on a shared mutable field: each reads, yields to
+   the scheduler mid-update, then writes back — the canonical lost
+   update. No lock is ever held, so the must-lockset meet is empty
+   and the torn window spans the sleep. *)
+(* expect: static-race *)
+
+type counter = { mutable hits : int }
+
+let worker r =
+  let seen = r.hits in
+  Sim.sleep 1.0;
+  r.hits <- seen + 1
+
+let main sim =
+  let r = { hits = 0 } in
+  ignore (Sim.spawn sim (fun () -> worker r));
+  ignore (Sim.spawn sim (fun () -> worker r))

@@ -1,0 +1,27 @@
+(* Producer/consumer handoff through an ivar: the producer touches
+   the payload only before the fill, the consumer only after its
+   read, so every access holds the ivar's handoff token and the meet
+   is never empty — silent despite torn windows on both sides. *)
+(* expect-clean *)
+
+type slot = { mutable payload : int }
+
+let producer r handoff =
+  Fun.protect
+    ~finally:(fun () -> Sim.Ivar.fill handoff ())
+    (fun () ->
+      r.payload <- 1;
+      Sim.sleep 1.0;
+      r.payload <- 42)
+
+let consumer r handoff =
+  ignore (Sim.Ivar.read handoff);
+  let a = r.payload in
+  Sim.sleep 1.0;
+  ignore (a + r.payload)
+
+let main sim =
+  let r = { payload = 0 } in
+  let handoff = Sim.Ivar.create sim in
+  ignore (Sim.spawn sim (fun () -> producer r handoff));
+  ignore (Sim.spawn sim (fun () -> consumer r handoff))

@@ -1,0 +1,22 @@
+(* Corrected variant of race_field_bad: every access path holds the
+   File item, so even though the inner Page acquire may suspend (the
+   window is genuinely torn) the must-lockset meet keeps the File
+   token and the pass is silent. Acquisition order (File then Page)
+   matches in both roots, so the lock-order pass is silent too. *)
+(* expect-clean *)
+
+type tally = { mutable total : int }
+
+let bump r lm txn =
+  Lock_manager.acquire lm ~txn (File_item 7) Iwrite;
+  Fun.protect
+    ~finally:(fun () -> Lock_manager.release_all lm ~txn)
+    (fun () ->
+      let seen = r.total in
+      Lock_manager.acquire lm ~txn (Page_item (7, 0)) Iwrite;
+      r.total <- seen + 1)
+
+let main sim lm =
+  let r = { total = 0 } in
+  ignore (Sim.spawn sim (fun () -> bump r lm 1));
+  ignore (Sim.spawn sim (fun () -> bump r lm 2))

@@ -1,0 +1,17 @@
+(* Same two-worker shape as race_field_bad, but the read and the
+   write-back are adjacent — atomic between blocking points under the
+   cooperative scheduler — and the sleep only comes after. No torn
+   window, no report: this gate is what keeps fork-join accumulators
+   quiet. *)
+(* expect-clean *)
+
+type gauge = { mutable level : int }
+
+let worker r =
+  r.level <- r.level + 1;
+  Sim.sleep 1.0
+
+let main sim =
+  let r = { level = 0 } in
+  ignore (Sim.spawn sim (fun () -> worker r));
+  ignore (Sim.spawn sim (fun () -> worker r))

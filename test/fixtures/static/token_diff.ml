@@ -1,10 +1,12 @@
-(* Differential fixture for the migrated token rules. The three true
+(* Differential fixture for the migrated token rules. The two true
    positives below must be caught by the AST engine (and by the text
-   engine). The two baits at the bottom are historical token-engine
-   weak spots: a multi-line [let ... in] local binding (not module
-   state) and an identifier that merely contains "sort" (must not
-   absolve the fold). The AST engine must flag exactly the three. *)
-(* expect: global-mutable-state hashtbl-iter-order no-unseeded-random *)
+   engine). [table] is a module-level Hashtbl but no concurrency root
+   ever reaches it, so the race pass (which superseded the blanket
+   global-mutable-state rule) stays rightly silent. The baits at the
+   bottom are historical token-engine weak spots: a multi-line
+   [let ... in] local binding (not module state) and an identifier
+   that merely contains "sort" (must not absolve the fold). *)
+(* expect: hashtbl-iter-order no-unseeded-random *)
 
 let table = Hashtbl.create 16
 

@@ -634,7 +634,8 @@ let test_lint_global_state () =
     (rules
        (Lint.lint_source ~file:"t.ml"
           "let f x =\n    let q = Queue.create () in\n    ignore q; x"));
-  check (list string) "allowlisted registry file exempt" []
+  check (list string) "no file is allowlisted anymore"
+    [ "global-mutable-state" ]
     (rules (Lint.lint_source ~file:"logging.ml" "let sources = Hashtbl.create 8"))
 
 let test_lint_raw_cell () =

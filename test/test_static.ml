@@ -635,6 +635,363 @@ let prop_raise_set_over_approximates =
         (List.init n Fun.id))
 
 (* ------------------------------------------------------------------ *)
+(* Race pass: inventory, escape, locksets, torn windows                *)
+(* ------------------------------------------------------------------ *)
+
+module Racepass = Rhodos_static.Racepass
+
+let race srcs =
+  let g = build srcs in
+  let mb = Mayblock'.compute g in
+  Racepass.run g mb (Lockpass.run g mb)
+
+let race_rules srcs =
+  List.sort_uniq compare
+    (List.map
+       (fun (f : Finding.t) -> f.Finding.rule)
+       (race srcs).Racepass.findings)
+
+let torn_field_src =
+  "type counter = { mutable hits : int }\n\
+   let worker r =\n\
+  \  let seen = r.hits in\n\
+  \  Sim.sleep 1.0;\n\
+  \  r.hits <- seen + 1\n"
+
+let two_spawns = "let main sim =\n\
+  \  let r = { hits = 0 } in\n\
+  \  ignore (Sim.spawn sim (fun () -> worker r));\n\
+  \  ignore (Sim.spawn sim (fun () -> worker r))\n"
+
+let test_race_inventory_escape () =
+  let r = race [ ("a.ml", torn_field_src ^ two_spawns) ] in
+  check bool "torn two-root field race caught" true
+    (List.exists
+       (fun (f : Finding.t) -> f.Finding.rule = "static-race")
+       r.Racepass.findings);
+  match
+    List.find_opt
+      (fun (l : Racepass.location) -> l.Racepass.l_id = "field:A.hits")
+      r.Racepass.locations
+  with
+  | Some l ->
+    check int "two roots reach it" 2 (List.length l.Racepass.l_roots);
+    check bool "empty protection" true (l.Racepass.l_locks = [])
+  | None -> Alcotest.fail "field:A.hits missing from protection map"
+
+let test_race_single_root_silent () =
+  let one_spawn =
+    "let main sim =\n\
+    \  let r = { hits = 0 } in\n\
+    \  ignore (Sim.spawn sim (fun () -> worker r))\n"
+  in
+  check (Alcotest.list Alcotest.string) "one root cannot race" []
+    (race_rules [ ("a.ml", torn_field_src ^ one_spawn) ])
+
+let test_race_multiplicity () =
+  (* One syntactic spawn site, but the local function that runs it is
+     used twice — the site must count as two concurrent roots. *)
+  let main =
+    "let main sim =\n\
+    \  let r = { hits = 0 } in\n\
+    \  let go () = ignore (Sim.spawn sim (fun () -> worker r)) in\n\
+    \  go ();\n\
+    \  go ()\n"
+  in
+  check bool "doubled spawn site escapes" true
+    (List.mem "static-race" (race_rules [ ("a.ml", torn_field_src ^ main) ]))
+
+let test_race_torn_window_gate () =
+  (* Same two-root shape, but the read and write-back sit in one
+     atomic window (the sleep comes after both): silent. *)
+  let atomic =
+    "type counter = { mutable hits : int }\n\
+     let worker r =\n\
+    \  r.hits <- r.hits + 1;\n\
+    \  Sim.sleep 1.0\n"
+  in
+  check (Alcotest.list Alcotest.string) "no blocking call between accesses"
+    []
+    (race_rules [ ("a.ml", atomic ^ two_spawns) ])
+
+let test_race_consistent_lockset_silent () =
+  let locked =
+    "type counter = { mutable hits : int }\n\
+     let worker r =\n\
+    \  Lock_manager.acquire lm ~txn:1 (File_item 7) Iwrite;\n\
+    \  let seen = r.hits in\n\
+    \  Lock_manager.acquire lm ~txn:1 (Page_item (7, 0)) Iwrite;\n\
+    \  r.hits <- seen + 1;\n\
+    \  Lock_manager.release_all lm ~txn:1\n"
+  in
+  check (Alcotest.list Alcotest.string)
+    "common File item silences the torn window" []
+    (race_rules [ ("a.ml", locked ^ two_spawns) ])
+
+let test_race_ivar_handoff_silent () =
+  let src =
+    "type slot = { mutable payload : int }\n\
+     let producer r iv =\n\
+    \  r.payload <- 1;\n\
+    \  Sim.sleep 1.0;\n\
+    \  r.payload <- 42;\n\
+    \  Sim.Ivar.fill iv ()\n\
+     let consumer r iv =\n\
+    \  ignore (Sim.Ivar.read iv);\n\
+    \  let a = r.payload in\n\
+    \  Sim.sleep 1.0;\n\
+    \  ignore (a + r.payload)\n\
+     let main sim =\n\
+    \  let r = { payload = 0 } in\n\
+    \  let iv = Sim.Ivar.create sim in\n\
+    \  ignore (Sim.spawn sim (fun () -> producer r iv));\n\
+    \  ignore (Sim.spawn sim (fun () -> consumer r iv))\n"
+  in
+  check (Alcotest.list Alcotest.string) "handoff token covers every site" []
+    (race_rules [ ("a.ml", src) ])
+
+let test_race_entry_lockset () =
+  (* The helper takes no lock itself; protection must flow in from
+     the call sites as the entry-lockset meet. *)
+  let helper =
+    "type counter = { mutable hits : int }\n\
+     let helper r =\n\
+    \  let seen = r.hits in\n\
+    \  Sim.sleep 1.0;\n\
+    \  r.hits <- seen + 1\n"
+  in
+  let locked_caller =
+    "let locked r lm =\n\
+    \  Lock_manager.acquire lm ~txn:1 (File_item 3) Iwrite;\n\
+    \  helper r;\n\
+    \  Lock_manager.release_all lm ~txn:1\n"
+  in
+  let spawn_two callee =
+    Printf.sprintf
+      "let main sim lm =\n\
+      \  let r = { hits = 0 } in\n\
+      \  ignore (Sim.spawn sim (fun () -> %s));\n\
+      \  ignore (Sim.spawn sim (fun () -> %s))\n"
+      callee callee
+  in
+  check (Alcotest.list Alcotest.string) "meet over locked callers protects"
+    []
+    (race_rules [ ("a.ml", helper ^ locked_caller ^ spawn_two "locked r lm") ]);
+  (* One unlocked caller must empty the meet: *)
+  let shared_mixed =
+    helper ^ locked_caller
+    ^ "let unlocked r = helper r\n"
+    ^ "let main sim lm =\n\
+      \  let r = { hits = 0 } in\n\
+      \  ignore (Sim.spawn sim (fun () -> locked r lm));\n\
+      \  ignore (Sim.spawn sim (fun () -> unlocked r))\n"
+  in
+  check bool "one unlocked caller empties the meet" true
+    (List.mem "static-race" (race_rules [ ("a.ml", shared_mixed) ]))
+
+let test_race_ref_instance_sensitivity () =
+  (* A function-local ref reached only through calls is one fresh
+     instance per activation: never shared, never reported. *)
+  let fresh_per_call =
+    "let count () =\n\
+    \  let i = ref 0 in\n\
+    \  let v = !i in\n\
+    \  Sim.sleep 1.0;\n\
+    \  i := v + 1\n\
+     let main sim =\n\
+    \  ignore (Sim.spawn sim (fun () -> count ()));\n\
+    \  ignore (Sim.spawn sim (fun () -> count ()))\n"
+  in
+  check (Alcotest.list Alcotest.string) "callee refs are per-activation" []
+    (race_rules [ ("a.ml", fresh_per_call) ]);
+  (* The same ref captured by the owner's own spawned closures is one
+     shared instance — that must still be caught. *)
+  let captured =
+    "let owner sim =\n\
+    \  let acc = ref 0 in\n\
+    \  ignore\n\
+    \    (Sim.spawn sim (fun () ->\n\
+    \         let v = !acc in\n\
+    \         Sim.sleep 1.0;\n\
+    \         acc := v + 1));\n\
+    \  ignore\n\
+    \    (Sim.spawn sim (fun () ->\n\
+    \         let v = !acc in\n\
+    \         Sim.sleep 1.0;\n\
+    \         acc := v + 1))\n"
+  in
+  check bool "owner's captured ref is shared" true
+    (List.mem "static-race" (race_rules [ ("a.ml", captured) ]))
+
+let test_race_unmonitored_global () =
+  let src =
+    "let minted = ref 0\n\
+     let next () = minted := !minted + 1; !minted\n\
+     let main sim =\n\
+    \  ignore (Sim.spawn sim (fun () -> ignore (next ())));\n\
+    \  ignore (Sim.spawn sim (fun () -> ignore (next ())))\n"
+  in
+  let rules = race_rules [ ("a.ml", src) ] in
+  check bool "module-level mutable flagged" true
+    (List.mem "unmonitored-shared-state" rules);
+  check bool "atomic increment is not a static race" false
+    (List.mem "static-race" rules)
+
+let test_race_cell_rule () =
+  let src =
+    "let worker c =\n\
+    \  let v = Sim.Cell.get c in\n\
+    \  Sim.sleep 1.0;\n\
+    \  Sim.Cell.set c (v + 1)\n\
+     let main sim =\n\
+    \  let c = Sim.Cell.create ~name:\"t:c\" sim 0 in\n\
+    \  ignore (Sim.spawn sim (fun () -> worker c));\n\
+    \  ignore (Sim.spawn sim (fun () -> worker c))\n"
+  in
+  let r = race [ ("a.ml", src) ] in
+  check bool "torn Data-cell write caught" true
+    (List.exists
+       (fun (f : Finding.t) -> f.Finding.rule = "unsynchronized-cell-write")
+       r.Racepass.findings);
+  check bool "cell name recovered" true
+    (List.exists
+       (fun (l : Racepass.location) ->
+         l.Racepass.l_cell_name = Some "t:c")
+       r.Racepass.locations)
+
+let test_race_pass_timed () =
+  let c = ref 0. in
+  let clock () =
+    c := !c +. 1.;
+    !c
+  in
+  let report =
+    Static.analyze_files ~clock
+      [ Source.of_string ~path:"a.ml" "let f () = ()\n" ]
+  in
+  check bool "racepass timed" true
+    (List.mem_assoc "racepass" report.Static.timings)
+
+(* The seeded-race fixture the dynamic sanitizer catches must be
+   flagged statically too (pre-suppression, so call the pass
+   directly). *)
+let test_race_differential_seeded () =
+  let path = "../lib/analysis/scenarios.ml" in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let r = race [ ("scenarios.ml", src) ] in
+    check bool "seeded cell in protection map with sanitizer's name" true
+      (List.exists
+         (fun (l : Racepass.location) ->
+           l.Racepass.l_cell_name = Some "model:shared-counter")
+         r.Racepass.locations);
+    check bool "seeded race flagged statically" true
+      (List.exists
+         (fun (f : Finding.t) ->
+           f.Finding.rule = "unsynchronized-cell-write"
+           && f.Finding.slug = "cell:counter")
+         r.Racepass.findings)
+  end
+
+(* Byte-identical output across two runs over the same sources: the
+   --json report (findings and protection map) must be reproducible
+   so baselines and CI diffs are trustworthy. *)
+let test_race_json_deterministic () =
+  let srcs =
+    [
+      ("a.ml", torn_field_src ^ two_spawns);
+      ( "b.ml",
+        "let minted = ref 0\n\
+         let next () = minted := !minted + 1; !minted\n\
+         let main sim =\n\
+        \  ignore (Sim.spawn sim (fun () -> ignore (next ())));\n\
+        \  ignore (Sim.spawn sim (fun () -> ignore (next ())))\n" );
+    ]
+  in
+  let render () =
+    let report = analyze srcs in
+    Finding.list_to_json
+      ~extras:
+        [ ("protection_map",
+           Racepass.locations_to_json report.Static.race_locations) ]
+      report.Static.findings
+  in
+  let one = render () in
+  let two = render () in
+  check bool "identical JSON across runs" true (String.equal one two)
+
+(* Random lock nests: whatever the pass infers at an access site must
+   be a subset of the items the program syntactically acquires —
+   locksets are evidence, never invention. *)
+let prop_lockset_subset =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 4) (fun n ->
+          list_repeat n
+            (triple
+               (list_size (int_range 0 2) (int_bound 3))
+               bool
+               (list_size (int_range 0 2) (int_bound (max 0 (n - 1)))))))
+  in
+  let print fns =
+    String.concat "; "
+      (List.mapi
+         (fun i (ks, w, cs) ->
+           Printf.sprintf "f%d acquires [%s]%s calls [%s]" i
+             (String.concat "," (List.map string_of_int ks))
+             (if w then " writes" else "")
+             (String.concat "," (List.map string_of_int cs)))
+         fns)
+  in
+  QCheck.Test.make ~name:"inferred locksets are syntactically acquired"
+    ~count:60 (QCheck.make ~print gen) (fun fns ->
+      let n = List.length fns in
+      let body (ks, w, cs) =
+        String.concat ";\n  "
+          (List.map
+             (fun k ->
+               Printf.sprintf
+                 "Lock_manager.acquire lm ~txn:1 (File_item %d) Iwrite" k)
+             ks
+          @ (if w then [ "shared := !shared + 1"; "Sim.sleep 1.0";
+                         "shared := !shared + 1" ]
+             else [ "Sim.sleep 1.0" ])
+          @ List.map (fun c -> Printf.sprintf "ignore (f%d lm)" (c mod n)) cs
+          @ [ "Lock_manager.release_all lm ~txn:1" ])
+      in
+      let src =
+        "let shared = ref 0\n"
+        ^ String.concat "\nand "
+            (List.mapi
+               (fun i fn ->
+                 Printf.sprintf "%sf%d lm =\n  %s"
+                   (if i = 0 then "let rec " else "")
+                   i (body fn))
+               fns)
+        ^ "\nlet main sim lm =\n\
+          \  ignore (Sim.spawn sim (fun () -> f0 lm));\n\
+          \  ignore (Sim.spawn sim (fun () -> f0 lm))\n"
+      in
+      let acquired =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (ks, _, _) ->
+               List.map (fun k -> Printf.sprintf "File_item %d" k) ks)
+             fns)
+      in
+      let r = race [ ("a.ml", src) ] in
+      List.for_all
+        (fun (l : Racepass.location) ->
+          List.for_all
+            (fun (a : Racepass.access) ->
+              List.for_all (fun t -> List.mem t acquired) a.Racepass.a_locks)
+            l.Racepass.l_accesses
+          && List.for_all (fun t -> List.mem t acquired) l.Racepass.l_locks)
+        r.Racepass.locations)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "static"
@@ -714,6 +1071,34 @@ let () =
             test_exn_baseline_round_trip;
           Alcotest.test_case "per-pass timings" `Quick test_pass_timings;
           QCheck_alcotest.to_alcotest prop_raise_set_over_approximates;
+        ] );
+      ( "racepass",
+        [
+          Alcotest.test_case "inventory and escape" `Quick
+            test_race_inventory_escape;
+          Alcotest.test_case "single root silent" `Quick
+            test_race_single_root_silent;
+          Alcotest.test_case "spawn-site multiplicity" `Quick
+            test_race_multiplicity;
+          Alcotest.test_case "torn-window gate" `Quick
+            test_race_torn_window_gate;
+          Alcotest.test_case "consistent lockset silent" `Quick
+            test_race_consistent_lockset_silent;
+          Alcotest.test_case "ivar handoff silent" `Quick
+            test_race_ivar_handoff_silent;
+          Alcotest.test_case "interprocedural entry lockset" `Quick
+            test_race_entry_lockset;
+          Alcotest.test_case "ref instance sensitivity" `Quick
+            test_race_ref_instance_sensitivity;
+          Alcotest.test_case "unmonitored global" `Quick
+            test_race_unmonitored_global;
+          Alcotest.test_case "cell rule + name" `Quick test_race_cell_rule;
+          Alcotest.test_case "pass timed" `Quick test_race_pass_timed;
+          Alcotest.test_case "seeded race caught statically" `Quick
+            test_race_differential_seeded;
+          Alcotest.test_case "deterministic JSON" `Quick
+            test_race_json_deterministic;
+          QCheck_alcotest.to_alcotest prop_lockset_subset;
         ] );
       ( "differential",
         [
